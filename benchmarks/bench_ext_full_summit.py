@@ -1,0 +1,16 @@
+"""§V extension bench: projecting the job to all 27648 Summit GPUs."""
+
+from repro.experiments import ext_full_summit
+
+
+def test_full_summit_projection(benchmark, show):
+    result = benchmark.pedantic(ext_full_summit.run, rounds=1, iterations=1)
+    effs = [p.efficiency for p in result.points]
+    # Efficiency keeps decaying past the paper's 1000-node envelope...
+    assert effs == sorted(effs, reverse=True)
+    assert result.full_machine.efficiency < 0.6
+    # ...so the full machine buys far less than the ideal 4.61x.
+    assert 1.2 < result.speedup_over_1000_nodes < 4.0
+    # And mutation-level work stays infeasible on hardware alone (§V).
+    assert result.mutation_level_days_full_machine > 100
+    show(ext_full_summit.report(result))

@@ -1,0 +1,14 @@
+"""§V extension bench: per-GPU matrix-subset distribution sizing."""
+
+from repro.experiments import ext_memory_distribution
+
+
+def test_memory_distribution(benchmark, show):
+    result = benchmark.pedantic(ext_memory_distribution.run, rounds=1, iterations=1)
+    gene, mut = result.gene_level, result.mutation_level
+    # Gene-level matrices are tiny; the mutation-level input is ~20x.
+    assert mut.full_replication_bytes > 15 * gene.full_replication_bytes
+    # Hot-set distribution keeps a meaningful fraction off-device.
+    assert 0.2 < mut.mean_hot_fraction < 0.8
+    assert mut.hot_set_fits
+    show(ext_memory_distribution.report(result))

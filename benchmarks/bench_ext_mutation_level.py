@@ -1,0 +1,16 @@
+"""§V extension bench: mutation-level search cost and discrimination."""
+
+from repro.experiments import ext_mutation_level
+
+
+def test_mutation_level_extension(benchmark, show):
+    result = benchmark.pedantic(ext_mutation_level.run, rounds=1, iterations=1)
+    # Paper §V: "~1e5" speedup needed for mutation-level 4-hit.
+    assert 1.0e5 < result.mutation_factor < 2.0e5
+    # "~4e5 per additional hit" (exact C-ratio is (M-h)/(h+1) ~ 8e4).
+    assert 5.0e4 < result.extra_hit < 1.0e5
+    # The motivating payoff: mutation resolution pinpoints hotspots.
+    d = result.discrimination
+    assert d.mutation_level_sharper
+    assert d.mutation_hotspot_precision >= 0.6
+    show(ext_mutation_level.report(result))

@@ -1,0 +1,14 @@
+"""§V extension bench: latency-aware scheduling remedies, 600 GPUs."""
+
+from repro.experiments import ext_scheduler_ablation
+
+
+def test_scheduler_ablation(benchmark, show):
+    result = benchmark.pedantic(ext_scheduler_ablation.run, rounds=1, iterations=1)
+    # The 2x2 straggler is occupancy-bound: resizing recovers ~nothing...
+    assert result.resizing_improvement < 1.3
+    # ...while interleaving (same work, uniform occupancy) recovers a lot.
+    assert result.interleave_improvement > 2.0
+    # The paper's own remedy (3x1) is the gold standard.
+    assert result.scheme3x1_times.max() <= result.il_times.max()
+    show(ext_scheduler_ablation.report(result))

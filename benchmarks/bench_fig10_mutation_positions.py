@@ -1,0 +1,23 @@
+"""Fig. 10 bench: IDH1 hotspot vs MUC6 scatter in LGG."""
+
+from repro.experiments import fig10_mutation_positions
+
+
+def test_fig10_mutation_positions(benchmark, show):
+    result = benchmark(fig10_mutation_positions.run, 0)
+    idh1_t = result.panel("IDH1", "tumor")
+    idh1_n = result.panel("IDH1", "normal")
+    muc6_t = result.panel("MUC6", "tumor")
+    muc6_n = result.panel("MUC6", "normal")
+
+    # Paper: 400/532 tumors mutated at R132; none in normals.
+    assert idh1_t.peak_position == 132
+    assert 350 <= int(idh1_t.counts[131]) <= 450
+    assert int(idh1_n.counts[131]) <= 1
+    assert idh1_t.peak_concentration > 0.85
+
+    # MUC6 scatters uniformly in both cohorts (passenger signature).
+    assert muc6_t.peak_concentration < 0.1
+    assert muc6_n.peak_concentration < 0.1
+
+    show(fig10_mutation_positions.report(result))

@@ -1,0 +1,16 @@
+"""Fig. 1 bench: the node abstraction / per-rank GPU assignment table."""
+
+from repro.experiments import fig1_node_abstraction
+
+
+def test_fig1_node_abstraction(benchmark, show):
+    result = benchmark(fig1_node_abstraction.run, 200, 3)
+    assert result.node.n_gpus == 6 and result.node.n_cpus == 2
+    assigns = result.rank_assignments()
+    assert len(assigns) == 3
+    # Each rank drives six GPUs over contiguous, disjoint thread ranges.
+    flat = [rng for gpus in assigns for rng in gpus]
+    assert len(flat) == 18
+    for (lo_a, hi_a), (lo_b, _) in zip(flat, flat[1:]):
+        assert hi_a == lo_b
+    show(fig1_node_abstraction.report(result))

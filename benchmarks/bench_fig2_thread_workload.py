@@ -1,0 +1,13 @@
+"""Fig. 2 bench: per-thread workload curves, 2x2 vs 3x1, G = 10."""
+
+from repro.experiments import fig2_thread_workload
+
+
+def test_fig2_thread_workload(benchmark, show):
+    result = benchmark(fig2_thread_workload.run, 10)
+    # Paper shape: same total work over more threads, G-fold smaller spread.
+    assert result.work_2x2.sum() == result.work_3x1.sum() == 210
+    assert result.spread_2x2 == 28  # C(8, 2)
+    assert result.spread_3x1 == 7  # G - 3
+    assert len(result.work_3x1) > len(result.work_2x2)
+    show(fig2_thread_workload.report(result))

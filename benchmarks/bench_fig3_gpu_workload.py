@@ -1,0 +1,15 @@
+"""Fig. 3 bench: ED vs EA per-GPU workload, G = 50, 5 nodes (30 GPUs)."""
+
+from repro.experiments import fig3_gpu_workload
+
+
+def test_fig3_gpu_workload(benchmark, show):
+    result = benchmark(fig3_gpu_workload.run, 50, 5)
+    # Paper shape: ED areas differ wildly, EA bars are flat.
+    assert result.n_gpus == 30
+    assert result.ea_imbalance < 1.005
+    assert result.ed_imbalance > 2.5
+    # ED's first GPU holds the heaviest work; its last can be near-empty.
+    assert result.ed_gpu_work[0] == result.ed_gpu_work.max()
+    assert result.ed_gpu_work[-1] == result.ed_gpu_work.min()
+    show(fig3_gpu_workload.report(result))

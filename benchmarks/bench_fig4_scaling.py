@@ -1,0 +1,36 @@
+"""Fig. 4 bench: strong (100-1000 nodes) and weak (100-500) scaling, BRCA.
+
+Paper: strong-scaling efficiency 80.96-97.96% (avg 90.14% over 200-1000
+nodes, 84.18% at 1000); weak scaling ~90% at 500 nodes (avg 94.6%).
+"""
+
+import numpy as np
+
+from repro.experiments import fig4_scaling
+
+
+def test_fig4_scaling_full_sweep(benchmark, show):
+    result = benchmark.pedantic(fig4_scaling.run, rounds=1, iterations=1)
+    effs = [p.efficiency for p in result.strong]
+    nodes = [p.n_nodes for p in result.strong]
+    assert nodes[0] == 100 and nodes[-1] == 1000
+
+    # Baseline is exact; efficiency decays with node count overall.
+    assert effs[0] == 1.0
+    assert all(0.75 <= e <= 1.0 for e in effs)
+    assert effs[-1] < effs[1]
+
+    # Headline bands (paper values +/- a few points).
+    assert 0.78 <= result.strong_at_max_nodes <= 0.90  # paper 0.8418
+    assert 0.85 <= result.strong_avg_efficiency <= 0.95  # paper 0.9014
+
+    # Runtime itself must scale down ~linearly.
+    runtimes = [p.runtime_s for p in result.strong]
+    assert runtimes[-1] < runtimes[0] / 7
+
+    # Weak scaling: high and flat-ish (paper avg 0.946).
+    weak_effs = [p.efficiency for p in result.weak]
+    assert all(0.85 <= e <= 1.001 for e in weak_effs)
+    assert weak_effs == sorted(weak_effs, reverse=True)
+
+    show(fig4_scaling.report(result))

@@ -1,0 +1,18 @@
+"""Fig. 5 bench: MemOpt1 / MemOpt2 / BitSplicing speedups (paper: ~3x)."""
+
+from repro.experiments import fig5_memopts
+
+
+def test_fig5_memory_optimizations(benchmark, show):
+    result = benchmark.pedantic(fig5_memopts.run, rounds=1, iterations=1)
+    sp = result.model_speedups
+    # Cumulative speedups increase with each optimization, ending near 3x.
+    assert sp == sorted(sp)
+    assert sp[0] == 1.0
+    assert 1.2 < sp[1] < 2.0  # +MemOpt1
+    assert 1.8 < sp[2] < 3.0  # +MemOpt2
+    assert 2.5 < sp[3] < 5.0  # +BitSplicing (paper ~3x)
+    # Measured word-read reductions follow the same staircase.
+    reds = result.read_reductions
+    assert reds[0] == 1.0 and reds[1] > 1.2 and reds[2] > reds[1] and reds[3] > reds[2]
+    show(fig5_memopts.report(result))

@@ -1,0 +1,33 @@
+"""Fig. 6 bench: per-GPU utilization / DRAM / stalls, 2x2 on ACC, 600 GPUs."""
+
+import numpy as np
+
+from repro.experiments import fig6_utilization_2x2
+
+
+def test_fig6_utilization_2x2(benchmark, show):
+    result = benchmark.pedantic(fig6_utilization_2x2.run, rounds=1, iterations=1)
+    prof = result.profile
+    assert prof.n_gpus == 600
+
+    u = prof.utilization
+    # (a) utilization decays from 100% at GPU 0.
+    assert u[0] == 1.0
+    assert result.utilization_trend() < 0
+    assert u[-1] < 0.5
+
+    # (b) DRAM read throughput rises with GPU index, anti-correlated
+    # with utilization (paper: inverse correlation up to ~GPU #500).
+    d = prof.dram_read_bps
+    assert d[-1] > 2 * d[0]
+    assert np.corrcoef(u, d)[0, 1] < -0.7
+
+    # Memory-bound -> compute-bound transition late in the range.
+    t = result.transition_gpu
+    assert t is not None and 300 < t < 600  # paper: ~#500
+
+    # (c) stalls on the straggler GPUs are dominated by memory dependency.
+    assert prof.stall_memory_dependency[0] > prof.stall_execution_dependency[0]
+    assert prof.stall_memory_dependency[0] > 0.5
+
+    show(fig6_utilization_2x2.report(result))

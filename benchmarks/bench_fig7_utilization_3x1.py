@@ -1,0 +1,12 @@
+"""Fig. 7 bench: flat utilization, 3x1 on BRCA, 600 GPUs."""
+
+from repro.experiments import fig7_utilization_3x1
+
+
+def test_fig7_utilization_3x1(benchmark, show):
+    result = benchmark.pedantic(fig7_utilization_3x1.run, rounds=1, iterations=1)
+    assert result.profile.n_gpus == 600
+    # Paper: balanced utilization across MPI processes.
+    assert result.min_utilization > 0.97
+    assert result.utilization_spread < 0.03
+    show(fig7_utilization_3x1.report(result))

@@ -1,0 +1,15 @@
+"""Fig. 8 bench: compute vs communication time, 1000-node BRCA run."""
+
+from repro.experiments import fig8_comm_overhead
+
+
+def test_fig8_comm_overhead(benchmark, show):
+    result = benchmark.pedantic(fig8_comm_overhead.run, rounds=1, iterations=1)
+    assert result.n_nodes == 1000
+    # Paper: message-passing overhead hidden by the largest computation.
+    assert result.comm_hidden
+    assert result.comm_fraction < 0.25
+    # Compute times vary (node jitter / straggler skew) but are same-scale.
+    comp = result.compute_s
+    assert comp.max() / comp.min() < 1.5
+    show(fig8_comm_overhead.report(result))

@@ -1,0 +1,29 @@
+"""Fig. 9 bench: 4-hit classifier accuracy over the 11 >=4-hit cancers.
+
+Paper: 151 combinations total; average sensitivity 83% (CI 72-90%),
+specificity 90% (CI 81-96%) on held-out 25% test splits.
+"""
+
+from repro.experiments import fig9_classification
+
+
+def test_fig9_classification(benchmark, show):
+    result = benchmark.pedantic(fig9_classification.run, rounds=1, iterations=1)
+    assert len(result.performances) == 11
+
+    # Headline bands (synthetic cohorts; paper 0.83 / 0.90).
+    assert 0.70 <= result.mean_sensitivity <= 0.92
+    assert 0.85 <= result.mean_specificity <= 1.0
+
+    # Combination count lands near the paper's 151.
+    assert 100 <= result.total_combinations <= 220
+
+    # Ground truth: the planted drivers are recovered for every cancer.
+    assert all(v >= 3 for v in result.planted_recovered.values())
+
+    # Every per-cancer CI contains its point estimate.
+    for p in result.performances:
+        assert p.sensitivity_ci[0] <= p.sensitivity <= p.sensitivity_ci[1]
+        assert p.specificity_ci[0] <= p.specificity <= p.specificity_ci[1]
+
+    show(fig9_classification.report(result))

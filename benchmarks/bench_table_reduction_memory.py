@@ -1,0 +1,12 @@
+"""Section III-E bench: 24.34 TB -> 47.5 GB -> 20 B reduction accounting."""
+
+from repro.experiments import table_reduction_memory
+
+
+def test_reduction_memory(benchmark, show):
+    result = benchmark(table_reduction_memory.run)
+    assert 24.0 < result.naive_tb < 24.8  # paper: 24.34 TB
+    assert 45.0 < result.block_gb < 50.0  # paper: 47.5 GB
+    assert result.plan["per_rank_bytes_to_root"] == 20
+    assert result.plan["block_list_bytes"] * 512 >= result.plan["naive_list_bytes"]
+    show(table_reduction_memory.report(result))

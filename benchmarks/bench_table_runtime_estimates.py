@@ -1,0 +1,15 @@
+"""Section I bench: CPU/GPU runtime estimates and the 6000-GPU speedup."""
+
+from repro.experiments import table_runtime_estimates
+
+
+def test_runtime_estimates(benchmark, show):
+    result = benchmark.pedantic(table_runtime_estimates.run, rounds=1, iterations=1)
+    # Order-of-magnitude anchors from the paper.
+    assert 5_000 < result.cpu_3hit_min < 50_000  # paper 13860 min
+    assert 5 < result.gpu_3hit_min < 60  # paper 23 min
+    assert 50 < result.cpu_4hit_years < 1_000  # paper > 500 years
+    assert 20 < result.gpu_4hit_days < 150  # paper > 40 days
+    # Scale-out speedup in the thousands (paper 7192x).
+    assert 1_000 < result.cluster_speedup < 20_000
+    show(table_runtime_estimates.report(result))

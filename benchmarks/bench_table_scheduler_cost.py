@@ -1,0 +1,19 @@
+"""Section III-C bench: naive prefix scan vs O(G) level-walk scheduler."""
+
+from repro.experiments import table_scheduler_cost
+
+
+def test_scheduler_cost(benchmark, show):
+    result = benchmark.pedantic(table_scheduler_cost.run, rounds=1, iterations=1)
+    # Where both run, they agree exactly and the level walk is faster.
+    checked = 0
+    for row in result.rows:
+        if row.naive_s is not None:
+            assert row.identical
+            if row.n_threads > 100_000:
+                assert row.level_walk_s < row.naive_s / 10
+            checked += 1
+    assert checked >= 2
+    # Paper: the full Summit schedule computes in under a minute.
+    assert result.paper_scale_s < 5.0
+    show(table_scheduler_cost.report(result))

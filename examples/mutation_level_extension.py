@@ -1,0 +1,62 @@
+"""Mutation-level discovery: the paper's Section V future-work direction.
+
+Gene-level search cannot tell a driver hotspot (IDH1 R132) from a
+passenger gene that is merely frequently mutated — the Fig. 10 problem.
+This example synthesizes a positional cohort with planted hotspot
+drivers, runs the same greedy engine over *mutation features* instead of
+genes, and shows that the mutation-level result names the exact hotspot
+positions.
+
+Run:  python examples/mutation_level_extension.py
+"""
+
+from repro.mutlevel import (
+    PositionalCohortConfig,
+    compare_resolutions,
+    extra_hit_factor,
+    generate_positional_cohort,
+    mutation_level_factor,
+    solve_mutation_level,
+)
+
+
+def main() -> None:
+    cfg = PositionalCohortConfig(
+        n_genes=30,
+        n_tumor=150,
+        n_normal=150,
+        hits=3,
+        n_driver_combos=2,
+        background_rate=0.10,
+        seed=4,
+    )
+    cohort = generate_positional_cohort(cfg)
+    print("planted driver hotspots:")
+    for g, pos in sorted(cohort.hotspots.items()):
+        print(f"  {cohort.gene_name(g)} at position {pos}")
+
+    tumor = cohort.tumor_matrix(min_recurrence=2)
+    normal = cohort.normal_matrix(features=tumor)
+    print(f"\nmutation matrix: {tumor.n_features} recurrent features "
+          f"x {tumor.n_samples} samples "
+          f"(vs {cfg.n_genes} genes — the paper quotes ~20x at TCGA scale)")
+
+    result = solve_mutation_level(tumor, normal, hits=3, max_iterations=4)
+    print("\nmutation-level combinations (gene:position):")
+    for labels in result.labels:
+        print(f"  {labels}")
+
+    report = compare_resolutions(cohort)
+    print(f"\ngene-level driver precision:      {report.gene_driver_precision:.2f}")
+    print(f"mutation-level hotspot precision: {report.mutation_hotspot_precision:.2f}")
+    print(f"hotspot features recovered: "
+          f"{report.hotspot_features_found}/{report.planted_hotspots}")
+
+    print("\nwhy the paper calls this future work (Section V):")
+    print(f"  gene -> mutation search-space growth (4-hit): "
+          f"{mutation_level_factor():.2e}x")
+    print(f"  each additional hit at mutation level: {extra_hit_factor(4):.2e}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Paper-scale Summit performance study (Figs. 4, 6, 7, 8 in one script).
+
+Uses the virtual-time performance model driven by the *real* equi-area
+schedules at G = 19411 to predict strong/weak scaling, per-GPU
+utilization profiles, and the compute/communication split — no GPUs
+required.
+
+Run:  python examples/summit_scaling_study.py
+"""
+
+from repro import JobModel, SCHEME_2X2, SCHEME_3X1
+from repro.perfmodel import ACC, BRCA, strong_scaling_sweep, weak_scaling_sweep
+from repro.perfmodel.utilization import profile_schedule
+
+
+def main() -> None:
+    model = JobModel(scheme=SCHEME_3X1)
+
+    print("=== strong scaling, BRCA, 3x1 scheme (paper Fig. 4a) ===")
+    for p in strong_scaling_sweep(model, BRCA, [100, 200, 400, 600, 800, 1000]):
+        bar = "#" * int(p.efficiency * 40)
+        print(f"  {p.n_nodes:5d} nodes  {p.runtime_s:9.1f} s  "
+              f"eff {p.efficiency * 100:5.1f}%  {bar}")
+
+    print("\n=== weak scaling, BRCA, first iteration (paper Fig. 4b) ===")
+    for p in weak_scaling_sweep(model, BRCA, [100, 200, 300, 400, 500]):
+        print(f"  {p.n_nodes:5d} nodes  {p.runtime_s:9.1f} s  "
+              f"eff {p.efficiency * 100:5.1f}%")
+
+    print("\n=== why 2x2 was abandoned: per-GPU utilization (Figs. 6 vs 7) ===")
+    bad = profile_schedule(SCHEME_2X2, ACC, 100)
+    good = profile_schedule(SCHEME_3X1, BRCA, 100)
+    print(f"  2x2 on ACC : utilization {bad.utilization.min():.2f} .. "
+          f"{bad.utilization.max():.2f} "
+          f"(memory->compute transition at GPU #{bad.memory_to_compute_transition()})")
+    print(f"  3x1 on BRCA: utilization {good.utilization.min():.2f} .. "
+          f"{good.utilization.max():.2f} (flat)")
+
+    print("\n=== communication overhead at 1000 nodes (paper Fig. 8) ===")
+    job = model.run(BRCA, 1000)
+    comm_frac = job.rank_comm_s.sum() / (
+        job.rank_comm_s.sum() + job.rank_compute_s.sum()
+    )
+    print(f"  mean rank compute {job.rank_compute_s.mean():8.1f} s")
+    print(f"  mean rank comm    {job.rank_comm_s.mean():8.2f} s "
+          f"({comm_frac * 100:.1f}% — hidden under the slowest rank)")
+    print(f"  predicted job time {job.total_s:.0f} s")
+
+
+if __name__ == "__main__":
+    main()

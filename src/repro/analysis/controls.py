@@ -1,0 +1,96 @@
+"""Statistical controls: permutation significance of found combinations.
+
+A greedy search over ``C(G, h)`` combinations *will* find something even
+in pure noise (multiple-testing at astronomical scale — the passenger
+problem of Fig. 10 in statistical form).  The standard control is a
+label-permutation test: shuffle tumor/normal labels, rerun the search,
+and compare the real best F against the null distribution of best-F
+values.  A planted driver survives the control; a passenger combination
+does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bitmatrix.matrix import BitMatrix
+from repro.core.engine import SingleGpuEngine
+from repro.core.fscore import FScoreParams
+from repro.scheduling.schemes import scheme_for
+
+__all__ = ["PermutationTest", "permutation_test_best_f"]
+
+
+@dataclass(frozen=True)
+class PermutationTest:
+    """Null distribution of best-F under label shuffling."""
+
+    observed_f: float
+    null_f: np.ndarray
+    n_permutations: int
+
+    @property
+    def p_value(self) -> float:
+        """Upper-tail p with the +1 correction (never exactly zero)."""
+        exceed = int((self.null_f >= self.observed_f).sum())
+        return (exceed + 1) / (self.n_permutations + 1)
+
+    @property
+    def z_score(self) -> float:
+        sd = float(self.null_f.std())
+        if sd == 0:
+            return 0.0
+        return (self.observed_f - float(self.null_f.mean())) / sd
+
+    @property
+    def significant(self) -> bool:
+        return self.p_value < 0.05
+
+
+def _best_f(
+    tumor_dense: np.ndarray, normal_dense: np.ndarray, hits: int
+) -> float:
+    tumor = BitMatrix.from_dense(tumor_dense)
+    normal = BitMatrix.from_dense(normal_dense)
+    params = FScoreParams(
+        n_tumor=tumor.n_samples, n_normal=max(normal.n_samples, 1)
+    )
+    engine = SingleGpuEngine(scheme=scheme_for(hits, hits - 1))
+    best = engine.best_combo(tumor, normal, params)
+    return best.f if best is not None else 0.0
+
+
+def permutation_test_best_f(
+    tumor_dense: np.ndarray,
+    normal_dense: np.ndarray,
+    hits: int = 2,
+    n_permutations: int = 50,
+    seed: int = 0,
+) -> PermutationTest:
+    """Label-permutation significance of the best combination's F.
+
+    Pools all samples, redraws tumor/normal labels uniformly at random
+    ``n_permutations`` times, re-running the (first-iteration) search on
+    each shuffle.  Exhaustive searches make this expensive; keep instance
+    sizes laptop-small.
+    """
+    tumor_dense = np.asarray(tumor_dense, dtype=bool)
+    normal_dense = np.asarray(normal_dense, dtype=bool)
+    if tumor_dense.shape[0] != normal_dense.shape[0]:
+        raise ValueError("matrices must share the gene axis")
+    nt = tumor_dense.shape[1]
+    pooled = np.concatenate([tumor_dense, normal_dense], axis=1)
+    n_total = pooled.shape[1]
+
+    observed = _best_f(tumor_dense, normal_dense, hits)
+    rng = np.random.default_rng(seed)
+    null = np.empty(n_permutations)
+    for i in range(n_permutations):
+        perm = rng.permutation(n_total)
+        t_idx, n_idx = perm[:nt], perm[nt:]
+        null[i] = _best_f(pooled[:, t_idx], pooled[:, n_idx], hits)
+    return PermutationTest(
+        observed_f=observed, null_f=null, n_permutations=n_permutations
+    )

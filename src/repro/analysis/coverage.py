@@ -1,0 +1,112 @@
+"""Greedy set-cover quality analysis.
+
+The multi-hit algorithm is a greedy approximation to weighted set cover,
+which carries the classical H(n) = ln(n) + 1 approximation guarantee on
+cover size.  These helpers extract the per-iteration coverage curve from
+a solver run, compare the greedy cover size against the theoretical
+bound and a counting lower bound, and summarize how front-loaded the
+cover is (the paper's BitSplicing benefit depends on early iterations
+covering most samples).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.solver import MultiHitResult
+
+__all__ = ["CoverageCurve", "coverage_curve", "greedy_bound", "cover_quality"]
+
+
+@dataclass(frozen=True)
+class CoverageCurve:
+    """Cumulative tumor-sample coverage after each greedy iteration."""
+
+    covered_after: tuple[int, ...]
+    n_tumor: int
+
+    @property
+    def n_iterations(self) -> int:
+        return len(self.covered_after)
+
+    @property
+    def fractions(self) -> np.ndarray:
+        return np.asarray(self.covered_after, dtype=np.float64) / self.n_tumor
+
+    def iterations_to_cover(self, fraction: float) -> "int | None":
+        """First iteration reaching ``fraction`` coverage (1-based)."""
+        if not 0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        target = fraction * self.n_tumor
+        for i, c in enumerate(self.covered_after, start=1):
+            if c >= target:
+                return i
+        return None
+
+    @property
+    def front_loading(self) -> float:
+        """Fraction of final coverage achieved in the first half of iterations.
+
+        Near 1.0 means early combinations do most of the covering — the
+        regime where BitSplicing pays off fastest.
+        """
+        if not self.covered_after:
+            return 0.0
+        half = max(1, self.n_iterations // 2)
+        final = self.covered_after[-1]
+        return self.covered_after[half - 1] / final if final else 0.0
+
+
+def coverage_curve(result: MultiHitResult) -> CoverageCurve:
+    """Extract the cumulative coverage curve from a solver run."""
+    covered = 0
+    out = []
+    for rec in result.iterations:
+        covered += rec.newly_covered
+        out.append(covered)
+    return CoverageCurve(covered_after=tuple(out), n_tumor=result.params.n_tumor)
+
+
+def greedy_bound(n_covered: int) -> float:
+    """Classical greedy set-cover factor ``H(n) <= ln(n) + 1``."""
+    if n_covered < 1:
+        return 1.0
+    return math.log(n_covered) + 1.0
+
+
+@dataclass(frozen=True)
+class CoverQuality:
+    """Greedy cover size against its theoretical bracket."""
+
+    cover_size: int
+    lower_bound: int
+    upper_bound: float
+
+    @property
+    def within_guarantee(self) -> bool:
+        return self.lower_bound <= self.cover_size <= self.upper_bound
+
+
+def cover_quality(result: MultiHitResult) -> CoverQuality:
+    """Bracket the greedy cover size.
+
+    * lower bound — a counting argument: no combination covered more
+      samples than the first one (greedy picks max TP first), so at least
+      ``ceil(covered / max_tp)`` combinations are needed;
+    * upper bound — optimal size x ``H(n)``; with the lower bound as the
+      optimal-size proxy this gives ``lower * (ln(n) + 1)``.
+    """
+    covered = result.params.n_tumor - result.uncovered
+    if not result.combinations or covered == 0:
+        return CoverQuality(cover_size=len(result.combinations), lower_bound=0, upper_bound=0.0)
+    max_tp = max(c.tp for c in result.combinations)
+    lower = math.ceil(covered / max(max_tp, 1))
+    upper = lower * greedy_bound(covered)
+    return CoverQuality(
+        cover_size=len(result.combinations),
+        lower_bound=lower,
+        upper_bound=upper,
+    )

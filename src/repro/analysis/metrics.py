@@ -1,0 +1,77 @@
+"""Classifier accuracy metrics with 95% confidence intervals.
+
+Sensitivity = TP / (TP + FN) on tumor samples; specificity = TN /
+(TN + FP) on normal samples.  Intervals use the Wilson score method,
+the standard choice for binomial proportions at the small sample sizes
+of the per-cancer test splits (Fig. 9 error bars).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["wilson_interval", "sensitivity_specificity", "ClassifierPerformance"]
+
+_Z95 = 1.959963984540054  # two-sided 95% normal quantile
+
+
+def wilson_interval(successes: int, trials: int, z: float = _Z95) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes out of range")
+    p = successes / trials
+    denom = 1 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    half = (z / denom) * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+    return max(0.0, center - half), min(1.0, center + half)
+
+
+@dataclass(frozen=True)
+class ClassifierPerformance:
+    """One cancer type's row in Fig. 9."""
+
+    name: str
+    sensitivity: float
+    sensitivity_ci: tuple[float, float]
+    specificity: float
+    specificity_ci: tuple[float, float]
+    n_tumor: int
+    n_normal: int
+
+    def describe(self) -> str:
+        s_lo, s_hi = self.sensitivity_ci
+        p_lo, p_hi = self.specificity_ci
+        return (
+            f"{self.name}: sens={self.sensitivity:.2f} [{s_lo:.2f},{s_hi:.2f}] "
+            f"spec={self.specificity:.2f} [{p_lo:.2f},{p_hi:.2f}] "
+            f"(n={self.n_tumor}/{self.n_normal})"
+        )
+
+
+def sensitivity_specificity(
+    tumor_pred: np.ndarray,
+    normal_pred: np.ndarray,
+    name: str = "",
+) -> ClassifierPerformance:
+    """Score predictions (True = tumor) on labeled tumor / normal sets."""
+    tumor_pred = np.asarray(tumor_pred, dtype=bool)
+    normal_pred = np.asarray(normal_pred, dtype=bool)
+    tp = int(tumor_pred.sum())
+    tn = int((~normal_pred).sum())
+    nt, nn = tumor_pred.size, normal_pred.size
+    if nt == 0 or nn == 0:
+        raise ValueError("need at least one tumor and one normal sample")
+    return ClassifierPerformance(
+        name=name,
+        sensitivity=tp / nt,
+        sensitivity_ci=wilson_interval(tp, nt),
+        specificity=tn / nn,
+        specificity_ci=wilson_interval(tn, nn),
+        n_tumor=nt,
+        n_normal=nn,
+    )

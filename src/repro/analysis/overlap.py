@@ -1,0 +1,82 @@
+"""Cross-combination and cross-cancer gene analysis.
+
+The paper's Discussion inspects which genes recur in the identified
+combinations (IDH1 appearing as a known driver, MUC6 as a recurring
+passenger).  These helpers quantify that structure: per-gene recurrence
+across a result's combinations, overlap between results from different
+cancer types, and a driver-likelihood ranking that contrasts a gene's
+tumor-combination recurrence against its background mutation frequency.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["gene_recurrence", "combination_jaccard", "GeneRanking", "rank_genes"]
+
+
+def gene_recurrence(gene_sets: Sequence[Sequence[int]]) -> Counter:
+    """How many combinations each gene appears in."""
+    counter: Counter = Counter()
+    for combo in gene_sets:
+        counter.update(set(combo))
+    return counter
+
+
+def combination_jaccard(
+    a: Sequence[Sequence[int]], b: Sequence[Sequence[int]]
+) -> float:
+    """Jaccard similarity of the gene universes of two result sets."""
+    ga = {g for combo in a for g in combo}
+    gb = {g for combo in b for g in combo}
+    if not ga and not gb:
+        return 1.0
+    return len(ga & gb) / len(ga | gb)
+
+
+@dataclass(frozen=True)
+class GeneRanking:
+    """One gene's driver-likelihood evidence."""
+
+    gene: int
+    recurrence: int  # combinations containing it
+    tumor_frequency: float
+    normal_frequency: float
+
+    @property
+    def enrichment(self) -> float:
+        """Tumor/normal mutation-frequency ratio (passengers sit near 1)."""
+        return self.tumor_frequency / max(self.normal_frequency, 1e-9)
+
+
+def rank_genes(
+    gene_sets: Sequence[Sequence[int]],
+    tumor_dense: np.ndarray,
+    normal_dense: np.ndarray,
+) -> list[GeneRanking]:
+    """Rank a result's genes by (recurrence, enrichment), best first.
+
+    High recurrence + high tumor/normal enrichment is the IDH1 signature;
+    high recurrence with enrichment near 1 is the MUC6 (passenger)
+    signature the paper warns about.
+    """
+    tumor_dense = np.asarray(tumor_dense, dtype=bool)
+    normal_dense = np.asarray(normal_dense, dtype=bool)
+    recurrence = gene_recurrence(gene_sets)
+    t_freq = tumor_dense.mean(axis=1)
+    n_freq = normal_dense.mean(axis=1)
+    rankings = [
+        GeneRanking(
+            gene=g,
+            recurrence=count,
+            tumor_frequency=float(t_freq[g]),
+            normal_frequency=float(n_freq[g]),
+        )
+        for g, count in recurrence.items()
+    ]
+    rankings.sort(key=lambda r: (-r.recurrence, -r.enrichment, r.gene))
+    return rankings

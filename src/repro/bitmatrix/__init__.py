@@ -1,0 +1,22 @@
+"""Compressed binary gene-sample matrices.
+
+The input to the multi-hit algorithm is a pair of binary matrices
+(tumor and normal) with one row per gene and one column per sample;
+entry ``(g, s)`` is 1 iff sample ``s`` carries a mutation in gene ``g``.
+Following the single-GPU paper (Al Hajri et al. 2020), 64 sample columns
+are packed into one ``uint64`` word, so scoring a gene combination is a
+row-wise bitwise AND followed by a popcount — a 32x memory reduction and
+a  ~64x reduction in arithmetic operations versus byte-per-sample.
+"""
+
+from repro.bitmatrix.packing import pack_bool_matrix, unpack_bool_matrix, words_for
+from repro.bitmatrix.matrix import BitMatrix
+from repro.bitmatrix.splicing import splice_columns
+
+__all__ = [
+    "BitMatrix",
+    "pack_bool_matrix",
+    "unpack_bool_matrix",
+    "words_for",
+    "splice_columns",
+]

@@ -1,0 +1,55 @@
+"""Bit-packing of boolean sample columns into uint64 words.
+
+Sample ``s`` lives in word ``s // 64`` at bit ``s % 64`` (LSB-first), the
+same layout the CUDA implementation uses for its
+``unsigned long long int`` representation.  Tail bits past the last
+sample are always zero — an invariant the popcount kernels rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["words_for", "pack_bool_matrix", "unpack_bool_matrix"]
+
+WORD_BITS = 64
+
+
+def words_for(n_samples: int) -> int:
+    """Number of uint64 words needed for ``n_samples`` columns."""
+    if n_samples < 0:
+        raise ValueError("n_samples must be non-negative")
+    return (n_samples + WORD_BITS - 1) // WORD_BITS
+
+
+def pack_bool_matrix(dense: np.ndarray) -> np.ndarray:
+    """Pack a boolean ``(genes, samples)`` matrix into ``(genes, words)`` uint64.
+
+    Accepts any integer/bool dtype; nonzero means mutated.
+    """
+    dense = np.asarray(dense)
+    if dense.ndim != 2:
+        raise ValueError(f"expected 2-D matrix, got shape {dense.shape}")
+    g, s = dense.shape
+    w = words_for(s)
+    padded = np.zeros((g, w * WORD_BITS), dtype=np.uint8)
+    padded[:, :s] = dense.astype(bool)
+    # LSB-first within each byte, little-endian bytes within each word ==
+    # bit s of word s//64 holds sample s.
+    packed_bytes = np.packbits(padded, axis=1, bitorder="little")
+    return packed_bytes.view("<u8").reshape(g, w)
+
+
+def unpack_bool_matrix(words: np.ndarray, n_samples: int) -> np.ndarray:
+    """Inverse of :func:`pack_bool_matrix`; returns a bool matrix."""
+    words = np.asarray(words, dtype=np.uint64)
+    if words.ndim != 2:
+        raise ValueError(f"expected 2-D word matrix, got shape {words.shape}")
+    g, w = words.shape
+    if n_samples > w * WORD_BITS:
+        raise ValueError(
+            f"n_samples={n_samples} exceeds capacity {w * WORD_BITS} of {w} words"
+        )
+    as_bytes = words.astype("<u8", copy=False).view(np.uint8).reshape(g, w * 8)
+    bits = np.unpackbits(as_bytes, axis=1, bitorder="little")
+    return bits[:, :n_samples].astype(bool)

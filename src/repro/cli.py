@@ -1,0 +1,281 @@
+"""Command-line interface.
+
+Subcommands::
+
+    multihit solve       # run the greedy solver on a synthetic cohort
+    multihit experiment  # regenerate a paper table/figure (fig2..fig10, ...)
+    multihit catalog     # list the cancer-type catalog
+    multihit schedule    # inspect ED/EA schedules for a configuration
+
+Run ``multihit <subcommand> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="multihit",
+        description="Multi-hit carcinogenic gene-combination discovery (IPDPS'21 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_solve = sub.add_parser("solve", help="solve a synthetic cohort")
+    p_solve.add_argument("--dataset", type=str, default=None,
+                         help="named dataset from the registry (overrides --genes/...)")
+    p_solve.add_argument("--genes", type=int, default=40)
+    p_solve.add_argument("--tumor", type=int, default=120)
+    p_solve.add_argument("--normal", type=int, default=120)
+    p_solve.add_argument("--hits", type=int, default=3)
+    p_solve.add_argument("--seed", type=int, default=0)
+    p_solve.add_argument(
+        "--backend", choices=["single", "distributed", "sequential"], default="single"
+    )
+    p_solve.add_argument("--nodes", type=int, default=2, help="distributed backend only")
+    p_solve.add_argument("--output", type=str, default=None, help="save result JSON")
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p_exp.add_argument("name", help="experiment id ('list' to enumerate, 'all' to run every one)")
+    p_exp.add_argument("--output", type=str, default=None, help="write the report to a file")
+
+    sub.add_parser("catalog", help="list the 31-cancer catalog")
+
+    p_sched = sub.add_parser("schedule", help="inspect a schedule")
+    p_sched.add_argument("--genes", type=int, default=100)
+    p_sched.add_argument("--gpus", type=int, default=12)
+    p_sched.add_argument("--scheme", choices=["2x2", "3x1"], default="3x1")
+    p_sched.add_argument(
+        "--policy",
+        choices=["equiarea", "equidistance", "costaware", "interleaved"],
+        default="equiarea",
+    )
+
+    p_ds = sub.add_parser("dataset", help="generate / inspect cohort archives")
+    ds_sub = p_ds.add_subparsers(dest="dataset_command", required=True)
+    p_gen = ds_sub.add_parser("generate", help="generate a cohort .npz")
+    p_gen.add_argument("path")
+    p_gen.add_argument("--cancer", type=str, default=None, help="catalog abbreviation")
+    p_gen.add_argument("--genes", type=int, default=48)
+    p_gen.add_argument("--tumor", type=int, default=120)
+    p_gen.add_argument("--normal", type=int, default=120)
+    p_gen.add_argument("--hits", type=int, default=3)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_info = ds_sub.add_parser("info", help="describe a cohort .npz")
+    p_info.add_argument("path")
+
+    p_roof = sub.add_parser("roofline", help="roofline placement of kernel configs")
+    p_roof.add_argument("--words", type=int, default=31, help="packed width (tumor+normal)")
+    return parser
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.core.solver import MultiHitSolver
+    from repro.data.synthesis import CohortConfig, generate_cohort
+
+    if args.dataset:
+        from repro.data.registry import dataset
+
+        cohort = dataset(args.dataset)
+        hits = cohort.config.hits
+    else:
+        cohort = generate_cohort(
+            CohortConfig(
+                n_genes=args.genes,
+                n_tumor=args.tumor,
+                n_normal=args.normal,
+                hits=args.hits,
+                seed=args.seed,
+            )
+        )
+        hits = args.hits
+    solver = MultiHitSolver(hits=hits, backend=args.backend, n_nodes=args.nodes)
+    result = solver.solve(cohort.tumor.values, cohort.normal.values)
+    print(
+        f"solved {cohort.tumor.n_genes} genes / "
+        f"{cohort.tumor.n_samples}+{cohort.normal.n_samples} samples: "
+        f"{len(result.combinations)} combinations, coverage {result.coverage:.1%}"
+    )
+    planted = set(cohort.planted)
+    for c in result.combinations:
+        names = ",".join(cohort.tumor.gene_names[g] for g in c.genes)
+        mark = " [planted]" if c.genes in planted else ""
+        print(f"  F={c.f:.4f} TP={c.tp:4d} TN={c.tn:4d}  {names}{mark}")
+    if args.output:
+        from repro.io.results import save_result
+
+        save_result(result, args.output)
+        print(f"result written to {args.output}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import EXPERIMENTS
+
+    if args.name == "list":
+        for name, mod in EXPERIMENTS.items():
+            doc = (mod.__doc__ or "").strip().splitlines()[0]
+            print(f"  {name:18s} {doc}")
+        return 0
+    if args.name == "all":
+        from repro.experiments.runner import compose_report, run_all
+
+        outcomes = run_all()
+        text = compose_report(outcomes)
+        if args.output:
+            from pathlib import Path
+
+            Path(args.output).write_text(text + "\n")
+            print(f"report written to {args.output} "
+                  f"({sum(o.ok for o in outcomes)}/{len(outcomes)} ok)")
+        else:
+            print(text)
+        return 0 if all(o.ok for o in outcomes) else 1
+    if args.name not in EXPERIMENTS:
+        print(
+            f"unknown experiment {args.name!r}; run 'multihit experiment list'",
+            file=sys.stderr,
+        )
+        return 2
+    mod = EXPERIMENTS[args.name]
+    text = mod.report(mod.run())
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text + "\n")
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_catalog(_: argparse.Namespace) -> int:
+    from repro.data.cancers import CANCER_CATALOG
+
+    print("abbrev | tumor | normal |  genes | est. hits")
+    for c in CANCER_CATALOG.values():
+        print(
+            f"{c.abbrev:6s} | {c.n_tumor:5d} | {c.n_normal:6d} | {c.n_genes:6d} | "
+            f"{c.estimated_hits}{' (4+)' if c.four_hit else ''}"
+        )
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    from repro.scheduling import (
+        SCHEME_2X2,
+        SCHEME_3X1,
+        costaware_schedule,
+        equiarea_schedule,
+        equidistance_schedule,
+        interleaved_schedule,
+    )
+
+    scheme = SCHEME_3X1 if args.scheme == "3x1" else SCHEME_2X2
+    if args.policy == "interleaved":
+        il = interleaved_schedule(scheme, args.genes, args.gpus)
+        work = il.work_per_part()
+        print(
+            f"Schedule[interleaved] scheme={scheme.name} G={args.genes} "
+            f"parts={il.n_parts} blocks={il.n_blocks} "
+            f"imbalance={il.imbalance():.4f}"
+        )
+        for p in range(il.n_parts):
+            ranges = il.ranges(p)
+            print(f"  gpu {p:3d}: {len(ranges)} blocks  work {work[p]}")
+        return 0
+    build = {
+        "equiarea": equiarea_schedule,
+        "equidistance": equidistance_schedule,
+        "costaware": costaware_schedule,
+    }[args.policy]
+    schedule = build(scheme, args.genes, args.gpus)
+    print(schedule.describe())
+    work = schedule.work_per_part()
+    for p in range(schedule.n_parts):
+        lo, hi = schedule.thread_range(p)
+        print(f"  gpu {p:3d}: threads [{lo}, {hi})  work {work[p]}")
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    from repro.data import (
+        CohortConfig,
+        cancer,
+        generate_cohort,
+        load_cohort,
+        save_cohort,
+    )
+
+    if args.dataset_command == "generate":
+        if args.cancer:
+            cohort = generate_cohort(
+                cancer=cancer(args.cancer),
+                n_genes=args.genes,
+                hits=args.hits,
+                seed=args.seed,
+            )
+        else:
+            cohort = generate_cohort(
+                CohortConfig(
+                    n_genes=args.genes,
+                    n_tumor=args.tumor,
+                    n_normal=args.normal,
+                    hits=args.hits,
+                    seed=args.seed,
+                )
+            )
+        save_cohort(cohort, args.path)
+        print(
+            f"wrote {args.path}: {cohort.tumor.n_genes} genes, "
+            f"{cohort.tumor.n_samples}+{cohort.normal.n_samples} samples, "
+            f"{len(cohort.planted)} planted {cohort.config.hits}-hit combos"
+        )
+        return 0
+    cohort = load_cohort(args.path)
+    print(
+        f"{args.path}: {cohort.tumor.n_genes} genes, "
+        f"{cohort.tumor.n_samples} tumor / {cohort.normal.n_samples} normal samples"
+    )
+    print(f"  config: {cohort.config}")
+    print(f"  planted: {cohort.planted_names}")
+    return 0
+
+
+def _cmd_roofline(args: argparse.Namespace) -> int:
+    from repro.core.memopt import MemoryConfig
+    from repro.perfmodel.roofline import operating_point, ridge_intensity
+    from repro.scheduling.schemes import SCHEME_2X2, SCHEME_3X1
+
+    print(f"V100 ridge intensity: {ridge_intensity():.2f} ops/byte")
+    print("configuration                          | ops/combo | B/combo | intensity | bound")
+    for scheme in (SCHEME_3X1, SCHEME_2X2):
+        for mem in (MemoryConfig(False, False, False), MemoryConfig()):
+            p = operating_point(scheme, args.words, memory=mem)
+            bound = "compute" if p.compute_bound else "memory"
+            print(
+                f"{p.label:38s} | {p.ops_per_combo:9.0f} | "
+                f"{p.dram_bytes_per_combo:7.2f} | {p.intensity:9.1f} | {bound}"
+            )
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "solve": _cmd_solve,
+        "experiment": _cmd_experiment,
+        "catalog": _cmd_catalog,
+        "schedule": _cmd_schedule,
+        "dataset": _cmd_dataset,
+        "roofline": _cmd_roofline,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,38 @@
+"""Simulated Summit substrate: nodes, MPI-like communication, virtual time.
+
+The paper runs one MPI process per Summit node (2 Power9 CPUs + 6 V100
+GPUs).  This package substitutes:
+
+* :class:`SimCommWorld` / :class:`SimComm` — a thread-backed, in-process
+  MPI-like communicator (send/recv/bcast/gather/reduce/allreduce/barrier)
+  with deterministic collective semantics, used to run the *functional*
+  distributed solver as a real SPMD program;
+* :class:`VirtualCluster` — a deterministic virtual-time engine with a
+  latency/bandwidth network model, used to reproduce the paper's timing
+  figures at full 1000-node scale without hardware.
+"""
+
+from repro.cluster.node import SummitNodeSpec, SUMMIT_NODE
+from repro.cluster.comm import SimComm, SimCommWorld
+from repro.cluster.runtime import SPMDRunner
+from repro.cluster.network import NetworkModel, SUMMIT_NETWORK
+from repro.cluster.virtual import RankTimeline, VirtualCluster
+from repro.cluster.mpi_program import rank_program, spmd_best_combo
+from repro.cluster.trace import ClusterTrace, TraceEvent, TracingCluster
+
+__all__ = [
+    "ClusterTrace",
+    "TraceEvent",
+    "TracingCluster",
+    "rank_program",
+    "spmd_best_combo",
+    "SummitNodeSpec",
+    "SUMMIT_NODE",
+    "SimComm",
+    "SimCommWorld",
+    "SPMDRunner",
+    "NetworkModel",
+    "SUMMIT_NETWORK",
+    "VirtualCluster",
+    "RankTimeline",
+]

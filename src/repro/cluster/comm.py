@@ -1,0 +1,140 @@
+"""Thread-backed MPI-like communicator.
+
+Implements the subset of MPI semantics the distributed solver uses —
+point-to-point send/recv with tags plus the deterministic collectives
+(bcast, gather, scatter, reduce, allreduce, barrier).  Collectives are
+built on point-to-point in strict rank order, so reduction results are
+bitwise deterministic regardless of thread scheduling.
+
+This is the functional stand-in for mpi4py on a machine with no MPI; the
+API mirrors mpi4py's lowercase (pickle-object) methods so the rank
+functions would port to real MPI by swapping the communicator object.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable
+
+__all__ = ["SimCommWorld", "SimComm"]
+
+_DEFAULT_TAG = 0
+
+
+class SimCommWorld:
+    """Shared mailbox fabric for ``n_ranks`` simulated processes.
+
+    ``recv_timeout_s`` bounds every blocking receive so a rank orphaned
+    by a peer's failure surfaces an error instead of deadlocking.
+    """
+
+    def __init__(self, n_ranks: int, recv_timeout_s: float = 60.0):
+        if n_ranks < 1:
+            raise ValueError("need at least one rank")
+        self.n_ranks = n_ranks
+        self.recv_timeout_s = recv_timeout_s
+        self._boxes: dict[tuple[int, int, int], queue.Queue] = {}
+        self._lock = threading.Lock()
+        self._barrier = threading.Barrier(n_ranks)
+        self.bytes_sent = 0
+
+    def _box(self, src: int, dst: int, tag: int) -> queue.Queue:
+        key = (src, dst, tag)
+        with self._lock:
+            box = self._boxes.get(key)
+            if box is None:
+                box = self._boxes[key] = queue.Queue()
+            return box
+
+    def comm(self, rank: int) -> "SimComm":
+        return SimComm(self, rank)
+
+
+class SimComm:
+    """Per-rank communicator handle."""
+
+    def __init__(self, world: SimCommWorld, rank: int):
+        if not 0 <= rank < world.n_ranks:
+            raise ValueError(f"rank {rank} out of range")
+        self.world = world
+        self.rank = rank
+
+    # -- mpi4py-style introspection ------------------------------------
+
+    def Get_rank(self) -> int:
+        return self.rank
+
+    def Get_size(self) -> int:
+        return self.world.n_ranks
+
+    @property
+    def size(self) -> int:
+        return self.world.n_ranks
+
+    # -- point to point --------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = _DEFAULT_TAG) -> None:
+        if not 0 <= dest < self.world.n_ranks:
+            raise ValueError(f"dest {dest} out of range")
+        self.world._box(self.rank, dest, tag).put(obj)
+
+    def recv(self, source: int, tag: int = _DEFAULT_TAG, timeout: "float | None" = None) -> Any:
+        """Blocking receive; a timeout guards against deadlocked tests."""
+        if timeout is None:
+            timeout = self.world.recv_timeout_s
+        return self.world._box(source, self.rank, tag).get(timeout=timeout)
+
+    # -- collectives ------------------------------------------------------
+
+    def barrier(self) -> None:
+        self.world._barrier.wait()
+
+    def bcast(self, obj: Any, root: int = 0, tag: int = _DEFAULT_TAG) -> Any:
+        if self.rank == root:
+            for dst in range(self.world.n_ranks):
+                if dst != root:
+                    self.send(obj, dst, tag)
+            return obj
+        return self.recv(root, tag)
+
+    def gather(self, obj: Any, root: int = 0, tag: int = _DEFAULT_TAG) -> "list[Any] | None":
+        if self.rank == root:
+            out = []
+            for src in range(self.world.n_ranks):
+                out.append(obj if src == root else self.recv(src, tag))
+            return out
+        self.send(obj, root, tag)
+        return None
+
+    def scatter(self, objs: "list[Any] | None", root: int = 0, tag: int = _DEFAULT_TAG) -> Any:
+        if self.rank == root:
+            if objs is None or len(objs) != self.world.n_ranks:
+                raise ValueError("root must pass one object per rank")
+            for dst in range(self.world.n_ranks):
+                if dst != root:
+                    self.send(objs[dst], dst, tag)
+            return objs[root]
+        return self.recv(root, tag)
+
+    def reduce(
+        self,
+        obj: Any,
+        op: Callable[[Any, Any], Any],
+        root: int = 0,
+        tag: int = _DEFAULT_TAG,
+    ) -> Any:
+        """Deterministic reduce: root folds contributions in rank order."""
+        values = self.gather(obj, root, tag)
+        if self.rank != root:
+            return None
+        acc = values[0]
+        for v in values[1:]:
+            acc = op(acc, v)
+        return acc
+
+    def allreduce(
+        self, obj: Any, op: Callable[[Any, Any], Any], tag: int = _DEFAULT_TAG
+    ) -> Any:
+        result = self.reduce(obj, op, root=0, tag=tag)
+        return self.bcast(result, root=0, tag=tag + 1)

@@ -1,0 +1,61 @@
+"""The MPI rank program: the paper's per-node code path under SimComm.
+
+Each rank searches its six GPU partitions (kernel + on-rank reduction),
+then participates in a deterministic reduce of the single 20-byte
+candidate to rank 0, which broadcasts the winner back — exactly the
+communication structure of Section III-E.  Runs under the thread-backed
+:class:`SimComm`; swapping in mpi4py's communicator would port it to a
+real cluster unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.bitmatrix.matrix import BitMatrix
+from repro.cluster.comm import SimComm
+from repro.cluster.runtime import SPMDRunner
+from repro.core.combination import MultiHitCombination, better
+from repro.core.distributed import rank_best_combo
+from repro.core.fscore import FScoreParams
+from repro.scheduling.schedule import Schedule
+
+__all__ = ["rank_program", "spmd_best_combo"]
+
+
+def rank_program(
+    comm: SimComm,
+    schedule: Schedule,
+    gpus_per_rank: int,
+    tumor: BitMatrix,
+    normal: BitMatrix,
+    params: FScoreParams,
+) -> "MultiHitCombination | None":
+    """One MPI rank's greedy-iteration body; every rank returns the winner."""
+    local = rank_best_combo(
+        schedule, comm.Get_rank(), gpus_per_rank, tumor, normal, params
+    )
+    winner = comm.reduce(local, op=better, root=0)
+    return comm.bcast(winner, root=0)
+
+
+def spmd_best_combo(
+    n_ranks: int,
+    schedule: Schedule,
+    tumor: BitMatrix,
+    normal: BitMatrix,
+    params: FScoreParams,
+    gpus_per_rank: int = 6,
+) -> "MultiHitCombination | None":
+    """Run one distributed arg-max as a real SPMD program on ``n_ranks``.
+
+    All ranks must agree on the winner (asserted); returns it.
+    """
+    results = SPMDRunner(n_ranks).run(
+        rank_program, schedule, gpus_per_rank, tumor, normal, params
+    )
+    first = results[0]
+    for r in results[1:]:
+        if (r is None) != (first is None) or (
+            r is not None and (r.genes != first.genes or r.f != first.f)
+        ):
+            raise AssertionError(f"ranks disagree on the winner: {first} vs {r}")
+    return first

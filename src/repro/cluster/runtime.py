@@ -1,0 +1,54 @@
+"""SPMD runner: execute a rank function on N simulated ranks.
+
+Each rank runs on its own thread with its own :class:`SimComm` handle, so
+blocking MPI semantics (recv before matching send, barriers) behave as on
+a real cluster.  Exceptions on any rank abort the run and re-raise in the
+caller with the failing rank attached.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.cluster.comm import SimComm, SimCommWorld
+
+__all__ = ["SPMDRunner"]
+
+
+@dataclass
+class SPMDRunner:
+    """Runs ``fn(comm, *args, **kwargs)`` on every rank; returns all results."""
+
+    n_ranks: int
+    recv_timeout_s: float = 60.0
+
+    def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> list[Any]:
+        world = SimCommWorld(self.n_ranks, recv_timeout_s=self.recv_timeout_s)
+        results: list[Any] = [None] * self.n_ranks
+        errors: list[tuple[int, BaseException]] = []
+        lock = threading.Lock()
+
+        def worker(rank: int) -> None:
+            comm = SimComm(world, rank)
+            try:
+                results[rank] = fn(comm, *args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                with lock:
+                    errors.append((rank, exc))
+                # Release any ranks stuck in the barrier.
+                world._barrier.abort()
+
+        threads = [
+            threading.Thread(target=worker, args=(r,), name=f"simrank-{r}")
+            for r in range(self.n_ranks)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            rank, exc = errors[0]
+            raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
+        return results

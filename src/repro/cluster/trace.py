@@ -1,0 +1,142 @@
+"""Event tracing for virtual-cluster runs.
+
+Records (rank, phase, start, end) events as a job advances through
+compute / reduce / broadcast phases, producing the timeline that Fig. 8
+visualizes — and enabling critical-path analysis: which rank's compute
+bound each iteration, and how much time every other rank spent waiting
+on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.virtual import VirtualCluster
+
+__all__ = ["TraceEvent", "ClusterTrace", "TracingCluster"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One phase of one rank."""
+
+    rank: int
+    phase: str  # "compute" | "reduce" | "bcast"
+    iteration: int
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass
+class ClusterTrace:
+    """Accumulated events plus per-iteration critical-path summaries."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def for_rank(self, rank: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.rank == rank]
+
+    def for_phase(self, phase: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.phase == phase]
+
+    def critical_rank(self, iteration: int) -> "int | None":
+        """The straggler: the rank whose compute ended last."""
+        computes = [
+            e
+            for e in self.events
+            if e.phase == "compute" and e.iteration == iteration
+        ]
+        if not computes:
+            return None
+        return max(computes, key=lambda e: e.end_s).rank
+
+    def wait_time(self, iteration: int) -> float:
+        """Total rank-seconds spent waiting on the iteration's straggler."""
+        computes = [
+            e
+            for e in self.events
+            if e.phase == "compute" and e.iteration == iteration
+        ]
+        if not computes:
+            return 0.0
+        latest = max(e.end_s for e in computes)
+        return sum(latest - e.end_s for e in computes)
+
+    @property
+    def n_iterations(self) -> int:
+        its = {e.iteration for e in self.events}
+        return max(its) + 1 if its else 0
+
+
+class TracingCluster(VirtualCluster):
+    """A VirtualCluster that records a :class:`ClusterTrace`.
+
+    Drop-in replacement: same compute/reduce/bcast API, with an
+    ``iteration`` counter advanced by :meth:`next_iteration`.
+    """
+
+    def __init__(self, n_ranks: int, network=None):
+        if network is None:
+            super().__init__(n_ranks=n_ranks)
+        else:
+            super().__init__(n_ranks=n_ranks, network=network)
+        self.trace = ClusterTrace()
+        self._iteration = 0
+
+    def next_iteration(self) -> int:
+        self._iteration += 1
+        return self._iteration
+
+    @property
+    def iteration(self) -> int:
+        return self._iteration
+
+    def compute(self, durations: np.ndarray) -> None:
+        starts = self.clock.copy()
+        super().compute(durations)
+        for r in range(self.n_ranks):
+            self.trace.events.append(
+                TraceEvent(
+                    rank=r,
+                    phase="compute",
+                    iteration=self._iteration,
+                    start_s=float(starts[r]),
+                    end_s=float(self.clock[r]),
+                )
+            )
+
+    def reduce_to_root(self, n_bytes: int) -> float:
+        starts = self.clock.copy()
+        finish = super().reduce_to_root(n_bytes)
+        for r in range(self.n_ranks):
+            self.trace.events.append(
+                TraceEvent(
+                    rank=r,
+                    phase="reduce",
+                    iteration=self._iteration,
+                    start_s=float(starts[r]),
+                    end_s=finish,
+                )
+            )
+        return finish
+
+    def bcast_from_root(self, n_bytes: int) -> float:
+        starts = self.clock.copy()
+        finish = super().bcast_from_root(n_bytes)
+        for r in range(self.n_ranks):
+            self.trace.events.append(
+                TraceEvent(
+                    rank=r,
+                    phase="bcast",
+                    iteration=self._iteration,
+                    start_s=float(starts[r]),
+                    end_s=finish,
+                )
+            )
+        return finish

@@ -1,0 +1,102 @@
+"""Deterministic virtual-time cluster for paper-scale timing experiments.
+
+Rather than running 6000 GPU kernels, each rank carries a virtual clock;
+compute work advances a rank's clock by a model-provided duration, and a
+collective synchronizes clocks under the network cost model.  The
+per-rank split into *computation* and *communication* (= time spent
+waiting inside collectives, which is dominated by straggler skew) is the
+data behind Fig. 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.network import SUMMIT_NETWORK, NetworkModel
+
+__all__ = ["RankTimeline", "VirtualCluster"]
+
+
+@dataclass
+class RankTimeline:
+    """Accumulated virtual time of one rank, split by activity."""
+
+    compute_s: float = 0.0
+    comm_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return self.compute_s + self.comm_s
+
+
+@dataclass
+class VirtualCluster:
+    """Virtual clocks for ``n_ranks`` MPI processes."""
+
+    n_ranks: int
+    network: NetworkModel = field(default_factory=lambda: SUMMIT_NETWORK)
+
+    def __post_init__(self) -> None:
+        if self.n_ranks < 1:
+            raise ValueError("need at least one rank")
+        self.clock = np.zeros(self.n_ranks, dtype=np.float64)
+        self.timelines = [RankTimeline() for _ in range(self.n_ranks)]
+
+    # -- compute ---------------------------------------------------------
+
+    def compute(self, durations: np.ndarray) -> None:
+        """Advance every rank's clock by its own compute duration."""
+        durations = np.asarray(durations, dtype=np.float64)
+        if durations.shape != (self.n_ranks,):
+            raise ValueError(
+                f"expected {self.n_ranks} durations, got shape {durations.shape}"
+            )
+        if np.any(durations < 0):
+            raise ValueError("durations cannot be negative")
+        self.clock += durations
+        for r in range(self.n_ranks):
+            self.timelines[r].compute_s += float(durations[r])
+
+    def compute_rank(self, rank: int, duration: float) -> None:
+        self.clock[rank] += duration
+        self.timelines[rank].compute_s += duration
+
+    # -- communication -----------------------------------------------------
+
+    def reduce_to_root(self, n_bytes: int) -> float:
+        """Tree-reduce: all clocks sync to the straggler plus wire time.
+
+        Each rank's *communication* time is its wait for the straggler
+        plus the reduce itself — exactly the "message passing overhead is
+        hidden by the largest computation time" effect of Fig. 8.
+        Returns the post-reduce global clock.
+        """
+        wire = self.network.tree_reduce_time(self.n_ranks, n_bytes)
+        finish = float(self.clock.max()) + wire
+        for r in range(self.n_ranks):
+            self.timelines[r].comm_s += finish - float(self.clock[r])
+        self.clock[:] = finish
+        return finish
+
+    def bcast_from_root(self, n_bytes: int) -> float:
+        wire = self.network.bcast_time(self.n_ranks, n_bytes)
+        finish = float(self.clock.max()) + wire
+        for r in range(self.n_ranks):
+            self.timelines[r].comm_s += finish - float(self.clock[r])
+        self.clock[:] = finish
+        return finish
+
+    # -- results ------------------------------------------------------------
+
+    @property
+    def elapsed_s(self) -> float:
+        """Virtual wall-clock of the whole job so far."""
+        return float(self.clock.max())
+
+    def compute_times(self) -> np.ndarray:
+        return np.array([t.compute_s for t in self.timelines])
+
+    def comm_times(self) -> np.ndarray:
+        return np.array([t.comm_s for t in self.timelines])

@@ -1,0 +1,75 @@
+"""Generic combinatorial-number-system decoding for any order.
+
+The order-2/3 closed forms in :mod:`triangular` / :mod:`tetrahedral`
+mirror what each CUDA thread computes; this module provides the general
+``order``-dimensional decode (needed e.g. by the 4x1 scheme where a
+thread id encodes a full 4-combination) by peeling the top index one
+binomial at a time.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["top_index_array", "combos_from_linear"]
+
+
+def _falling_product(x: np.ndarray, order: int) -> np.ndarray:
+    """``x * (x-1) * ... * (x-order+1)`` with negatives clamped to zero."""
+    out = np.ones_like(x)
+    for r in range(order):
+        out = out * np.maximum(x - r, 0)
+    return out
+
+
+def top_index_array(lam: np.ndarray, order: int) -> np.ndarray:
+    """Largest ``m`` with ``C(m, order) <= lam`` for each entry (exact).
+
+    Float estimate ``C(m, order) ~ (m - (order-1)/2)**order / order!``
+    followed by exact int64 boundary repair.
+    """
+    if order < 1:
+        raise ValueError("order must be >= 1")
+    lam_i = np.asarray(lam, dtype=np.int64)
+    if np.any(lam_i < 0):
+        raise ValueError("lambda must be non-negative")
+    fact = math.factorial(order)
+    lf = lam_i.astype(np.float64)
+    m = np.floor((fact * lf) ** (1.0 / order) + (order - 1) / 2.0).astype(np.int64)
+    m = np.maximum(m, order - 1)
+
+    def c(x: np.ndarray) -> np.ndarray:
+        return _falling_product(x, order) // fact
+
+    while True:
+        over = c(m) > lam_i
+        if not over.any():
+            break
+        m = np.where(over, m - 1, m)
+    while True:
+        under = c(m + 1) <= lam_i
+        if not under.any():
+            break
+        m = np.where(under, m + 1, m)
+    return m
+
+
+def combos_from_linear(lam: np.ndarray, order: int) -> np.ndarray:
+    """Decode linear ids into strictly increasing ``order``-tuples.
+
+    Inverse of the combinatorial number system
+    ``lam = sum_r C(combo[r], r + 1)``.  Returns shape ``(len(lam), order)``
+    with columns sorted ascending.
+    """
+    lam_i = np.asarray(lam, dtype=np.int64)
+    out = np.empty((lam_i.size, order), dtype=np.int64)
+    rem = lam_i.copy()
+    fact = 1
+    for r in range(order, 0, -1):
+        m = top_index_array(rem, r)
+        out[:, r - 1] = m
+        fact = math.factorial(r)
+        rem = rem - _falling_product(m, r) // fact
+    return out

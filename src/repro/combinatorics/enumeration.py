@@ -1,0 +1,58 @@
+"""Block-wise enumeration of gene combinations for the kernel drivers.
+
+The vectorized engines process combinations in contiguous blocks of the
+linear thread id; this module turns ``[lambda_start, lambda_end)`` ranges
+into index arrays via the closed-form maps, which is exactly what happens
+on-device in the CUDA code.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.combinatorics.tetrahedral import (
+    tetrahedral_size,
+    triple_from_linear_array,
+)
+from repro.combinatorics.triangular import pair_from_linear_array, triangular_size
+
+__all__ = ["combinations_array", "iter_combination_blocks"]
+
+
+def combinations_array(order: int, lam_start: int, lam_end: int) -> np.ndarray:
+    """Decode linear ids ``[lam_start, lam_end)`` into index tuples.
+
+    ``order`` is 2 (pairs) or 3 (triples); the result has shape
+    ``(lam_end - lam_start, order)`` with strictly increasing rows.
+    """
+    if lam_end < lam_start:
+        raise ValueError("lam_end must be >= lam_start")
+    lam = np.arange(lam_start, lam_end, dtype=np.uint64)
+    if order == 2:
+        i, j = pair_from_linear_array(lam)
+        return np.stack([i, j], axis=1)
+    if order == 3:
+        i, j, k = triple_from_linear_array(lam)
+        return np.stack([i, j, k], axis=1)
+    raise ValueError(f"order must be 2 or 3, got {order}")
+
+
+def iter_combination_blocks(
+    order: int, g: int, block: int
+) -> Iterator[tuple[int, np.ndarray]]:
+    """Yield ``(lam_start, indices)`` blocks covering all ``C(g, order)`` ids.
+
+    Mirrors the grid-stride pattern of the CUDA kernels: a fixed block of
+    ``block`` linear ids is decoded and processed at a time.
+    """
+    if block <= 0:
+        raise ValueError("block must be positive")
+    total = triangular_size(g) if order == 2 else tetrahedral_size(g)
+    for start in itertools.count(0, block):
+        if start >= total:
+            return
+        end = min(start + block, total)
+        yield start, combinations_array(order, start, end)

@@ -1,0 +1,178 @@
+"""Linear index <-> upper-tetrahedral triple maps (Algorithm 3).
+
+Triples ``(i, j, k)`` with ``0 <= i < j < k < G`` are enumerated in the
+combinatorial number system order
+
+    lambda = C(k, 3) + C(j, 2) + i
+
+The 3x1 scheme launches ``C(G, 3)`` threads; each thread recovers its
+``(i, j, k)`` from ``lambda`` with a closed-form inverse derived from
+Cardano's formula for the tetrahedral-number cubic.  The paper evaluates
+the discriminant ``sqrt(729*lambda**2 - 3)`` without 128-bit arithmetic by
+factoring it through logarithms:
+
+    A = exp(0.5 * (log(3*lambda) + log(243*lambda - 1/lambda)))
+
+since ``3*lambda * (243*lambda - 1/lambda) = 729*lambda**2 - 3``.  Both the
+float closed form and an exact arbitrary-precision inverse are provided;
+the closed form carries an explicit integer boundary repair, which makes
+it exact wherever ``lambda`` is below the float64-exact threshold used by
+the repair arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "tetrahedral_size",
+    "linear_from_triple",
+    "triple_from_linear",
+    "triple_from_linear_array",
+    "triple_from_linear_closed_form",
+    "sqrt_729l2_minus_3_logexp",
+]
+
+_CBRT9 = 9.0 ** (1.0 / 3.0)
+_CBRT3 = 3.0 ** (1.0 / 3.0)
+
+
+def tetrahedral_size(g: int) -> int:
+    """Number of triples ``C(g, 3)`` — the thread-grid size of the 3x1 scheme."""
+    return math.comb(g, 3) if g >= 3 else 0
+
+
+def linear_from_triple(i: int, j: int, k: int) -> int:
+    """Forward map ``(i, j, k) -> lambda`` with ``i < j < k``."""
+    if not 0 <= i < j < k:
+        raise ValueError(f"require 0 <= i < j < k, got ({i}, {j}, {k})")
+    return k * (k - 1) * (k - 2) // 6 + j * (j - 1) // 2 + i
+
+
+def _c3(k: int) -> int:
+    return k * (k - 1) * (k - 2) // 6
+
+
+def triple_from_linear(lam: int) -> tuple[int, int, int]:
+    """Exact inverse ``lambda -> (i, j, k)`` via integer arithmetic.
+
+    Starts from a float cube-root estimate of the tetrahedral level and
+    repairs it exactly, so the result is correct for arbitrarily large
+    Python-int ``lambda``.
+    """
+    if lam < 0:
+        raise ValueError("lambda must be non-negative")
+    # Largest k with C(k,3) <= lam.  C(k,3) ~ (k-1)^3 / 6.
+    k = int(round((6.0 * float(lam)) ** (1.0 / 3.0))) + 1
+    while _c3(k) > lam:
+        k -= 1
+    while _c3(k + 1) <= lam:
+        k += 1
+    rem = lam - _c3(k)
+    # Largest j with C(j,2) <= rem.
+    j = (1 + math.isqrt(1 + 8 * rem)) // 2
+    while j * (j - 1) // 2 > rem:
+        j -= 1
+    while (j + 1) * j // 2 <= rem:
+        j += 1
+    i = rem - j * (j - 1) // 2
+    return i, j, k
+
+
+def sqrt_729l2_minus_3_logexp(lam: np.ndarray) -> np.ndarray:
+    """``sqrt(729*lambda**2 - 3)`` via the paper's log/exp factorization.
+
+    Directly squaring ``lambda`` (a 64-bit thread id) overflows 64-bit
+    integer arithmetic and loses precision in float64 once
+    ``729*lambda**2`` exceeds 2**53; the paper instead computes the product
+    under a logarithm where only ``O(lambda)``-magnitude intermediates
+    appear.  Requires ``lambda >= 1``.
+    """
+    lf = np.asarray(lam, dtype=np.float64)
+    if np.any(lf < 1.0):
+        raise ValueError("log/exp form requires lambda >= 1")
+    return np.exp(0.5 * (np.log(3.0 * lf) + np.log(243.0 * lf - 1.0 / lf)))
+
+
+def triple_from_linear_closed_form(
+    lam: np.ndarray, *, use_logexp: bool = True
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized Cardano closed-form inverse, as a GPU thread computes it.
+
+    Solves ``m**3 - m = 6*lambda`` (where ``m = k + 1`` for the largest
+    level ``k`` with ``C(k, 3) <= lambda``):
+
+        q = cbrt(27*lambda + sqrt(729*lambda**2 - 3))
+        m = q / 9**(1/3)  +  9**(1/3) / (3*q)
+
+    then recovers ``(i, j)`` from the triangular remainder.  An integer
+    boundary repair on the level makes the result exact up to the point
+    where the int64 level check would overflow (lambda ~ 2**60) — far
+    beyond both gene-level grids (``C(20000, 3)`` ~ 1.3e12) and
+    mutation-level grids (``C(4e5, 3)`` ~ 1.1e16).
+
+    ``lambda = 0`` is special-cased (the log/exp discriminant needs
+    ``lambda >= 1``), mirroring the CUDA implementation that starts its
+    1-based loop at 1.
+    """
+    lam = np.asarray(lam, dtype=np.uint64)
+    # The float estimate may start a couple of levels off near 2**52, but
+    # the repair loops below compare in exact int64, so results stay exact
+    # until the falling-product level check itself would overflow int64.
+    if lam.size and int(lam.max()) >= (1 << 60):
+        raise OverflowError("lambda exceeds int64-exact repair range (~2**60)")
+    lf = lam.astype(np.float64)
+    safe = np.maximum(lf, 1.0)
+    if use_logexp:
+        disc = sqrt_729l2_minus_3_logexp(safe)
+    else:
+        disc = np.sqrt(729.0 * safe * safe - 3.0)
+    q = np.cbrt(27.0 * safe + disc)
+    m = q / _CBRT9 + _CBRT9 / (3.0 * q)
+    # m solves m**3 - m = 6*lambda.  Since C(k,3) <= lambda is equivalent to
+    # (k-1)**3 - (k-1) <= 6*lambda, the level is k = floor(m) + 1.
+    k = np.floor(m).astype(np.int64) + 1
+    k = np.maximum(k, 2)  # smallest valid level: triple (0, 1, 2) at lambda = 0
+    # Integer boundary repair: ensure C(k,3) <= lam < C(k+1,3).  The float
+    # estimate is within a couple of units, so these loops run O(1) times.
+    lam_i = lam.astype(np.int64)
+
+    def c3(x: np.ndarray) -> np.ndarray:
+        return x * (x - 1) * (x - 2) // 6
+
+    while True:
+        over = c3(k) > lam_i
+        if not over.any():
+            break
+        k = np.where(over, k - 1, k)
+    while True:
+        under = c3(k + 1) <= lam_i
+        if not under.any():
+            break
+        k = np.where(under, k + 1, k)
+    rem = lam_i - c3(k)
+    j = np.floor((1.0 + np.sqrt(1.0 + 8.0 * rem.astype(np.float64))) / 2.0).astype(
+        np.int64
+    )
+    j = np.maximum(j, 1)
+    while True:
+        over = j * (j - 1) // 2 > rem
+        if not over.any():
+            break
+        j = np.where(over, j - 1, j)
+    while True:
+        under = (j + 1) * j // 2 <= rem
+        if not under.any():
+            break
+        j = np.where(under, j + 1, j)
+    i = rem - j * (j - 1) // 2
+    return i, j, k
+
+
+def triple_from_linear_array(
+    lam: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized exact inverse — alias for the repaired closed form."""
+    return triple_from_linear_closed_form(lam)

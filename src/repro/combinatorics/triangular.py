@@ -1,0 +1,85 @@
+"""Linear index <-> upper-triangular pair maps (Algorithms 1-2).
+
+Pairs ``(i, j)`` with ``0 <= i < j < G`` are enumerated in the
+*combinatorial number system* order
+
+    lambda = C(j, 2) + i
+
+so pairs are sorted by their larger element first: (0,1), (0,2), (1,2),
+(0,3), ... .  The closed-form inverse used on the GPU is
+
+    j = floor( (1 + sqrt(1 + 8*lambda)) / 2 )
+    i = lambda - j*(j-1)/2
+
+This module provides scalar exact versions (arbitrary-precision Python
+ints, used for validation and scheduling) and vectorized float64 versions
+(what a CUDA thread would compute).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "triangular_size",
+    "linear_from_pair",
+    "pair_from_linear",
+    "pair_from_linear_array",
+]
+
+
+def triangular_size(g: int) -> int:
+    """Number of pairs ``C(g, 2)`` — the thread-grid size of the 2x2 scheme."""
+    return math.comb(g, 2) if g >= 2 else 0
+
+
+def linear_from_pair(i: int, j: int) -> int:
+    """Forward map ``(i, j) -> lambda`` with ``i < j``."""
+    if not 0 <= i < j:
+        raise ValueError(f"require 0 <= i < j, got ({i}, {j})")
+    return j * (j - 1) // 2 + i
+
+
+def pair_from_linear(lam: int) -> tuple[int, int]:
+    """Exact inverse map ``lambda -> (i, j)`` using integer arithmetic.
+
+    ``math.isqrt`` keeps this exact for arbitrarily large ``lambda``,
+    unlike the float closed form, which loses precision past 2**52.
+    """
+    if lam < 0:
+        raise ValueError("lambda must be non-negative")
+    # Largest j with C(j,2) <= lam:  j = floor((1 + sqrt(1+8*lam)) / 2)
+    j = (1 + math.isqrt(1 + 8 * lam)) // 2
+    # isqrt truncation can land one off at triangular-number boundaries.
+    while j * (j - 1) // 2 > lam:
+        j -= 1
+    while (j + 1) * j // 2 <= lam:
+        j += 1
+    i = lam - j * (j - 1) // 2
+    return i, j
+
+
+def pair_from_linear_array(lam: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized closed-form inverse, the form a GPU thread evaluates.
+
+    Float64 ``sqrt`` is exact enough for ``lambda < 2**52``; a one-step
+    integer correction repairs any boundary rounding, so results are exact
+    over that range (covers ``C(G, 2)`` for every realistic gene count).
+    """
+    lam = np.asarray(lam, dtype=np.uint64)
+    if lam.size and int(lam.max()) >= (1 << 52):
+        raise OverflowError("lambda exceeds float64-exact range (2**52)")
+    lf = lam.astype(np.float64)
+    j = np.floor((1.0 + np.sqrt(1.0 + 8.0 * lf)) / 2.0).astype(np.uint64)
+    # Boundary repair: ensure C(j,2) <= lam < C(j+1,2).
+    tri = j * (j - np.uint64(1)) // np.uint64(2)
+    over = tri > lam
+    j = np.where(over, j - np.uint64(1), j)
+    tri = j * (j - np.uint64(1)) // np.uint64(2)
+    under = (j + np.uint64(1)) * j // np.uint64(2) <= lam
+    j = np.where(under, j + np.uint64(1), j)
+    tri = j * (j - np.uint64(1)) // np.uint64(2)
+    i = lam - tri
+    return i.astype(np.int64), j.astype(np.int64)

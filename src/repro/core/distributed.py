@@ -1,0 +1,135 @@
+"""Distributed scale-out driver: schedule -> per-GPU search -> reduction.
+
+One MPI rank per node, six GPU partitions per rank (Fig. 1).  Each GPU
+searches its scheduled thread range with the vectorized engine and
+reduces to a single 20-byte candidate; the rank reduces its six, and rank
+0 reduces across ranks.  The default driver iterates ranks in-process
+(deterministic); :mod:`repro.cluster.runtime` runs the identical rank
+function under the thread-backed SimComm for true SPMD semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bitmatrix.matrix import BitMatrix
+from repro.core.combination import MultiHitCombination, better
+from repro.core.engine import best_in_thread_range
+from repro.core.fscore import FScoreParams
+from repro.core.kernels import KernelCounters
+from repro.core.memopt import MemoryConfig
+from repro.core.reduction import ReductionStats, multi_stage_reduce
+from repro.scheduling.equiarea import equiarea_schedule
+from repro.scheduling.schedule import Schedule
+from repro.scheduling.schemes import Scheme
+
+__all__ = ["DistributedEngine", "rank_best_combo"]
+
+GPUS_PER_NODE = 6
+
+
+def rank_best_combo(
+    schedule: Schedule,
+    rank: int,
+    gpus_per_rank: int,
+    tumor: BitMatrix,
+    normal: BitMatrix,
+    params: FScoreParams,
+    memory: "MemoryConfig | None" = None,
+    counters: "KernelCounters | None" = None,
+    n_workers: int = 1,
+) -> "MultiHitCombination | None":
+    """Search the ``gpus_per_rank`` partitions owned by one MPI rank.
+
+    Partition ``rank * gpus_per_rank + local`` maps to local GPU
+    ``local``; the per-GPU winners are reduced on-rank (stages 1-2 of the
+    reduction happen inside :func:`best_in_thread_range` / here, so only
+    one candidate leaves the rank).
+
+    ``n_workers > 1`` searches the rank's partitions on a thread pool —
+    the stand-in for a node's six GPUs running concurrently (NumPy
+    releases the GIL in the bitwise kernels).  Counters are not supported
+    concurrently (they are plain accumulators).
+    """
+    parts = [
+        rank * gpus_per_rank + local
+        for local in range(gpus_per_rank)
+        if rank * gpus_per_rank + local < schedule.n_parts
+    ]
+
+    def search(part: int) -> "MultiHitCombination | None":
+        lo, hi = schedule.thread_range(part)
+        return best_in_thread_range(
+            schedule.scheme,
+            schedule.g,
+            tumor,
+            normal,
+            params,
+            lo,
+            hi,
+            counters=counters if n_workers == 1 else None,
+            memory=memory,
+        )
+
+    if n_workers > 1 and len(parts) > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=n_workers) as pool:
+            candidates = list(pool.map(search, parts))
+    else:
+        candidates = [search(p) for p in parts]
+    return multi_stage_reduce(candidates)
+
+
+@dataclass
+class DistributedEngine:
+    """Multi-node search over a scheduled partition of the thread grid.
+
+    Parameters mirror a Summit job: ``n_nodes`` MPI ranks with
+    ``gpus_per_node`` GPU partitions each.  ``scheduler`` builds the
+    partition (equi-area by default).
+    """
+
+    scheme: Scheme
+    n_nodes: int
+    gpus_per_node: int = GPUS_PER_NODE
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    scheduler: str = "equiarea"
+    n_workers: int = 1  # threads per rank (simulates concurrent local GPUs)
+
+    def build_schedule(self, g: int) -> Schedule:
+        n_parts = self.n_nodes * self.gpus_per_node
+        if self.scheduler == "equiarea":
+            return equiarea_schedule(self.scheme, g, n_parts)
+        if self.scheduler == "equidistance":
+            from repro.scheduling.equidistance import equidistance_schedule
+
+            return equidistance_schedule(self.scheme, g, n_parts)
+        raise ValueError(f"unknown scheduler {self.scheduler!r}")
+
+    def best_combo(
+        self,
+        tumor: BitMatrix,
+        normal: BitMatrix,
+        params: FScoreParams,
+        counters: "KernelCounters | None" = None,
+        reduction_stats: "ReductionStats | None" = None,
+    ) -> "MultiHitCombination | None":
+        """Full distributed arg-max: all ranks' results reduced at root."""
+        schedule = self.build_schedule(tumor.n_genes)
+        rank_winners: list["MultiHitCombination | None"] = []
+        for rank in range(self.n_nodes):
+            rank_winners.append(
+                rank_best_combo(
+                    schedule,
+                    rank,
+                    self.gpus_per_node,
+                    tumor,
+                    normal,
+                    params,
+                    memory=self.memory,
+                    counters=counters,
+                    n_workers=self.n_workers,
+                )
+            )
+        return multi_stage_reduce(rank_winners, stats=reduction_stats)

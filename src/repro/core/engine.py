@@ -1,0 +1,190 @@
+"""Vectorized single-GPU search engine.
+
+Mirrors the CUDA kernel structure: a contiguous range of linear thread
+ids is processed level by level (all threads at tetrahedral level ``m``
+share the same inner-loop extent), with each thread's fixed-gene rows
+AND-reduced once (the MemOpt prefetch) and broadcast against a table of
+inner-combination AND rows.  Scores are bit-exact with the sequential
+reference; ties resolve to the lexicographically smallest gene tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bitmatrix.matrix import BitMatrix
+from repro.combinatorics.decode import combos_from_linear, top_index_array
+from repro.core.combination import MultiHitCombination, better
+from repro.core.fscore import FScoreParams, fscore
+from repro.core.kernels import KernelCounters, best_of, score_combos
+from repro.core.memopt import MemoryConfig, global_word_reads
+from repro.scheduling.schemes import Scheme
+from repro.scheduling.workload import level_range, total_threads
+
+__all__ = ["SingleGpuEngine", "best_in_thread_range"]
+
+# Soft cap on elements per broadcast chunk (threads x inner x words).
+_CHUNK_ELEMENTS = 1 << 22
+
+
+def _and_reduce_rows(matrix: BitMatrix, combos: np.ndarray) -> np.ndarray:
+    """AND-reduce matrix rows for each combination row; shape (B, W)."""
+    out = matrix.words[combos[:, 0]].copy()
+    for c in range(1, combos.shape[1]):
+        np.bitwise_and(out, matrix.words[combos[:, c]], out=out)
+    return out
+
+
+def _lexmin_rows(rows: np.ndarray) -> np.ndarray:
+    """Lexicographically smallest row of an int matrix."""
+    order = np.lexsort(tuple(rows[:, c] for c in range(rows.shape[1] - 1, -1, -1)))
+    return rows[order[0]]
+
+
+def best_in_thread_range(
+    scheme: Scheme,
+    g: int,
+    tumor: BitMatrix,
+    normal: BitMatrix,
+    params: FScoreParams,
+    lam_start: int,
+    lam_end: int,
+    counters: "KernelCounters | None" = None,
+    memory: "MemoryConfig | None" = None,
+) -> "MultiHitCombination | None":
+    """Best combination among those owned by threads ``[lam_start, lam_end)``.
+
+    A thread owns every ``hits``-combination formed by its decoded
+    ``flattened``-tuple plus ``inner`` further genes above its top index.
+    """
+    if tumor.n_genes != g or normal.n_genes != g:
+        raise ValueError("matrix gene count must match g")
+    lam_end = min(lam_end, total_threads(scheme, g))
+    if lam_end <= lam_start:
+        return None
+    f_ord = scheme.flattened
+    d = scheme.inner
+
+    best: "MultiHitCombination | None" = None
+
+    if d == 0:
+        # Threads == combinations: decode and score directly.
+        for start in range(lam_start, lam_end, _CHUNK_ELEMENTS):
+            end = min(start + _CHUNK_ELEMENTS, lam_end)
+            combos = combos_from_linear(np.arange(start, end), f_ord)
+            fvals, tp, tn = score_combos(tumor, normal, combos, params, counters)
+            best = better(best, best_of(combos, fvals, tp, tn))
+        return best
+
+    lo_top = int(top_index_array(np.asarray([lam_start]), f_ord)[0])
+    hi_top = int(top_index_array(np.asarray([lam_end - 1]), f_ord)[0])
+
+    for m in range(lo_top, hi_top + 1):
+        a, b = level_range(scheme, m)
+        t_lo, t_hi = max(a, lam_start), min(b, lam_end)
+        if t_hi <= t_lo:
+            continue
+        n_inner_genes = g - 1 - m
+        if n_inner_genes < d:
+            continue  # threads at this level have empty inner loops
+        # Inner-combination AND tables over genes (m+1 .. g-1).
+        inner = combos_from_linear(
+            np.arange(_n_combos(n_inner_genes, d)), d
+        ) + (m + 1)
+        inner_t = _and_reduce_rows(tumor, inner)
+        inner_n = _and_reduce_rows(normal, inner)
+        n_l = inner.shape[0]
+        w = tumor.n_words + normal.n_words
+        chunk = max(1, _CHUNK_ELEMENTS // max(1, n_l * max(w, 1)))
+        for start in range(t_lo, t_hi, chunk):
+            end = min(start + chunk, t_hi)
+            tuples = combos_from_linear(np.arange(start, end), f_ord)
+            base_t = _and_reduce_rows(tumor, tuples)
+            base_n = _and_reduce_rows(normal, tuples)
+            # (B, L) popcounts via broadcast AND.
+            tp = (
+                np.bitwise_count(base_t[:, None, :] & inner_t[None, :, :])
+                .sum(axis=2)
+                .astype(np.int64)
+            )
+            cn = (
+                np.bitwise_count(base_n[:, None, :] & inner_n[None, :, :])
+                .sum(axis=2)
+                .astype(np.int64)
+            )
+            tn = params.n_normal - cn
+            fvals = fscore(tp, tn, params)
+            fmax = fvals.max()
+            if counters is not None:
+                counters.combos_scored += fvals.size
+            cand: "MultiHitCombination | None" = None
+            if best is None or fmax >= best.f:
+                ties = np.argwhere(fvals == fmax)
+                rows = np.concatenate(
+                    [tuples[ties[:, 0]], inner[ties[:, 1]]], axis=1
+                )
+                genes = _lexmin_rows(rows)
+                # Recover tp/tn of the winner from its tie position.
+                first = ties[
+                    np.flatnonzero(
+                        (rows == genes).all(axis=1)
+                    )[0]
+                ]
+                cand = MultiHitCombination(
+                    genes=tuple(int(x) for x in genes),
+                    f=float(fmax),
+                    tp=int(tp[first[0], first[1]]),
+                    tn=int(tn[first[0], first[1]]),
+                )
+            best = better(best, cand)
+
+    if counters is not None and memory is not None:
+        counters.word_reads += global_word_reads(
+            scheme, g, tumor.n_words + normal.n_words, lam_start, lam_end, memory
+        )
+    return best
+
+
+def _n_combos(n: int, k: int) -> int:
+    import math
+
+    return math.comb(n, k) if n >= k else 0
+
+
+@dataclass
+class SingleGpuEngine:
+    """Convenience wrapper: one simulated GPU searching a thread range.
+
+    The distributed engine instantiates one of these per GPU partition;
+    used standalone it searches the whole grid (the "single V100" baseline
+    configuration of the prior paper).
+    """
+
+    scheme: Scheme
+    memory: MemoryConfig = MemoryConfig()
+
+    def best_combo(
+        self,
+        tumor: BitMatrix,
+        normal: BitMatrix,
+        params: FScoreParams,
+        lam_start: int = 0,
+        lam_end: "int | None" = None,
+        counters: "KernelCounters | None" = None,
+    ) -> "MultiHitCombination | None":
+        g = tumor.n_genes
+        if lam_end is None:
+            lam_end = total_threads(self.scheme, g)
+        return best_in_thread_range(
+            self.scheme,
+            g,
+            tumor,
+            normal,
+            params,
+            lam_start,
+            lam_end,
+            counters=counters,
+            memory=self.memory,
+        )

@@ -1,0 +1,97 @@
+"""Vectorized scoring kernels (the ``maxF`` kernel, NumPy edition).
+
+Each CUDA thread ANDs the packed rows of its combination's genes over the
+tumor matrix (popcount -> TP) and the normal matrix (popcount -> ``Nn -
+TN``), then computes F.  Here a *block* of combinations is scored at once
+with broadcast bitwise ops; results are bit-exact with the sequential
+reference.
+
+The kernels also meter their own global-memory traffic (word reads) so
+the memory-optimization experiments can compare access volumes at any
+scale without a hardware profiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bitmatrix.matrix import BitMatrix
+from repro.core.combination import MultiHitCombination
+from repro.core.fscore import FScoreParams, fscore
+
+__all__ = ["KernelCounters", "score_combos", "best_of"]
+
+
+@dataclass
+class KernelCounters:
+    """Accumulated work / traffic counters for one kernel invocation chain."""
+
+    combos_scored: int = 0
+    word_reads: int = 0
+    word_ops: int = 0
+
+    def merge(self, other: "KernelCounters") -> None:
+        self.combos_scored += other.combos_scored
+        self.word_reads += other.word_reads
+        self.word_ops += other.word_ops
+
+
+def score_combos(
+    tumor: BitMatrix,
+    normal: BitMatrix,
+    combos: np.ndarray,
+    params: FScoreParams,
+    counters: "KernelCounters | None" = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Score a block of combinations; returns ``(f, tp, tn)`` arrays.
+
+    ``combos`` has shape ``(B, h)`` with strictly increasing gene rows.
+    ``TP`` counts tumor samples present in *all* rows of the combination,
+    ``TN = Nn - (normal samples present in all rows)``.
+    """
+    combos = np.asarray(combos, dtype=np.int64)
+    if combos.ndim != 2:
+        raise ValueError(f"combos must be 2-D (B, h), got shape {combos.shape}")
+    b, h = combos.shape
+    if b == 0:
+        empty = np.empty(0)
+        return empty, empty.astype(np.int64), empty.astype(np.int64)
+
+    t_and = tumor.words[combos[:, 0]]
+    n_and = normal.words[combos[:, 0]]
+    # Copy before in-place AND so the matrix rows are never clobbered.
+    t_and = t_and.copy()
+    n_and = n_and.copy()
+    for c in range(1, h):
+        np.bitwise_and(t_and, tumor.words[combos[:, c]], out=t_and)
+        np.bitwise_and(n_and, normal.words[combos[:, c]], out=n_and)
+
+    tp = np.bitwise_count(t_and).sum(axis=1).astype(np.int64)
+    tn = params.n_normal - np.bitwise_count(n_and).sum(axis=1).astype(np.int64)
+    f = fscore(tp, tn, params)
+
+    if counters is not None:
+        counters.combos_scored += b
+        counters.word_reads += b * h * (tumor.n_words + normal.n_words)
+        counters.word_ops += b * (h - 1) * (tumor.n_words + normal.n_words)
+    return f, tp, tn
+
+
+def best_of(
+    combos: np.ndarray, f: np.ndarray, tp: np.ndarray, tn: np.ndarray
+) -> "MultiHitCombination | None":
+    """Deterministic arg-max of a scored block (ties -> smallest gene tuple)."""
+    if len(f) == 0:
+        return None
+    fmax = f.max()
+    tied = np.flatnonzero(f == fmax)
+    # Lexicographic min over the tied gene tuples.
+    best_idx = min(tied, key=lambda idx: tuple(combos[idx]))
+    return MultiHitCombination(
+        genes=tuple(int(x) for x in combos[best_idx]),
+        f=float(fmax),
+        tp=int(tp[best_idx]),
+        tn=int(tn[best_idx]),
+    )

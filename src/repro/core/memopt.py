@@ -1,0 +1,92 @@
+"""Memory-optimization configuration and access-volume model (Section III-D).
+
+Three optimizations from the paper, all of which change *how much* global
+memory the scoring kernel touches without changing the result:
+
+* **MemOpt1** — prefetch the packed row of gene ``i`` into registers /
+  local memory once per thread instead of once per inner combination;
+* **MemOpt2** — same for gene ``j``;
+* **BitSplicing** — physically remove covered sample columns after each
+  greedy iteration, shrinking the word width every kernel touches.
+
+``global_word_reads`` computes the exact number of global-memory word
+reads a thread-range would perform under a configuration — the quantity
+NVPROF's DRAM counters measure up to caching effects — and is what the
+Fig. 5 experiment compares across configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.scheduling.schemes import Scheme
+from repro.scheduling.workload import level_range, level_work
+from repro.combinatorics.decode import top_index_array
+
+import numpy as np
+
+__all__ = ["MemoryConfig", "global_word_reads"]
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Which of the paper's memory optimizations are active."""
+
+    prefetch_i: bool = True   # MemOpt1
+    prefetch_j: bool = True   # MemOpt2
+    bitsplice: bool = True    # splice covered columns out of the tumor matrix
+
+    @property
+    def label(self) -> str:
+        parts = []
+        if self.prefetch_i:
+            parts.append("MemOpt1")
+        if self.prefetch_j:
+            parts.append("MemOpt2")
+        if self.bitsplice:
+            parts.append("BitSplicing")
+        return "+".join(parts) if parts else "baseline"
+
+    @property
+    def prefetched_rows(self) -> int:
+        return int(self.prefetch_i) + int(self.prefetch_j)
+
+
+NONE = MemoryConfig(False, False, False)
+
+
+def global_word_reads(
+    scheme: Scheme,
+    g: int,
+    words: int,
+    lam_start: int,
+    lam_end: int,
+    config: MemoryConfig,
+) -> int:
+    """Global-memory word reads for threads ``[lam_start, lam_end)``.
+
+    A thread whose tuple has ``f`` fixed genes and runs ``w`` inner
+    combinations of ``d`` further genes reads, per inner combination, the
+    rows of the non-prefetched fixed genes plus the ``d`` inner-loop
+    genes; prefetched rows are read exactly once per thread.  Each row is
+    ``words`` uint64 words wide (BitSplicing shrinks ``words``).
+    """
+    if lam_end <= lam_start:
+        return 0
+    f = scheme.flattened
+    d = scheme.inner
+    pre = min(config.prefetched_rows, f)
+    per_combo_rows = (f - pre) + d
+    total = 0
+    # Walk the levels intersecting the range; within a level the work per
+    # thread is constant, so the sum is closed-form.
+    lo_top = int(top_index_array(np.asarray([lam_start]), f)[0])
+    hi_top = int(top_index_array(np.asarray([lam_end - 1]), f)[0])
+    for m in range(lo_top, hi_top + 1):
+        a, b = level_range(scheme, m)
+        n_threads = min(b, lam_end) - max(a, lam_start)
+        if n_threads <= 0:
+            continue
+        w = level_work(scheme, g, m)
+        total += n_threads * (pre + w * per_combo_rows)
+    return total * words

@@ -1,0 +1,84 @@
+"""Reference sequential greedy solver (the pre-GPU algorithm of [15]).
+
+Deliberately written as plain loops over ``itertools.combinations`` with
+dense boolean matrices — slow, obviously correct, and the oracle every
+vectorized/distributed engine is tested against.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.core.combination import MultiHitCombination
+from repro.core.fscore import FScoreParams
+
+__all__ = ["sequential_best_combo", "sequential_solve"]
+
+
+def sequential_best_combo(
+    tumor_dense: np.ndarray,
+    normal_dense: np.ndarray,
+    hits: int,
+    params: FScoreParams,
+    active_tumor: "np.ndarray | None" = None,
+) -> "MultiHitCombination | None":
+    """Exhaustive arg-max of F over all ``hits``-combinations.
+
+    ``active_tumor`` masks out already-covered tumor columns.  Iterating
+    ``itertools.combinations`` in lexicographic order and replacing only
+    on strict improvement makes ties resolve to the lexicographically
+    smallest tuple — the library-wide tie rule.
+    """
+    g = tumor_dense.shape[0]
+    if normal_dense.shape[0] != g:
+        raise ValueError("tumor and normal matrices must share the gene axis")
+    if active_tumor is None:
+        active_tumor = np.ones(tumor_dense.shape[1], dtype=bool)
+    t = tumor_dense[:, active_tumor].astype(bool)
+    n = normal_dense.astype(bool)
+    best: "MultiHitCombination | None" = None
+    for combo in itertools.combinations(range(g), hits):
+        tp = int(np.logical_and.reduce(t[list(combo)], axis=0).sum())
+        tn = params.n_normal - int(
+            np.logical_and.reduce(n[list(combo)], axis=0).sum()
+        )
+        f = (params.alpha * tp + tn) / params.denominator
+        if best is None or f > best.f:
+            best = MultiHitCombination(genes=combo, f=f, tp=tp, tn=tn)
+    return best
+
+
+def sequential_solve(
+    tumor_dense: np.ndarray,
+    normal_dense: np.ndarray,
+    hits: int,
+    params: "FScoreParams | None" = None,
+    max_iterations: "int | None" = None,
+) -> list[MultiHitCombination]:
+    """Full greedy loop on dense matrices; returns combinations in order.
+
+    Stops when every tumor sample is covered, when the best remaining
+    combination covers nothing (``TP == 0``), or after ``max_iterations``.
+    """
+    tumor_dense = np.asarray(tumor_dense).astype(bool)
+    normal_dense = np.asarray(normal_dense).astype(bool)
+    if params is None:
+        params = FScoreParams(
+            n_tumor=tumor_dense.shape[1], n_normal=normal_dense.shape[1]
+        )
+    active = np.ones(tumor_dense.shape[1], dtype=bool)
+    found: list[MultiHitCombination] = []
+    while active.any():
+        if max_iterations is not None and len(found) >= max_iterations:
+            break
+        best = sequential_best_combo(
+            tumor_dense, normal_dense, hits, params, active_tumor=active
+        )
+        if best is None or best.tp == 0:
+            break
+        found.append(best)
+        covered = np.logical_and.reduce(tumor_dense[list(best.genes)], axis=0)
+        active &= ~covered
+    return found

@@ -1,0 +1,228 @@
+"""Top-level greedy multi-hit solver (the public entry point).
+
+Wraps the per-iteration arg-max (single-GPU engine, distributed engine,
+or the sequential oracle) in the weighted-set-cover greedy loop: score ->
+pick best -> exclude covered tumor samples -> repeat.  Covered samples
+are either *spliced* out of the packed matrix (BitSplicing, the paper's
+approach) or masked in place (the ablation baseline) — results are
+identical; the packed width, and hence the work per subsequent iteration,
+is not.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bitmatrix.matrix import BitMatrix
+from repro.bitmatrix.splicing import splice_columns
+from repro.core.combination import MultiHitCombination
+from repro.core.distributed import DistributedEngine
+from repro.core.engine import SingleGpuEngine
+from repro.core.fscore import DEFAULT_ALPHA, FScoreParams
+from repro.core.kernels import KernelCounters
+from repro.core.memopt import MemoryConfig
+from repro.core.sequential import sequential_best_combo
+from repro.scheduling.schemes import Scheme, scheme_for
+
+__all__ = ["IterationRecord", "MultiHitResult", "MultiHitSolver"]
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """What one greedy iteration saw and chose."""
+
+    iteration: int
+    combination: MultiHitCombination
+    newly_covered: int
+    remaining_before: int
+    remaining_after: int
+    tumor_words: int
+    wall_seconds: float
+
+
+@dataclass
+class MultiHitResult:
+    """Output of a full greedy run."""
+
+    combinations: list[MultiHitCombination]
+    iterations: list[IterationRecord]
+    params: FScoreParams
+    uncovered: int
+    counters: KernelCounters = field(default_factory=KernelCounters)
+
+    @property
+    def n_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of tumor samples covered by the returned combinations."""
+        return 1.0 - self.uncovered / self.params.n_tumor
+
+    def gene_sets(self) -> list[tuple[int, ...]]:
+        return [c.genes for c in self.combinations]
+
+
+@dataclass
+class MultiHitSolver:
+    """Greedy multi-hit weighted-set-cover solver.
+
+    Parameters
+    ----------
+    hits:
+        Combination order ``h`` (2, 3 or 4 in the paper).
+    alpha:
+        TP penalty weight of Equation 1.
+    backend:
+        ``"single"`` (vectorized single-GPU engine), ``"distributed"``
+        (scheduled multi-node engine) or ``"sequential"`` (dense oracle).
+    scheme:
+        Loop-flattening scheme; defaults to ``(h-1)x1`` (the paper's 3x1
+        for ``h = 4``).
+    memory:
+        Which memory optimizations are on.  ``memory.bitsplice`` selects
+        splice-vs-mask handling of covered samples.
+    n_nodes / gpus_per_node:
+        Simulated Summit shape for the distributed backend.
+    """
+
+    hits: int = 4
+    alpha: float = DEFAULT_ALPHA
+    backend: str = "single"
+    scheme: "Scheme | None" = None
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    n_nodes: int = 1
+    gpus_per_node: int = 6
+    max_iterations: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if self.hits < 2:
+            raise ValueError("hits must be >= 2")
+        if self.scheme is None:
+            self.scheme = scheme_for(self.hits, self.hits - 1)
+        if self.scheme.hits != self.hits:
+            raise ValueError(
+                f"scheme searches {self.scheme.hits}-hit combos, expected {self.hits}"
+            )
+        if self.backend not in ("single", "distributed", "sequential"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+
+    # -- per-iteration arg-max ----------------------------------------
+
+    def _best(
+        self,
+        tumor: BitMatrix,
+        normal: BitMatrix,
+        params: FScoreParams,
+        counters: KernelCounters,
+    ) -> "MultiHitCombination | None":
+        if tumor.n_samples == 0:
+            return None
+        if self.backend == "sequential":
+            return sequential_best_combo(
+                tumor.to_dense(), normal.to_dense(), self.hits, params
+            )
+        if self.backend == "single":
+            engine = SingleGpuEngine(scheme=self.scheme, memory=self.memory)
+            return engine.best_combo(tumor, normal, params, counters=counters)
+        engine = DistributedEngine(
+            scheme=self.scheme,
+            n_nodes=self.n_nodes,
+            gpus_per_node=self.gpus_per_node,
+            memory=self.memory,
+        )
+        return engine.best_combo(tumor, normal, params, counters=counters)
+
+    # -- greedy loop ---------------------------------------------------
+
+    def solve(
+        self,
+        tumor: "BitMatrix | np.ndarray",
+        normal: "BitMatrix | np.ndarray",
+        resume: "object | None" = None,
+        on_iteration: "object | None" = None,
+    ) -> MultiHitResult:
+        """Run the greedy cover loop to completion.
+
+        ``resume`` is a :class:`repro.core.checkpoint.SolverState` from an
+        interrupted run (the operational answer to Summit's queue-time
+        limits: persist between greedy iterations, resume in the next
+        allocation).  ``on_iteration(state)`` is called after every
+        iteration with the current resumable state.
+        """
+        if not isinstance(tumor, BitMatrix):
+            tumor = BitMatrix.from_dense(np.asarray(tumor))
+        if not isinstance(normal, BitMatrix):
+            normal = BitMatrix.from_dense(np.asarray(normal))
+        if tumor.n_genes != normal.n_genes:
+            raise ValueError("tumor and normal matrices must share the gene axis")
+        if tumor.n_genes < self.hits:
+            raise ValueError(
+                f"need at least {self.hits} genes, got {tumor.n_genes}"
+            )
+        params = FScoreParams(
+            n_tumor=tumor.n_samples, n_normal=normal.n_samples, alpha=self.alpha
+        )
+        counters = KernelCounters()
+        combos: list[MultiHitCombination] = []
+        records: list[IterationRecord] = []
+
+        work = tumor  # spliced matrix (or masked view) of uncovered samples
+        active = np.ones(tumor.n_samples, dtype=bool)  # vs original columns
+
+        if resume is not None:
+            combos, active = resume.restore(tumor, self.hits, params)
+            if self.memory.bitsplice:
+                work = splice_columns(tumor, active)
+            else:
+                mask = tumor.sample_mask_to_words(active)
+                work = BitMatrix(tumor.words & mask[None, :], tumor.n_samples)
+
+        while active.any():
+            if self.max_iterations is not None and len(combos) >= self.max_iterations:
+                break
+            remaining_before = int(active.sum())
+            t0 = time.perf_counter()
+            best = self._best(work, normal, params, counters)
+            dt = time.perf_counter() - t0
+            if best is None or best.tp == 0:
+                break
+            combos.append(best)
+            covered_now = tumor.samples_with_all(best.genes) & active
+            active &= ~covered_now
+            if self.memory.bitsplice:
+                covered_local = work.samples_with_all(best.genes)
+                work = splice_columns(work, ~covered_local)
+            else:
+                # Mask covered columns in place: same width, zeroed bits.
+                mask = work.sample_mask_to_words(
+                    ~work.samples_with_all(best.genes)
+                )
+                work = BitMatrix(work.words & mask[None, :], work.n_samples)
+            records.append(
+                IterationRecord(
+                    iteration=len(combos),
+                    combination=best,
+                    newly_covered=int(covered_now.sum()),
+                    remaining_before=remaining_before,
+                    remaining_after=int(active.sum()),
+                    tumor_words=work.n_words,
+                    wall_seconds=dt,
+                )
+            )
+            if on_iteration is not None:
+                from repro.core.checkpoint import SolverState
+
+                on_iteration(
+                    SolverState.capture(self.hits, self.alpha, combos, active)
+                )
+        return MultiHitResult(
+            combinations=combos,
+            iterations=records,
+            params=params,
+            uncovered=int(active.sum()),
+            counters=counters,
+        )

@@ -1,0 +1,88 @@
+"""Catalog of the 31 TCGA cancer types used by the paper.
+
+Values the paper states are kept exact: BRCA has 911 tumor samples and
+G = 19411 genes; LGG has 532 tumor and 329 normal samples; ACC is the
+smallest dataset; ESCA is called out in the 2x2 scaling analysis.  All
+other sample/gene counts are synthetic but sized like the public TCGA
+cohorts.  Eleven types are flagged as requiring four or more hits
+(following the estimate of Anandakrishnan et al. 2019 that 11 of 17
+studied cancers need >= 4 hits); the flag assignment here is synthetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CancerType", "CANCER_CATALOG", "cancer", "four_hit_cancers"]
+
+
+@dataclass(frozen=True)
+class CancerType:
+    """One TCGA cohort's shape."""
+
+    abbrev: str
+    name: str
+    n_tumor: int
+    n_normal: int
+    n_genes: int
+    estimated_hits: int
+
+    @property
+    def four_hit(self) -> bool:
+        return self.estimated_hits >= 4
+
+
+_CATALOG = [
+    # abbrev, full name, tumor, normal, genes, estimated hits
+    CancerType("ACC", "Adrenocortical carcinoma", 77, 85, 8400, 4),
+    CancerType("BLCA", "Bladder urothelial carcinoma", 407, 388, 16800, 4),
+    CancerType("BRCA", "Breast invasive carcinoma", 911, 1019, 19411, 3),
+    CancerType("CESC", "Cervical squamous cell carcinoma", 289, 312, 15900, 3),
+    CancerType("CHOL", "Cholangiocarcinoma", 51, 64, 7900, 3),
+    CancerType("COAD", "Colon adenocarcinoma", 399, 421, 17900, 4),
+    CancerType("DLBC", "Diffuse large B-cell lymphoma", 37, 52, 6900, 2),
+    CancerType("ESCA", "Esophageal carcinoma", 184, 201, 14300, 4),
+    CancerType("GBM", "Glioblastoma multiforme", 390, 414, 16200, 3),
+    CancerType("HNSC", "Head and neck squamous cell carcinoma", 508, 489, 17400, 4),
+    CancerType("KICH", "Kidney chromophobe", 66, 71, 7600, 2),
+    CancerType("KIRC", "Kidney renal clear cell carcinoma", 368, 392, 15700, 3),
+    CancerType("KIRP", "Kidney renal papillary cell carcinoma", 282, 271, 14600, 3),
+    CancerType("LAML", "Acute myeloid leukemia", 140, 162, 9800, 2),
+    CancerType("LGG", "Brain lower grade glioma", 532, 329, 17900, 3),
+    CancerType("LIHC", "Liver hepatocellular carcinoma", 364, 377, 15800, 4),
+    CancerType("LUAD", "Lung adenocarcinoma", 566, 548, 18200, 4),
+    CancerType("LUSC", "Lung squamous cell carcinoma", 484, 471, 18000, 4),
+    CancerType("MESO", "Mesothelioma", 82, 90, 8200, 3),
+    CancerType("OV", "Ovarian serous cystadenocarcinoma", 436, 452, 16100, 3),
+    CancerType("PAAD", "Pancreatic adenocarcinoma", 177, 189, 13200, 4),
+    CancerType("PCPG", "Pheochromocytoma and paraganglioma", 179, 183, 10900, 2),
+    CancerType("PRAD", "Prostate adenocarcinoma", 495, 511, 16400, 3),
+    CancerType("READ", "Rectum adenocarcinoma", 137, 149, 12500, 3),
+    CancerType("SARC", "Sarcoma", 237, 255, 14100, 3),
+    CancerType("SKCM", "Skin cutaneous melanoma", 467, 446, 18100, 4),
+    CancerType("STAD", "Stomach adenocarcinoma", 437, 429, 17200, 4),
+    CancerType("TGCT", "Testicular germ cell tumors", 144, 151, 10400, 2),
+    CancerType("THCA", "Thyroid carcinoma", 492, 507, 15500, 2),
+    CancerType("UCEC", "Uterine corpus endometrial carcinoma", 530, 506, 18300, 3),
+    CancerType("UVM", "Uveal melanoma", 80, 88, 7700, 2),
+]
+
+CANCER_CATALOG: dict[str, CancerType] = {c.abbrev: c for c in _CATALOG}
+assert len(CANCER_CATALOG) == 31
+
+
+def cancer(abbrev: str) -> CancerType:
+    """Look up a cancer type by TCGA abbreviation."""
+    try:
+        return CANCER_CATALOG[abbrev.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown cancer type {abbrev!r}; known: {sorted(CANCER_CATALOG)}"
+        ) from None
+
+
+def four_hit_cancers() -> list[CancerType]:
+    """The 11 types estimated to require four or more hits."""
+    out = [c for c in _CATALOG if c.four_hit]
+    assert len(out) == 11
+    return out

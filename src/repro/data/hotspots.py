@@ -1,0 +1,92 @@
+"""Positional mutation distributions (Fig. 10).
+
+The paper's driver-vs-passenger discussion hinges on within-gene mutation
+position: IDH1 mutations in LGG tumors concentrate at amino acid 132
+(R132, a known glioma marker — 400 of 532 tumor samples) and are absent
+in normals, while MUC6 mutations scatter uniformly in both.  This module
+synthesizes per-position mutation counts from a hotspot model and
+computes the percentage histograms the figure plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GeneMutationProfile", "positional_distribution", "LGG_PROFILES"]
+
+
+@dataclass(frozen=True)
+class GeneMutationProfile:
+    """Hotspot model for one gene in one cohort.
+
+    ``hotspots`` maps amino-acid position -> fraction of *tumor* mutations
+    at that position; the remaining mass scatters uniformly.  Normal-
+    sample mutations are always uniform (passenger-like).
+    """
+
+    gene: str
+    protein_length: int
+    tumor_mutation_rate: float  # fraction of tumor samples mutated
+    normal_mutation_rate: float
+    hotspots: tuple[tuple[int, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0 < self.protein_length:
+            raise ValueError("protein_length must be positive")
+        total = sum(frac for _, frac in self.hotspots)
+        if total > 1.0 + 1e-9:
+            raise ValueError("hotspot fractions exceed 1")
+        for pos, _ in self.hotspots:
+            if not 1 <= pos <= self.protein_length:
+                raise ValueError(f"hotspot position {pos} outside protein")
+
+
+def positional_distribution(
+    profile: GeneMutationProfile,
+    n_samples: int,
+    tumor: bool,
+    seed: int = 0,
+) -> np.ndarray:
+    """Per-position mutation counts for ``n_samples`` (tumor or normal).
+
+    Returns an array of length ``protein_length`` (1-based positions at
+    index ``pos - 1``).
+    """
+    rng = np.random.default_rng(seed)
+    rate = profile.tumor_mutation_rate if tumor else profile.normal_mutation_rate
+    n_mutated = rng.binomial(n_samples, rate)
+    counts = np.zeros(profile.protein_length, dtype=np.int64)
+    hotspot_mass = sum(f for _, f in profile.hotspots) if tumor else 0.0
+    for _ in range(n_mutated):
+        r = rng.random()
+        if tumor and r < hotspot_mass:
+            acc = 0.0
+            for pos, frac in profile.hotspots:
+                acc += frac
+                if r < acc:
+                    counts[pos - 1] += 1
+                    break
+        else:
+            counts[rng.integers(0, profile.protein_length)] += 1
+    return counts
+
+
+# The two genes of the paper's worked example (top LGG 4-hit combination).
+LGG_PROFILES = {
+    "IDH1": GeneMutationProfile(
+        gene="IDH1",
+        protein_length=414,
+        tumor_mutation_rate=400.0 / 532.0,  # 400 of 532 LGG tumors (R132)
+        normal_mutation_rate=0.004,
+        hotspots=((132, 0.95),),
+    ),
+    "MUC6": GeneMutationProfile(
+        gene="MUC6",
+        protein_length=2439,
+        tumor_mutation_rate=0.17,
+        normal_mutation_rate=0.15,
+        hotspots=(),
+    ),
+}

@@ -1,0 +1,92 @@
+"""Cohort persistence: save/load synthetic cohorts as ``.npz`` archives.
+
+Archiving a generated cohort (matrices + ground truth + the generating
+config) makes runs reproducible across sessions without re-seeding the
+generator, and gives examples a dataset-file workflow like the original
+pipeline's summarized TCGA inputs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.matrices import GeneSampleMatrix
+from repro.data.synthesis import CohortConfig, SyntheticCohort
+
+__all__ = ["save_cohort", "load_cohort"]
+
+_FORMAT_VERSION = 1
+
+
+def save_cohort(cohort: SyntheticCohort, path: "str | Path") -> None:
+    """Write a cohort (matrices, labels, ground truth, config) to ``.npz``."""
+    cfg = cohort.config
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "config": {
+            "n_genes": cfg.n_genes,
+            "n_tumor": cfg.n_tumor,
+            "n_normal": cfg.n_normal,
+            "hits": cfg.hits,
+            "n_driver_combos": cfg.n_driver_combos,
+            "driver_penetrance": cfg.driver_penetrance,
+            "sporadic_fraction": cfg.sporadic_fraction,
+            "background_shape": list(cfg.background_shape),
+            "background_scale": cfg.background_scale,
+            "seed": cfg.seed,
+        },
+        "planted": [list(c) for c in cohort.planted],
+    }
+    np.savez_compressed(
+        Path(path),
+        tumor=np.packbits(cohort.tumor.values, axis=1),
+        normal=np.packbits(cohort.normal.values, axis=1),
+        tumor_shape=np.array(cohort.tumor.values.shape),
+        normal_shape=np.array(cohort.normal.values.shape),
+        gene_names=np.array(cohort.tumor.gene_names),
+        tumor_samples=np.array(cohort.tumor.sample_ids),
+        normal_samples=np.array(cohort.normal.sample_ids),
+        assignment=cohort.assignment,
+        background_rates=cohort.background_rates,
+        meta=np.array(json.dumps(meta)),
+    )
+
+
+def _unpack(bits: np.ndarray, shape: np.ndarray) -> np.ndarray:
+    g, s = int(shape[0]), int(shape[1])
+    return np.unpackbits(bits, axis=1)[:, :s].astype(bool).reshape(g, s)
+
+
+def load_cohort(path: "str | Path") -> SyntheticCohort:
+    """Inverse of :func:`save_cohort`."""
+    with np.load(Path(path), allow_pickle=False) as z:
+        meta = json.loads(str(z["meta"]))
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported cohort format {meta.get('format_version')!r}"
+            )
+        cfg_raw = dict(meta["config"])
+        cfg_raw["background_shape"] = tuple(cfg_raw["background_shape"])
+        config = CohortConfig(**cfg_raw)
+        gene_names = tuple(str(x) for x in z["gene_names"])
+        tumor = GeneSampleMatrix(
+            _unpack(z["tumor"], z["tumor_shape"]),
+            gene_names,
+            tuple(str(x) for x in z["tumor_samples"]),
+        )
+        normal = GeneSampleMatrix(
+            _unpack(z["normal"], z["normal_shape"]),
+            gene_names,
+            tuple(str(x) for x in z["normal_samples"]),
+        )
+        return SyntheticCohort(
+            config=config,
+            tumor=tumor,
+            normal=normal,
+            planted=tuple(tuple(c) for c in meta["planted"]),
+            assignment=z["assignment"],
+            background_rates=z["background_rates"],
+        )

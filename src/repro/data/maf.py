@@ -1,0 +1,90 @@
+"""Minimal mutation-annotation-format (MAF) handling.
+
+The paper downloads TCGA MAF files (Mutect2 calls) and summarizes them to
+binary gene-sample matrices.  This module implements that summarization
+for a minimal record shape (gene, sample, protein position, variant
+class), plus a TSV reader/writer so the pipeline can round-trip files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.matrices import GeneSampleMatrix
+
+__all__ = ["MafRecord", "read_maf", "write_maf", "summarize_maf"]
+
+_HEADER = ["Hugo_Symbol", "Tumor_Sample_Barcode", "Protein_Position", "Variant_Classification"]
+
+# Variant classes that do not alter the protein are excluded from the
+# gene-sample summary, mirroring the use of protein-altering calls.
+SILENT_CLASSES = frozenset({"Silent", "Intron", "3'UTR", "5'UTR", "IGR", "RNA"})
+
+
+@dataclass(frozen=True)
+class MafRecord:
+    """One mutation call."""
+
+    gene: str
+    sample: str
+    protein_position: int
+    variant_class: str = "Missense_Mutation"
+
+    @property
+    def protein_altering(self) -> bool:
+        return self.variant_class not in SILENT_CLASSES
+
+
+def write_maf(records: list[MafRecord], path: "str | Path") -> None:
+    """Write records as a tab-separated MAF-like file."""
+    path = Path(path)
+    lines = ["\t".join(_HEADER)]
+    for r in records:
+        lines.append(
+            f"{r.gene}\t{r.sample}\t{r.protein_position}\t{r.variant_class}"
+        )
+    path.write_text("\n".join(lines) + "\n")
+
+
+def read_maf(path: "str | Path") -> list[MafRecord]:
+    """Read a file written by :func:`write_maf` (or any 4-column TSV)."""
+    lines = Path(path).read_text().splitlines()
+    if not lines:
+        return []
+    out = []
+    for line in lines[1:]:
+        if not line.strip():
+            continue
+        gene, sample, pos, vclass = line.split("\t")
+        out.append(MafRecord(gene, sample, int(pos), vclass))
+    return out
+
+
+def summarize_maf(
+    records: list[MafRecord],
+    genes: "list[str] | None" = None,
+    samples: "list[str] | None" = None,
+    protein_altering_only: bool = True,
+) -> GeneSampleMatrix:
+    """Summarize calls into a binary gene-sample matrix.
+
+    Gene/sample universes default to those present in the records (sorted
+    for determinism); pass them explicitly to align multiple cohorts.
+    """
+    used = [r for r in records if r.protein_altering or not protein_altering_only]
+    if genes is None:
+        genes = sorted({r.gene for r in used})
+    if samples is None:
+        samples = sorted({r.sample for r in used})
+    gene_idx = {g: i for i, g in enumerate(genes)}
+    sample_idx = {s: i for i, s in enumerate(samples)}
+    values = np.zeros((len(genes), len(samples)), dtype=bool)
+    for r in used:
+        gi = gene_idx.get(r.gene)
+        si = sample_idx.get(r.sample)
+        if gi is not None and si is not None:
+            values[gi, si] = True
+    return GeneSampleMatrix(values, tuple(genes), tuple(samples))

@@ -1,0 +1,48 @@
+"""Named standard datasets.
+
+Deterministic, laptop-sized instances used by examples, docs, and quick
+CLI runs — the reproduction's stand-in for "download the summarized TCGA
+inputs".  Every entry regenerates bit-identically from its config.
+"""
+
+from __future__ import annotations
+
+from repro.data.cancers import cancer
+from repro.data.synthesis import CohortConfig, SyntheticCohort, generate_cohort
+
+__all__ = ["DATASETS", "dataset", "dataset_names"]
+
+# name -> builder config; kept as data so the registry is introspectable.
+_SPECS: dict[str, dict] = {
+    # Minimal demo: seconds to solve exhaustively at 3 hits.
+    "demo": dict(n_genes=30, n_tumor=90, n_normal=90, hits=3, n_driver_combos=3, seed=11),
+    # BRCA-shaped: paper-exact sample counts, reduced gene universe.
+    "brca-mini": dict(cancer="BRCA", n_genes=60, hits=4, seed=1),
+    # ACC-shaped: the smallest cohort (Fig. 6's dataset).
+    "acc-mini": dict(cancer="ACC", n_genes=48, hits=4, seed=2),
+    # LGG-shaped: the Fig. 10 cancer type.
+    "lgg-mini": dict(cancer="LGG", n_genes=48, hits=3, seed=3),
+    # A 2-hit instance solvable by the sequential oracle in milliseconds.
+    "tiny-2hit": dict(n_genes=16, n_tumor=40, n_normal=40, hits=2, n_driver_combos=2, seed=5),
+}
+
+
+def dataset_names() -> list[str]:
+    return sorted(_SPECS)
+
+
+def dataset(name: str) -> SyntheticCohort:
+    """Build a named dataset (deterministic for a given library version)."""
+    try:
+        spec = dict(_SPECS[name])
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {dataset_names()}"
+        ) from None
+    if "cancer" in spec:
+        abbrev = spec.pop("cancer")
+        return generate_cohort(cancer=cancer(abbrev), **spec)
+    return generate_cohort(CohortConfig(**spec))
+
+
+DATASETS = dataset_names()

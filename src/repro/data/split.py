@@ -1,0 +1,30 @@
+"""Deterministic 75/25 train/test splitting (Section III-G)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.matrices import GeneSampleMatrix
+
+__all__ = ["train_test_split"]
+
+
+def train_test_split(
+    matrix: GeneSampleMatrix, train_fraction: float = 0.75, seed: int = 0
+) -> tuple[GeneSampleMatrix, GeneSampleMatrix]:
+    """Randomly split samples into (train, test) with a fixed seed.
+
+    At least one sample lands on each side whenever there are two or
+    more samples.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    n = matrix.n_samples
+    if n < 2:
+        raise ValueError("need at least two samples to split")
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n)
+    n_train = min(max(int(round(n * train_fraction)), 1), n - 1)
+    train_idx = np.sort(perm[:n_train])
+    test_idx = np.sort(perm[n_train:])
+    return matrix.select_samples(train_idx), matrix.select_samples(test_idx)

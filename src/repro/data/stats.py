@@ -1,0 +1,89 @@
+"""Cohort statistics: mutation frequencies, co-occurrence, exclusivity.
+
+Multi-hit theory expects the genes of a causal combination to be
+*co-mutated* in tumors (they jointly drive the same samples) while genes
+from different combinations look mutually exclusive across the cohort.
+These helpers quantify that structure — a quick sanity pass on any input
+matrix before an expensive multi-hit run, and a check that synthetic
+cohorts have realistic texture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.matrices import GeneSampleMatrix
+
+__all__ = [
+    "CohortSummary",
+    "summarize_matrix",
+    "cooccurrence_matrix",
+    "pairwise_log_odds",
+]
+
+
+@dataclass(frozen=True)
+class CohortSummary:
+    """Headline statistics of one gene-sample matrix."""
+
+    n_genes: int
+    n_samples: int
+    mutation_rate: float  # overall fraction of 1s
+    mutations_per_sample_mean: float
+    mutations_per_sample_max: int
+    silent_genes: int  # genes with no mutations at all
+
+    def describe(self) -> str:
+        return (
+            f"{self.n_genes} genes x {self.n_samples} samples; "
+            f"density {self.mutation_rate:.3f}; "
+            f"{self.mutations_per_sample_mean:.1f} mutations/sample (max "
+            f"{self.mutations_per_sample_max}); {self.silent_genes} silent genes"
+        )
+
+
+def summarize_matrix(matrix: "GeneSampleMatrix | np.ndarray") -> CohortSummary:
+    """Compute the headline statistics."""
+    dense = matrix.values if isinstance(matrix, GeneSampleMatrix) else np.asarray(matrix, dtype=bool)
+    per_sample = dense.sum(axis=0)
+    return CohortSummary(
+        n_genes=dense.shape[0],
+        n_samples=dense.shape[1],
+        mutation_rate=float(dense.mean()) if dense.size else 0.0,
+        mutations_per_sample_mean=float(per_sample.mean()) if dense.size else 0.0,
+        mutations_per_sample_max=int(per_sample.max()) if dense.size else 0,
+        silent_genes=int((dense.sum(axis=1) == 0).sum()),
+    )
+
+
+def cooccurrence_matrix(matrix: "GeneSampleMatrix | np.ndarray") -> np.ndarray:
+    """Gene x gene co-mutation counts (samples mutated in both)."""
+    dense = matrix.values if isinstance(matrix, GeneSampleMatrix) else np.asarray(matrix, dtype=bool)
+    d = dense.astype(np.int64)
+    return d @ d.T
+
+
+def pairwise_log_odds(
+    matrix: "GeneSampleMatrix | np.ndarray", pseudocount: float = 0.5
+) -> np.ndarray:
+    """Log odds-ratio of co-mutation for every gene pair.
+
+    Positive = the pair co-occurs more than independence predicts (the
+    same-combination signature); negative = mutual exclusivity (the
+    different-pathway signature).  A symmetric matrix with zero diagonal;
+    ``pseudocount`` (Haldane-Anscombe) keeps empty cells finite.
+    """
+    dense = matrix.values if isinstance(matrix, GeneSampleMatrix) else np.asarray(matrix, dtype=bool)
+    g, s = dense.shape
+    d = dense.astype(np.float64)
+    both = d @ d.T  # a: mutated in both
+    row = d.sum(axis=1)
+    only_i = row[:, None] - both  # b: i only
+    only_j = row[None, :] - both  # c: j only
+    neither = s - both - only_i - only_j  # d
+    a, b, c, dd = (x + pseudocount for x in (both, only_i, only_j, neither))
+    out = np.log(a * dd) - np.log(b * c)
+    np.fill_diagonal(out, 0.0)
+    return out

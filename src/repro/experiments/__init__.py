@@ -1,0 +1,51 @@
+"""Experiment drivers: one module per paper table / figure.
+
+Every module exposes ``run(**params)`` returning a result dataclass and a
+``report(result) -> str`` that prints the same rows/series the paper
+plots.  The benchmark harness under ``benchmarks/`` and the CLI both call
+these; EXPERIMENTS.md records paper-vs-measured for each.
+"""
+
+from repro.experiments import (
+    ext_full_summit,
+    ext_memory_distribution,
+    fig1_node_abstraction,
+    ext_mutation_level,
+    ext_scheduler_ablation,
+    fig2_thread_workload,
+    fig3_gpu_workload,
+    fig4_scaling,
+    fig5_memopts,
+    fig6_utilization_2x2,
+    fig7_utilization_3x1,
+    fig8_comm_overhead,
+    fig9_classification,
+    fig10_mutation_positions,
+    table_ed_vs_ea,
+    table_reduction_memory,
+    table_runtime_estimates,
+    table_scheduler_cost,
+)
+
+EXPERIMENTS = {
+    "fig1": fig1_node_abstraction,
+    "fig2": fig2_thread_workload,
+    "fig3": fig3_gpu_workload,
+    "fig4": fig4_scaling,
+    "fig5": fig5_memopts,
+    "fig6": fig6_utilization_2x2,
+    "fig7": fig7_utilization_3x1,
+    "fig8": fig8_comm_overhead,
+    "fig9": fig9_classification,
+    "fig10": fig10_mutation_positions,
+    "ed-vs-ea": table_ed_vs_ea,
+    "reduction-memory": table_reduction_memory,
+    "runtime-estimates": table_runtime_estimates,
+    "scheduler-cost": table_scheduler_cost,
+    "ext-mutation-level": ext_mutation_level,
+    "ext-scheduler-ablation": ext_scheduler_ablation,
+    "ext-memory-distribution": ext_memory_distribution,
+    "ext-full-summit": ext_full_summit,
+}
+
+__all__ = ["EXPERIMENTS"]

@@ -1,0 +1,77 @@
+"""§V extension — projecting to all 27648 Summit GPUs (strategy 1).
+
+The paper used at most 1000 of Summit's 4608 nodes.  This experiment
+extends the strong-scaling sweep to the full machine with the same job
+model, quantifying how much of the remaining 4.6x node headroom survives
+the fixed-cost and straggler terms — and what that means for the
+mutation-level workloads of Section V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mutlevel.projection import mutation_level_factor
+from repro.perfmodel.runtime import JobModel
+from repro.perfmodel.scaling import ScalingPoint, strong_scaling_sweep
+from repro.perfmodel.workloads import BRCA, WorkloadSpec
+from repro.scheduling.schemes import SCHEME_3X1
+
+__all__ = ["FullSummitProjection", "run", "report"]
+
+FULL_SUMMIT_NODES = 4608
+
+
+@dataclass(frozen=True)
+class FullSummitProjection:
+    workload: WorkloadSpec
+    points: list[ScalingPoint]
+    mutation_level_days_full_machine: float
+
+    @property
+    def full_machine(self) -> ScalingPoint:
+        return self.points[-1]
+
+    @property
+    def speedup_over_1000_nodes(self) -> float:
+        t1000 = next(p.runtime_s for p in self.points if p.n_nodes == 1000)
+        return t1000 / self.full_machine.runtime_s
+
+
+def run(
+    workload: WorkloadSpec = BRCA,
+    node_counts: "list[int] | None" = None,
+) -> FullSummitProjection:
+    model = JobModel(scheme=SCHEME_3X1)
+    nodes = node_counts or [100, 1000, 2000, 3000, FULL_SUMMIT_NODES]
+    points = strong_scaling_sweep(model, workload, nodes, baseline_nodes=nodes[0])
+    # Mutation-level 4-hit job on the full machine: gene-level job time
+    # scaled by the search-space factor, assuming the same efficiency.
+    gene_level_s = points[-1].runtime_s
+    mut_days = gene_level_s * mutation_level_factor() / 86400.0
+    return FullSummitProjection(
+        workload=workload,
+        points=points,
+        mutation_level_days_full_machine=mut_days,
+    )
+
+
+def report(result: FullSummitProjection) -> str:
+    lines = [
+        f"Full-Summit projection ({result.workload.name}, 3x1 scheme, "
+        f"{FULL_SUMMIT_NODES} nodes = 27648 GPUs)"
+    ]
+    lines.append("  nodes |  runtime (s) | efficiency")
+    for p in result.points:
+        lines.append(f"  {p.n_nodes:5d} | {p.runtime_s:12.1f} | {p.efficiency:9.4f}")
+    lines.append(
+        f"  full machine vs 1000 nodes: "
+        f"{result.speedup_over_1000_nodes:.2f}x faster "
+        f"(ideal 4.61x) at {result.full_machine.efficiency:.1%} efficiency"
+    )
+    lines.append(
+        "  mutation-level 4-hit job on the full machine (x1.6e5 work): "
+        f"~{result.mutation_level_days_full_machine:.0f} days — why Section V "
+        "also needs strategies (2)-(4), not just more GPUs"
+    )
+    return "\n".join(lines)

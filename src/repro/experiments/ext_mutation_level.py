@@ -1,0 +1,80 @@
+"""§V extension — mutation-level search and its cost arithmetic.
+
+Not a paper figure: this regenerates the *Discussion* section's claims.
+
+* moving the 4-hit search to ~4e5 mutation features costs ~1e5x more
+  than the optimized gene-level run (``C(4e5,4)/C(2e4,4) = 1.6e5``);
+* each extra hit costs a further ~1e5x (``C(M,5)/C(M,4) ~ 8e4``);
+* at mutation resolution the search isolates hotspot *positions*
+  (IDH1:132-style) that gene resolution cannot separate from same-gene
+  passenger scatter — demonstrated on a planted positional cohort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mutlevel.discrimination import DiscriminationReport, compare_resolutions
+from repro.mutlevel.projection import (
+    extra_hit_factor,
+    mutation_level_factor,
+    project_full_summit,
+)
+from repro.mutlevel.synthesis import PositionalCohortConfig, generate_positional_cohort
+
+__all__ = ["MutationLevelExperiment", "run", "report"]
+
+
+@dataclass(frozen=True)
+class MutationLevelExperiment:
+    discrimination: DiscriminationReport
+    mutation_factor: float
+    extra_hit: float
+    full_summit_days: float
+
+
+def run(
+    n_genes: int = 30,
+    n_tumor: int = 150,
+    n_normal: int = 150,
+    seed: int = 4,
+    gene_level_single_gpu_s: float = 5.4e6,  # ~62 days, our 4-hit estimate
+) -> MutationLevelExperiment:
+    cohort = generate_positional_cohort(
+        PositionalCohortConfig(
+            n_genes=n_genes,
+            n_tumor=n_tumor,
+            n_normal=n_normal,
+            hits=3,
+            n_driver_combos=2,
+            background_rate=0.10,
+            seed=seed,
+        )
+    )
+    report_ = compare_resolutions(cohort)
+    projection = project_full_summit(gene_level_single_gpu_s, hits=4)
+    return MutationLevelExperiment(
+        discrimination=report_,
+        mutation_factor=mutation_level_factor(),
+        extra_hit=extra_hit_factor(4),
+        full_summit_days=projection.projected_days,
+    )
+
+
+def report(result: MutationLevelExperiment) -> str:
+    d = result.discrimination
+    lines = [
+        "Mutation-level extension (paper Section V)",
+        f"  search-space growth gene->mutation (4-hit): "
+        f"{result.mutation_factor:.2e} (paper: ~1e5)",
+        f"  growth per extra hit at mutation level: "
+        f"{result.extra_hit:.2e} (paper: ~4e5 per hit)",
+        f"  projected 4-hit mutation-level run on all 27648 Summit GPUs: "
+        f"{result.full_summit_days:.0f} days at 80% efficiency",
+        "  driver-position discrimination on a planted positional cohort:",
+        f"    gene-level driver precision:      {d.gene_driver_precision:.2f}",
+        f"    mutation-level hotspot precision: {d.mutation_hotspot_precision:.2f}",
+        f"    hotspot features recovered: {d.hotspot_features_found}/{d.planted_hotspots}",
+        f"    first mutation-level combos: {d.mutation_level_combos[:2]}",
+    ]
+    return "\n".join(lines)

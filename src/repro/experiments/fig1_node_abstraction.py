@@ -1,0 +1,61 @@
+"""Fig. 1 — the Summit node abstraction.
+
+Fig. 1 is architectural rather than empirical: each Summit node (2
+Power9 CPUs + 6 V100 GPUs) is abstracted as one MPI process driving six
+GPU devices, each serving a range of flattened threads.  This driver
+regenerates the figure's content as the concrete assignment table for a
+given configuration: node -> MPI rank -> local GPUs -> thread ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.node import SUMMIT_NODE, SummitNodeSpec
+from repro.scheduling.equiarea import equiarea_schedule
+from repro.scheduling.schedule import Schedule
+from repro.scheduling.schemes import SCHEME_3X1, Scheme
+
+__all__ = ["Fig1Result", "run", "report"]
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    node: SummitNodeSpec
+    n_nodes: int
+    schedule: Schedule
+
+    def rank_assignments(self) -> list[list[tuple[int, int]]]:
+        """Per rank: the thread range of each of its local GPUs."""
+        out = []
+        for rank in range(self.n_nodes):
+            gpus = []
+            for local in range(self.node.n_gpus):
+                part = rank * self.node.n_gpus + local
+                if part < self.schedule.n_parts:
+                    gpus.append(self.schedule.thread_range(part))
+            out.append(gpus)
+        return out
+
+
+def run(g: int = 200, n_nodes: int = 3, scheme: "Scheme | None" = None) -> Fig1Result:
+    scheme = scheme or SCHEME_3X1
+    schedule = equiarea_schedule(scheme, g, n_nodes * SUMMIT_NODE.n_gpus)
+    return Fig1Result(node=SUMMIT_NODE, n_nodes=n_nodes, schedule=schedule)
+
+
+def report(result: Fig1Result) -> str:
+    node = result.node
+    lines = [
+        "Fig 1: Summit node as a computational unit",
+        f"  node: {node.n_cpus} Power9 CPUs + {node.n_gpus} V100 GPUs "
+        f"({node.gpu_memory_bytes // 1024**3} GB each), "
+        f"{node.cpu_memory_bytes // 1024**3} GB host memory",
+        f"  abstraction: {node.mpi_processes} MPI process per node driving "
+        f"all {node.n_gpus} GPUs",
+    ]
+    for rank, gpus in enumerate(result.rank_assignments()):
+        lines.append(f"  rank {rank}:")
+        for local, (lo, hi) in enumerate(gpus):
+            lines.append(f"    gpu {local}: threads [{lo:>10d}, {hi:>10d})")
+    return "\n".join(lines)

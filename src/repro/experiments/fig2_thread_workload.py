@@ -1,0 +1,60 @@
+"""Fig. 2 — per-thread workload under triangular (2x2) vs tetrahedral (3x1) mapping.
+
+For G = 10 (the paper's illustration), the 2x2 scheme's C(G,2) = 45
+threads carry workloads from C(8,2) = 28 down to 0, while the 3x1
+scheme's C(G,3) = 120 threads carry workloads from G-3 = 7 down to 0 —
+the tetrahedral mapping spreads the same total work over more threads
+with a G-fold smaller worst-to-best spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.scheduling.schemes import SCHEME_2X2, SCHEME_3X1
+from repro.scheduling.workload import thread_work_array, total_threads, total_work
+
+__all__ = ["Fig2Result", "run", "report"]
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    g: int
+    work_2x2: np.ndarray
+    work_3x1: np.ndarray
+
+    @property
+    def spread_2x2(self) -> float:
+        return float(self.work_2x2.max() - self.work_2x2.min())
+
+    @property
+    def spread_3x1(self) -> float:
+        return float(self.work_3x1.max() - self.work_3x1.min())
+
+
+def run(g: int = 10) -> Fig2Result:
+    w2 = thread_work_array(
+        SCHEME_2X2, g, np.arange(total_threads(SCHEME_2X2, g), dtype=np.uint64)
+    )
+    w3 = thread_work_array(
+        SCHEME_3X1, g, np.arange(total_threads(SCHEME_3X1, g), dtype=np.uint64)
+    )
+    assert w2.sum() == w3.sum() == total_work(SCHEME_2X2, g)
+    return Fig2Result(g=g, work_2x2=w2, work_3x1=w3)
+
+
+def report(result: Fig2Result) -> str:
+    lines = [
+        f"Fig 2: thread workload distribution, G={result.g}",
+        f"  2x2 scheme: {len(result.work_2x2)} threads, "
+        f"workload {result.work_2x2.max():.0f} .. {result.work_2x2.min():.0f} "
+        f"(spread {result.spread_2x2:.0f})",
+        f"  3x1 scheme: {len(result.work_3x1)} threads, "
+        f"workload {result.work_3x1.max():.0f} .. {result.work_3x1.min():.0f} "
+        f"(spread {result.spread_3x1:.0f})",
+        "  thread workloads (2x2): " + " ".join(f"{w:.0f}" for w in result.work_2x2),
+        "  thread workloads (3x1): " + " ".join(f"{w:.0f}" for w in result.work_3x1),
+    ]
+    return "\n".join(lines)

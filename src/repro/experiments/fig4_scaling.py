@@ -1,0 +1,88 @@
+"""Fig. 4 — strong and weak scaling of the 3x1 scheme on BRCA.
+
+Paper results: strong scaling 100 -> 1000 nodes, efficiency 80.96-97.96%
+(average 90.14% over 200-1000, 84.18% at 1000); weak scaling 100 -> 500
+nodes, 94.6% average, ~90% at 500.  Reproduced with the job model driven
+by the real equi-area schedule at G = 19411.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.perfmodel.runtime import JobModel
+from repro.perfmodel.scaling import ScalingPoint, strong_scaling_sweep, weak_scaling_sweep
+from repro.perfmodel.workloads import BRCA, WorkloadSpec
+from repro.scheduling.schemes import SCHEME_3X1
+
+__all__ = ["Fig4Result", "run", "report"]
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    workload: WorkloadSpec
+    strong: list[ScalingPoint]
+    weak: list[ScalingPoint]
+
+    @property
+    def strong_avg_efficiency(self) -> float:
+        """Average over the non-baseline node counts (paper: 90.14%)."""
+        return float(np.mean([p.efficiency for p in self.strong[1:]]))
+
+    @property
+    def strong_at_max_nodes(self) -> float:
+        return self.strong[-1].efficiency
+
+    @property
+    def weak_avg_efficiency(self) -> float:
+        return float(np.mean([p.efficiency for p in self.weak[1:]]))
+
+
+def run(
+    workload: WorkloadSpec = BRCA,
+    strong_nodes: "list[int] | None" = None,
+    weak_nodes: "list[int] | None" = None,
+) -> Fig4Result:
+    model = JobModel(scheme=SCHEME_3X1)
+    # Baseline is the smallest node count of each sweep (the paper uses
+    # 100 nodes, the smallest runnable allocation, as its baseline).
+    strong = strong_scaling_sweep(
+        model,
+        workload,
+        strong_nodes,
+        baseline_nodes=min(strong_nodes) if strong_nodes else 100,
+    )
+    weak = weak_scaling_sweep(
+        model,
+        workload,
+        weak_nodes,
+        baseline_nodes=min(weak_nodes) if weak_nodes else 100,
+    )
+    return Fig4Result(workload=workload, strong=strong, weak=weak)
+
+
+def report(result: Fig4Result) -> str:
+    lines = [f"Fig 4: scaling of the 3x1 scheme, {result.workload.name}"]
+    lines.append("  (a) strong scaling (fixed workload):")
+    lines.append("      nodes |  runtime (s) | efficiency")
+    for p in result.strong:
+        lines.append(f"      {p.n_nodes:5d} | {p.runtime_s:12.1f} | {p.efficiency:9.4f}")
+    lines.append(
+        f"      average efficiency (excl. baseline): "
+        f"{result.strong_avg_efficiency:.4f} (paper 0.9014)"
+    )
+    lines.append(
+        f"      efficiency at {result.strong[-1].n_nodes} nodes: "
+        f"{result.strong_at_max_nodes:.4f} (paper 0.8418 at 1000)"
+    )
+    lines.append("  (b) weak scaling (fixed work per GPU, first iteration):")
+    lines.append("      nodes |  runtime (s) | efficiency")
+    for p in result.weak:
+        lines.append(f"      {p.n_nodes:5d} | {p.runtime_s:12.1f} | {p.efficiency:9.4f}")
+    lines.append(
+        f"      average efficiency (excl. baseline): "
+        f"{result.weak_avg_efficiency:.4f} (paper 0.946)"
+    )
+    return "\n".join(lines)

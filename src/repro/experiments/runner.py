@@ -1,0 +1,86 @@
+"""Run every registered experiment and collate one report.
+
+``run_all`` executes each experiment driver (optionally a subset) and
+returns the composed report text — the programmatic equivalent of
+``pytest benchmarks/ --benchmark-only -s``, usable from the CLI
+(``multihit experiment all``) to regenerate the paper's evaluation as a
+single document.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+
+__all__ = ["ExperimentOutcome", "run_all", "compose_report"]
+
+
+@dataclass(frozen=True)
+class ExperimentOutcome:
+    """One experiment's report (or failure)."""
+
+    name: str
+    report: "str | None"
+    error: "str | None"
+    seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def run_all(
+    names: "list[str] | None" = None,
+    skip: "set[str] | None" = None,
+) -> list[ExperimentOutcome]:
+    """Run experiments by registry name; failures are captured, not raised."""
+    from repro.experiments import EXPERIMENTS
+
+    selected = names or list(EXPERIMENTS)
+    skip = skip or set()
+    outcomes = []
+    for name in selected:
+        if name in skip:
+            continue
+        if name not in EXPERIMENTS:
+            outcomes.append(
+                ExperimentOutcome(name=name, report=None, error="unknown experiment", seconds=0.0)
+            )
+            continue
+        mod = EXPERIMENTS[name]
+        t0 = time.perf_counter()
+        try:
+            report = mod.report(mod.run())
+            outcomes.append(
+                ExperimentOutcome(
+                    name=name, report=report, error=None,
+                    seconds=time.perf_counter() - t0,
+                )
+            )
+        except Exception as exc:  # noqa: BLE001 - collated for the caller
+            outcomes.append(
+                ExperimentOutcome(
+                    name=name, report=None, error=f"{type(exc).__name__}: {exc}",
+                    seconds=time.perf_counter() - t0,
+                )
+            )
+    return outcomes
+
+
+def compose_report(outcomes: list[ExperimentOutcome]) -> str:
+    """Single document with every experiment's series/rows."""
+    lines = ["# Reproduction run: all experiments", ""]
+    ok = sum(1 for o in outcomes if o.ok)
+    lines.append(f"{ok}/{len(outcomes)} experiments succeeded.")
+    for o in outcomes:
+        lines.append("")
+        lines.append(f"## {o.name}  ({o.seconds:.1f}s)")
+        lines.append("")
+        if o.ok:
+            lines.append("```")
+            lines.append(o.report)
+            lines.append("```")
+        else:
+            lines.append(f"FAILED: {o.error}")
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Section I — single-processor runtime estimates and the scale-out speedup.
+
+Paper anchors: 3-hit BRCA took 13860 minutes on one CPU and 23 minutes on
+one V100; 4-hit is estimated at over 500 years on one CPU and over 40
+days on one GPU; the 1000-node (6000 GPU) run yields an estimated
+7192-fold speedup over a single GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmodel.runtime import JobModel
+from repro.perfmodel.workloads import BRCA, WorkloadSpec
+from repro.scheduling.schemes import SCHEME_2X1, SCHEME_3X1
+
+__all__ = ["RuntimeEstimates", "run", "report"]
+
+
+@dataclass(frozen=True)
+class RuntimeEstimates:
+    workload: WorkloadSpec
+    cpu_3hit_min: float
+    gpu_3hit_min: float
+    cpu_4hit_years: float
+    gpu_4hit_days: float
+    cluster_4hit_s: float
+    gpu_4hit_s: float
+
+    @property
+    def cluster_speedup(self) -> float:
+        """6000-GPU speedup over one GPU (paper: 7192x)."""
+        return self.gpu_4hit_s / self.cluster_4hit_s
+
+
+def run(workload: WorkloadSpec = BRCA, n_nodes: int = 1000) -> RuntimeEstimates:
+    m3 = JobModel(scheme=SCHEME_2X1)
+    m4 = JobModel(scheme=SCHEME_3X1)
+    gpu4 = m4.single_gpu_seconds(workload)
+    cluster = m4.run(workload, n_nodes).total_s
+    return RuntimeEstimates(
+        workload=workload,
+        cpu_3hit_min=m3.single_cpu_seconds(workload) / 60.0,
+        gpu_3hit_min=m3.single_gpu_seconds(workload) / 60.0,
+        cpu_4hit_years=m4.single_cpu_seconds(workload) / (86400.0 * 365.0),
+        gpu_4hit_days=gpu4 / 86400.0,
+        cluster_4hit_s=cluster,
+        gpu_4hit_s=gpu4,
+    )
+
+
+def report(result: RuntimeEstimates) -> str:
+    return "\n".join(
+        [
+            f"Runtime estimates ({result.workload.name})",
+            f"  3-hit, 1 CPU core: {result.cpu_3hit_min:9.0f} min (paper 13860 min)",
+            f"  3-hit, 1 V100:     {result.gpu_3hit_min:9.1f} min (paper    23 min)",
+            f"  4-hit, 1 CPU core: {result.cpu_4hit_years:9.0f} years (paper >500 years)",
+            f"  4-hit, 1 V100:     {result.gpu_4hit_days:9.1f} days (paper  >40 days)",
+            f"  4-hit, 1000 nodes (6000 GPUs): {result.cluster_4hit_s:.0f} s "
+            f"-> speedup {result.cluster_speedup:.0f}x over one GPU (paper 7192x)",
+        ]
+    )

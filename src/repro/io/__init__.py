@@ -1,0 +1,5 @@
+"""Result serialization (JSON round-trip for solver outputs)."""
+
+from repro.io.results import load_result, result_to_dict, save_result
+
+__all__ = ["result_to_dict", "save_result", "load_result"]

@@ -1,0 +1,101 @@
+"""Mutation-level classification: the Fig. 9 protocol at position resolution.
+
+The paper's gene-level classifier calls a sample *tumor* if it carries
+mutations in all genes of any found combination; at mutation level the
+condition tightens to carrying calls at the specific *positions*.  A
+passenger-heavy gene combination matches many normal samples (any
+position in the gene counts), while a hotspot-position combination
+almost never matches a normal sample — so the mutation-level classifier
+trades a little sensitivity for a large specificity gain.  This module
+runs both protocols on the same positional cohort and reports the
+comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.classifier import MultiHitClassifier
+from repro.analysis.metrics import ClassifierPerformance, sensitivity_specificity
+from repro.core.solver import MultiHitSolver
+from repro.mutlevel.features import MutationMatrix
+from repro.mutlevel.solver import solve_mutation_level
+from repro.mutlevel.synthesis import PositionalCohort
+
+__all__ = ["ResolutionComparison", "evaluate_resolutions"]
+
+
+def _split_columns(n: int, train_fraction: float, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n)
+    n_train = min(max(int(round(n * train_fraction)), 1), n - 1)
+    return np.sort(perm[:n_train]), np.sort(perm[n_train:])
+
+
+@dataclass(frozen=True)
+class ResolutionComparison:
+    """Held-out accuracy of the two resolutions on one cohort."""
+
+    gene_level: ClassifierPerformance
+    mutation_level: ClassifierPerformance
+
+    @property
+    def specificity_gain(self) -> float:
+        return self.mutation_level.specificity - self.gene_level.specificity
+
+    @property
+    def sensitivity_cost(self) -> float:
+        return self.gene_level.sensitivity - self.mutation_level.sensitivity
+
+
+def evaluate_resolutions(
+    cohort: PositionalCohort,
+    hits: "int | None" = None,
+    train_fraction: float = 0.75,
+    max_iterations: int = 8,
+    min_recurrence: int = 2,
+    seed: int = 0,
+) -> ResolutionComparison:
+    """Train/test both classifiers on the same positional cohort splits."""
+    cfg = cohort.config
+    hits = hits or cfg.hits
+
+    tumor_m = cohort.tumor_matrix(min_recurrence=min_recurrence)
+    normal_m = cohort.normal_matrix(features=tumor_m)
+
+    t_train, t_test = _split_columns(tumor_m.n_samples, train_fraction, seed)
+    n_train, n_test = _split_columns(normal_m.n_samples, train_fraction, seed + 1)
+
+    # -- mutation level -------------------------------------------------
+    mut_train_t = MutationMatrix(
+        tumor_m.values[:, t_train], tumor_m.features,
+        tuple(tumor_m.sample_ids[i] for i in t_train),
+    )
+    mut_train_n = MutationMatrix(
+        normal_m.values[:, n_train], normal_m.features,
+        tuple(normal_m.sample_ids[i] for i in n_train),
+    )
+    mut_res = solve_mutation_level(
+        mut_train_t, mut_train_n, hits=hits, max_iterations=max_iterations
+    )
+    mut_clf = MultiHitClassifier.from_result(mut_res.raw)
+    mut_perf = sensitivity_specificity(
+        mut_clf.predict(tumor_m.values[:, t_test]),
+        mut_clf.predict(normal_m.values[:, n_test]),
+        name="mutation-level",
+    )
+
+    # -- gene level (from all calls, not the filtered feature view) ------
+    gene_dense, normal_dense, gene_names = cohort.gene_matrices()
+    gene_res = MultiHitSolver(hits=hits, max_iterations=max_iterations).solve(
+        gene_dense[:, t_train], normal_dense[:, n_train]
+    )
+    gene_clf = MultiHitClassifier.from_result(gene_res)
+    gene_perf = sensitivity_specificity(
+        gene_clf.predict(gene_dense[:, t_test]),
+        gene_clf.predict(normal_dense[:, n_test]),
+        name="gene-level",
+    )
+    return ResolutionComparison(gene_level=gene_perf, mutation_level=mut_perf)

@@ -1,0 +1,98 @@
+"""Driver-vs-passenger discrimination: gene-level vs mutation-level.
+
+The paper's Fig. 10 discussion: the gene-level search selects IDH1 (a
+real driver, all signal at R132) *and* MUC6 (a passenger, signal spread
+uniformly) because at gene resolution both look like "frequently mutated
+in tumors".  At mutation resolution the hotspot feature IDH1:132 remains
+strong while each individual MUC6 position is noise, so the
+mutation-level search isolates true driver positions.
+
+:func:`compare_resolutions` runs both searches on the same positional
+cohort and scores how many selected items are planted hotspot positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.solver import MultiHitSolver
+from repro.data.matrices import GeneSampleMatrix
+from repro.mutlevel.solver import MutationLevelResult, solve_mutation_level
+from repro.mutlevel.synthesis import PositionalCohort
+
+__all__ = ["DiscriminationReport", "compare_resolutions"]
+
+
+@dataclass(frozen=True)
+class DiscriminationReport:
+    """How precisely each resolution pinpointed the planted drivers."""
+
+    gene_level_combos: list[tuple[str, ...]]
+    mutation_level_combos: list[tuple[str, ...]]
+    gene_driver_precision: float
+    mutation_hotspot_precision: float
+    hotspot_features_found: int
+    planted_hotspots: int
+
+    @property
+    def mutation_level_sharper(self) -> bool:
+        return self.mutation_hotspot_precision >= self.gene_driver_precision
+
+
+def compare_resolutions(
+    cohort: PositionalCohort,
+    hits: "int | None" = None,
+    max_iterations: int = 6,
+    min_recurrence: int = 2,
+) -> DiscriminationReport:
+    """Solve the same cohort at gene and at mutation resolution.
+
+    *Precision* counts, over the first ``max_iterations`` combinations,
+    the fraction of selected items that are planted drivers (genes) or
+    planted hotspot positions (features).
+    """
+    cfg = cohort.config
+    hits = hits or cfg.hits
+
+    # Mutation level -----------------------------------------------------
+    tumor_m = cohort.tumor_matrix(min_recurrence=min_recurrence)
+    normal_m = cohort.normal_matrix(features=tumor_m)
+    mut: MutationLevelResult = solve_mutation_level(
+        tumor_m, normal_m, hits=hits, max_iterations=max_iterations
+    )
+    hotspot_set = {
+        (cohort.gene_name(g), pos) for g, pos in cohort.hotspots.items()
+    }
+    picked_features = [f for combo in mut.combinations for f in combo]
+    hot_hits = sum(
+        1 for f in picked_features if (f.gene, f.position_bin) in hotspot_set
+    )
+    unique_hot = len(
+        {(f.gene, f.position_bin) for f in picked_features} & hotspot_set
+    )
+    mut_precision = hot_hits / len(picked_features) if picked_features else 0.0
+
+    # Gene level — built from all calls, not the recurrence-filtered
+    # feature view (which would hide the normals' scattered background).
+    gene_dense, normal_dense, gene_names = cohort.gene_matrices()
+    gene_matrix = GeneSampleMatrix(gene_dense, gene_names, cohort.tumor_samples)
+    normal_matrix = GeneSampleMatrix(normal_dense, gene_names, cohort.normal_samples)
+    gene_res = MultiHitSolver(hits=hits, max_iterations=max_iterations).solve(
+        gene_matrix.values, normal_matrix.values
+    )
+    driver_names = {cohort.gene_name(g) for combo in cohort.planted for g in combo}
+    gene_combos = [
+        tuple(gene_names[g] for g in c.genes) for c in gene_res.combinations
+    ]
+    picked_genes = [g for combo in gene_combos for g in combo]
+    gene_hits = sum(1 for g in picked_genes if g in driver_names)
+    gene_precision = gene_hits / len(picked_genes) if picked_genes else 0.0
+
+    return DiscriminationReport(
+        gene_level_combos=gene_combos,
+        mutation_level_combos=mut.labels,
+        gene_driver_precision=gene_precision,
+        mutation_hotspot_precision=mut_precision,
+        hotspot_features_found=unique_hot,
+        planted_hotspots=len(hotspot_set),
+    )

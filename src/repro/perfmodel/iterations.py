@@ -1,0 +1,69 @@
+"""Fitting the iteration model from real solver runs.
+
+The performance model's :class:`IterationModel` (iteration count and the
+geometric cover fraction that drives BitSplicing's width schedule) is a
+free parameter.  This module closes the loop: run the real algorithm at
+reduced scale, extract the empirical cover trajectory, and fit the model
+the paper-scale predictions should use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.solver import MultiHitResult
+from repro.perfmodel.runtime import IterationModel
+
+__all__ = ["IterationFit", "fit_iteration_model"]
+
+
+@dataclass(frozen=True)
+class IterationFit:
+    """Fitted iteration model plus goodness diagnostics."""
+
+    model: IterationModel
+    empirical_fractions: tuple[float, ...]
+    rmse: float
+
+    @property
+    def cover_fraction(self) -> float:
+        return self.model.cover_fraction
+
+    @property
+    def n_iterations(self) -> int:
+        return self.model.n_iterations
+
+
+def fit_iteration_model(result: MultiHitResult) -> IterationFit:
+    """Fit the geometric cover model to a solver run.
+
+    The per-iteration cover fraction is ``newly_covered / remaining_before``;
+    the geometric model uses their weighted mean (weighted by the samples
+    at stake, so the big early iterations dominate — they also dominate
+    runtime).  RMSE is reported against the empirical remaining-samples
+    trajectory.
+    """
+    if not result.iterations:
+        return IterationFit(
+            model=IterationModel(n_iterations=1, cover_fraction=0.0),
+            empirical_fractions=(),
+            rmse=0.0,
+        )
+    fractions = np.array(
+        [rec.newly_covered / rec.remaining_before for rec in result.iterations]
+    )
+    weights = np.array([rec.remaining_before for rec in result.iterations], dtype=float)
+    cover = float(np.average(fractions, weights=weights))
+    cover = min(max(cover, 1e-6), 1.0 - 1e-6)
+    model = IterationModel(n_iterations=len(result.iterations), cover_fraction=cover)
+
+    predicted = np.array(model.tumor_samples_remaining(result.params.n_tumor), dtype=float)
+    empirical = np.array([rec.remaining_before for rec in result.iterations], dtype=float)
+    rmse = float(np.sqrt(np.mean((predicted - empirical) ** 2)))
+    return IterationFit(
+        model=model,
+        empirical_fractions=tuple(float(f) for f in fractions),
+        rmse=rmse,
+    )

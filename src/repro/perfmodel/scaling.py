@@ -1,0 +1,107 @@
+"""Strong- and weak-scaling sweeps (Fig. 4).
+
+Strong scaling: fixed workload (BRCA, 4-hit), node counts 100..1000;
+efficiency of N nodes relative to the 100-node baseline is
+``T(100) * 100 / (T(N) * N)``.
+
+Weak scaling: fixed work *per GPU*, limited to the first greedy
+iteration (as in the paper, to remove iteration-count variability).  We
+hold per-GPU work constant by scaling the gene count so that
+``C(G_N, h) = C(G_100, h) * N / 100``; efficiency is ``T(100) / T(N)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.perfmodel.runtime import JobModel
+from repro.perfmodel.workloads import WorkloadSpec
+
+__all__ = [
+    "ScalingPoint",
+    "scaling_efficiency",
+    "strong_scaling_sweep",
+    "weak_scaling_sweep",
+]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One node-count measurement of a scaling sweep."""
+
+    n_nodes: int
+    runtime_s: float
+    efficiency: float
+
+
+def scaling_efficiency(
+    baseline_nodes: int, baseline_s: float, n_nodes: int, runtime_s: float
+) -> float:
+    """Strong-scaling efficiency vs an arbitrary baseline node count."""
+    ideal = baseline_s * baseline_nodes / n_nodes
+    return ideal / runtime_s
+
+
+def strong_scaling_sweep(
+    model: JobModel,
+    workload: WorkloadSpec,
+    node_counts: "list[int] | None" = None,
+    baseline_nodes: int = 100,
+) -> list[ScalingPoint]:
+    """Fixed-workload sweep; efficiency relative to ``baseline_nodes``."""
+    node_counts = node_counts or [100, 200, 300, 400, 500, 600, 700, 800, 900, 1000]
+    if baseline_nodes not in node_counts:
+        node_counts = sorted(set(node_counts) | {baseline_nodes})
+    runtimes = {n: model.run(workload, n).total_s for n in node_counts}
+    base = runtimes[baseline_nodes]
+    return [
+        ScalingPoint(
+            n_nodes=n,
+            runtime_s=runtimes[n],
+            efficiency=scaling_efficiency(baseline_nodes, base, n, runtimes[n]),
+        )
+        for n in node_counts
+    ]
+
+
+def _gene_count_for_work(h: int, target_work: int, g_hint: int) -> int:
+    """Smallest G with ``C(G, h) >= target_work`` (monotone search)."""
+    g = max(h, int(g_hint))
+    while math.comb(g, h) < target_work:
+        g += max(1, g // 50)
+    while g > h and math.comb(g - 1, h) >= target_work:
+        g -= 1
+    return g
+
+
+def weak_scaling_sweep(
+    model: JobModel,
+    workload: WorkloadSpec,
+    node_counts: "list[int] | None" = None,
+    baseline_nodes: int = 100,
+) -> list[ScalingPoint]:
+    """Fixed work-per-GPU sweep (first iteration only)."""
+    node_counts = node_counts or [100, 200, 300, 400, 500]
+    if baseline_nodes not in node_counts:
+        node_counts = sorted(set(node_counts) | {baseline_nodes})
+    h = model.scheme.hits
+    base_work = math.comb(workload.g, h)
+    points = []
+    runtimes = {}
+    for n in node_counts:
+        target = base_work * n // baseline_nodes
+        g_n = _gene_count_for_work(h, target, workload.g)
+        scaled = WorkloadSpec(
+            name=f"{workload.name}@{n}",
+            g=g_n,
+            n_tumor=workload.n_tumor,
+            n_normal=workload.n_normal,
+        )
+        runtimes[n] = model.run(scaled, n, max_iterations=1).total_s
+    base = runtimes[baseline_nodes]
+    for n in node_counts:
+        points.append(
+            ScalingPoint(n_nodes=n, runtime_s=runtimes[n], efficiency=base / runtimes[n])
+        )
+    return points

@@ -1,0 +1,45 @@
+"""Per-GPU utilization profiles (Figs. 6 and 7).
+
+Builds the real schedule for a node count, derives every GPU's exact
+kernel statistics, and runs the NVPROF-style profiler over them.  The 2x2
+scheme on a small dataset (ACC) shows the paper's signature: utilization
+decaying with GPU index, DRAM throughput rising, and a memory-bound ->
+compute-bound transition late in the GPU range; the 3x1 scheme on BRCA is
+flat.
+"""
+
+from __future__ import annotations
+
+from repro.core.memopt import MemoryConfig
+from repro.gpusim.device import V100, DeviceSpec
+from repro.gpusim.profiler import GpuProfile, Profiler
+from repro.gpusim.timing import TimingTuning
+from repro.perfmodel.runtime import partition_kernel_stats
+from repro.perfmodel.workloads import WorkloadSpec
+from repro.scheduling.equiarea import equiarea_schedule
+from repro.scheduling.schemes import Scheme
+
+__all__ = ["profile_schedule"]
+
+
+def profile_schedule(
+    scheme: Scheme,
+    workload: WorkloadSpec,
+    n_nodes: int,
+    gpus_per_node: int = 6,
+    memory: "MemoryConfig | None" = None,
+    device: DeviceSpec = V100,
+    tuning: "TimingTuning | None" = None,
+) -> GpuProfile:
+    """Profile every GPU of an equi-area run's first greedy iteration."""
+    memory = memory if memory is not None else MemoryConfig()
+    tuning = tuning if tuning is not None else TimingTuning()
+    schedule = equiarea_schedule(scheme, workload.g, n_nodes * gpus_per_node)
+    work = schedule.work_per_part()
+    launches = [
+        partition_kernel_stats(
+            schedule, p, work[p], workload.tumor_words, workload.normal_words, memory
+        )
+        for p in range(schedule.n_parts)
+    ]
+    return Profiler(device=device, tuning=tuning).profile(launches)

@@ -1,0 +1,51 @@
+"""Paper-scale workload descriptions.
+
+Sample and gene counts stated in the paper are kept exact (BRCA: 911
+tumor samples, G = 19411; LGG: 532 tumor / 329 normal); the rest are
+synthetic-but-plausible TCGA magnitudes, consistent with
+:mod:`repro.data.cancers`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bitmatrix.packing import words_for
+
+__all__ = ["WorkloadSpec", "BRCA", "ACC", "ESCA", "LGG"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Dataset-level parameters the performance model needs."""
+
+    name: str
+    g: int
+    n_tumor: int
+    n_normal: int
+
+    def __post_init__(self) -> None:
+        if self.g < 4:
+            raise ValueError("need at least 4 genes")
+        if self.n_tumor < 1 or self.n_normal < 0:
+            raise ValueError("invalid sample counts")
+
+    @property
+    def tumor_words(self) -> int:
+        return words_for(self.n_tumor)
+
+    @property
+    def normal_words(self) -> int:
+        return words_for(self.n_normal)
+
+    @property
+    def words(self) -> int:
+        """Packed width ANDed per combination (tumor + normal)."""
+        return self.tumor_words + self.normal_words
+
+
+# Exact figures from the paper where stated; see repro.data.cancers.
+BRCA = WorkloadSpec(name="BRCA", g=19411, n_tumor=911, n_normal=1019)
+LGG = WorkloadSpec(name="LGG", g=17900, n_tumor=532, n_normal=329)
+ACC = WorkloadSpec(name="ACC", g=8400, n_tumor=77, n_normal=85)
+ESCA = WorkloadSpec(name="ESCA", g=14300, n_tumor=184, n_normal=201)

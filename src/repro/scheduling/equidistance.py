@@ -1,0 +1,24 @@
+"""Equi-distance (ED) scheduling: equal thread counts per GPU.
+
+This is the naive baseline of Fig. 3(a): cutting the thread range into
+equal-size pieces ignores the exponentially decaying per-thread workload,
+so the first GPU can receive orders of magnitude more combinations than
+the last.
+"""
+
+from __future__ import annotations
+
+from repro.scheduling.schedule import Schedule
+from repro.scheduling.schemes import Scheme
+from repro.scheduling.workload import total_threads
+
+__all__ = ["equidistance_schedule"]
+
+
+def equidistance_schedule(scheme: Scheme, g: int, n_parts: int) -> Schedule:
+    """Cut ``[0, C(g, f))`` into ``n_parts`` equal-count ranges."""
+    if n_parts < 1:
+        raise ValueError("n_parts must be >= 1")
+    t = total_threads(scheme, g)
+    boundaries = [t * p // n_parts for p in range(n_parts + 1)]
+    return Schedule(scheme=scheme, g=g, boundaries=tuple(boundaries), policy="equidistance")

@@ -1,0 +1,80 @@
+"""Parallelization scheme descriptors (Section III-A).
+
+For an ``h``-hit search the sequential algorithm is ``h`` nested loops.
+A scheme flattens the outer ``f`` loops into the thread grid (one thread
+per ``f``-combination, decoded from the linear id with the closed-form
+maps) and leaves ``d = h - f`` loops inside each thread:
+
+* ``1x3`` — G threads, depth-3 inner loops (too little parallelism)
+* ``2x2`` — C(G,2) threads, depth-2 inner loops
+* ``3x1`` — C(G,3) threads, depth-1 inner loops (the paper's final choice)
+* ``4x1`` — C(G,4) threads, no inner loop (astronomically many threads)
+
+The same machinery covers 3-hit searches (``2x1`` etc.), which is how the
+single-GPU baseline (Algorithm 1) is expressed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "Scheme",
+    "SCHEME_1X3",
+    "SCHEME_2X2",
+    "SCHEME_3X1",
+    "SCHEME_4X1",
+    "SCHEME_1X2",
+    "SCHEME_2X1",
+    "SCHEME_1X1",
+    "scheme_for",
+]
+
+
+@dataclass(frozen=True)
+class Scheme:
+    """A loop-flattening scheme: ``flattened`` outer + ``inner`` nested loops.
+
+    ``hits = flattened + inner`` is the combination order searched.
+    """
+
+    flattened: int
+    inner: int
+
+    def __post_init__(self) -> None:
+        if self.flattened < 1:
+            raise ValueError("must flatten at least one loop")
+        if self.inner < 0:
+            raise ValueError("inner depth cannot be negative")
+        if self.hits < 2:
+            raise ValueError("multi-hit search needs at least 2 hits")
+
+    @property
+    def hits(self) -> int:
+        return self.flattened + self.inner
+
+    @property
+    def name(self) -> str:
+        return f"{self.flattened}x{max(self.inner, 1)}"
+
+    def n_threads(self, g: int) -> int:
+        """Grid size: one thread per ``flattened``-combination of genes."""
+        return math.comb(g, self.flattened)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Scheme({self.name}, {self.hits}-hit)"
+
+
+SCHEME_1X3 = Scheme(1, 3)
+SCHEME_2X2 = Scheme(2, 2)
+SCHEME_3X1 = Scheme(3, 1)
+SCHEME_4X1 = Scheme(4, 0)
+SCHEME_1X2 = Scheme(1, 2)
+SCHEME_2X1 = Scheme(2, 1)
+SCHEME_1X1 = Scheme(1, 1)
+
+
+def scheme_for(hits: int, flattened: int) -> Scheme:
+    """Scheme searching ``hits``-combinations with ``flattened`` outer loops."""
+    return Scheme(flattened, hits - flattened)

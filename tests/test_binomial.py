@@ -1,0 +1,97 @@
+"""Tests for exact and vectorized binomial coefficients."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.combinatorics.binomial import (
+    binomial,
+    binomial2_array,
+    binomial3_array,
+    binomial_float,
+    cumulative_tetrahedral,
+    cumulative_triangular,
+)
+
+
+class TestBinomial:
+    def test_matches_math_comb(self):
+        for n in range(0, 30):
+            for k in range(0, 6):
+                assert binomial(n, k) == math.comb(n, k)
+
+    def test_out_of_range_is_zero(self):
+        assert binomial(3, 5) == 0
+        assert binomial(-1, 2) == 0
+        assert binomial(5, -1) == 0
+
+    def test_paper_scale_values(self):
+        # C(19411, 3) ~ 1.22e12 entries (Section III-E).
+        assert binomial(19411, 3) == math.comb(19411, 3)
+        assert 1.21e12 < binomial(19411, 3) < 1.23e12
+
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=0, max_value=4))
+    def test_hypothesis_matches_comb(self, n, k):
+        assert binomial(n, k) == math.comb(n, k)
+
+
+class TestBinomialFloat:
+    def test_small_values_exact(self):
+        n = np.arange(0, 200)
+        for k in range(5):
+            expected = np.array([math.comb(int(x), k) for x in n], dtype=float)
+            np.testing.assert_array_equal(binomial_float(n, k), expected)
+
+    def test_rejects_large_k(self):
+        with pytest.raises(ValueError):
+            binomial_float(np.array([10.0]), 5)
+
+    def test_scalar_input(self):
+        assert binomial_float(10, 2) == 45.0
+
+
+class TestExactArrays:
+    def test_binomial2_array(self):
+        n = np.arange(0, 1000, dtype=np.uint64)
+        expected = np.array([math.comb(int(x), 2) for x in n], dtype=np.uint64)
+        np.testing.assert_array_equal(binomial2_array(n), expected)
+
+    def test_binomial3_array(self):
+        n = np.arange(0, 1000, dtype=np.uint64)
+        expected = np.array([math.comb(int(x), 3) for x in n], dtype=np.uint64)
+        np.testing.assert_array_equal(binomial3_array(n), expected)
+
+    def test_binomial3_paper_scale_exact(self):
+        n = np.array([19411, 20000], dtype=np.uint64)
+        got = binomial3_array(n)
+        assert int(got[0]) == math.comb(19411, 3)
+        assert int(got[1]) == math.comb(20000, 3)
+
+
+class TestCumulativeTables:
+    def test_triangular_table(self):
+        t = cumulative_triangular(10)
+        assert len(t) == 11
+        assert int(t[0]) == 0
+        assert int(t[10]) == 45
+
+    def test_tetrahedral_table(self):
+        t = cumulative_tetrahedral(10)
+        assert len(t) == 11
+        assert int(t[3]) == 1
+        assert int(t[10]) == 120
+
+    def test_tables_are_level_offsets(self):
+        # T[j] is the linear id of the first pair with larger element j.
+        t = cumulative_triangular(20)
+        for j in range(2, 20):
+            assert int(t[j + 1] - t[j]) == j  # level j holds j pairs
+
+    def test_negative_g_rejected(self):
+        with pytest.raises(ValueError):
+            cumulative_triangular(-1)
+        with pytest.raises(ValueError):
+            cumulative_tetrahedral(-1)

@@ -1,0 +1,44 @@
+"""Tests for the cancer-type catalog."""
+
+import pytest
+
+from repro.data.cancers import CANCER_CATALOG, cancer, four_hit_cancers
+
+
+class TestCatalog:
+    def test_thirty_one_types(self):
+        assert len(CANCER_CATALOG) == 31
+
+    def test_eleven_four_hit(self):
+        fh = four_hit_cancers()
+        assert len(fh) == 11
+        assert all(c.estimated_hits >= 4 for c in fh)
+
+    def test_paper_exact_values(self):
+        brca = cancer("BRCA")
+        assert brca.n_tumor == 911  # stated in Section IV
+        assert brca.n_genes == 19411  # stated in Section III-E
+        lgg = cancer("LGG")
+        assert lgg.n_tumor == 532 and lgg.n_normal == 329  # Fig. 10 text
+
+    def test_acc_is_smallest(self):
+        acc = cancer("ACC")
+        assert acc.n_tumor <= min(c.n_tumor for c in four_hit_cancers())
+
+    def test_esca_present_and_four_hit(self):
+        # ESCA is the 2x2 scaling counterexample in Section IV-D.
+        assert cancer("ESCA").four_hit
+
+    def test_lookup_case_insensitive(self):
+        assert cancer("brca") is cancer("BRCA")
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown cancer"):
+            cancer("XXXX")
+
+    def test_all_fields_sane(self):
+        for c in CANCER_CATALOG.values():
+            assert c.n_tumor > 0
+            assert c.n_normal > 0
+            assert c.n_genes > 1000
+            assert 2 <= c.estimated_hits <= 9

@@ -1,0 +1,141 @@
+"""Tests for checkpoint/resume of the greedy loop."""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import (
+    SolverState,
+    load_state,
+    save_state,
+    solve_with_checkpoints,
+)
+from repro.core.memopt import MemoryConfig
+from repro.core.solver import MultiHitSolver
+
+
+@pytest.fixture
+def instance(rng):
+    t = rng.random((12, 50)) < 0.4
+    n = rng.random((12, 50)) < 0.12
+    return t, n
+
+
+def signature(result):
+    return [(c.genes, round(c.f, 12)) for c in result.combinations]
+
+
+class TestResume:
+    def test_resume_matches_uninterrupted(self, instance, tmp_path):
+        t, n = instance
+        full = MultiHitSolver(hits=2).solve(t, n)
+
+        # Run 3 iterations, checkpoint, then resume to completion.
+        states = []
+        partial_solver = MultiHitSolver(hits=2, max_iterations=3)
+        partial_solver.solve(t, n, on_iteration=states.append)
+        assert len(states) == 3
+        resumed = MultiHitSolver(hits=2).solve(t, n, resume=states[-1])
+
+        assert signature(resumed) == signature(full)
+        assert resumed.uncovered == full.uncovered
+        assert len(resumed.iterations) == len(full.iterations) - 3
+
+    def test_resume_with_mask_mode(self, instance):
+        t, n = instance
+        full = MultiHitSolver(hits=2, memory=MemoryConfig(bitsplice=False)).solve(t, n)
+        states = []
+        MultiHitSolver(
+            hits=2, max_iterations=2, memory=MemoryConfig(bitsplice=False)
+        ).solve(t, n, on_iteration=states.append)
+        resumed = MultiHitSolver(hits=2, memory=MemoryConfig(bitsplice=False)).solve(
+            t, n, resume=states[-1]
+        )
+        assert signature(resumed) == signature(full)
+
+    def test_state_counts(self, instance):
+        t, n = instance
+        states = []
+        MultiHitSolver(hits=2, max_iterations=2).solve(t, n, on_iteration=states.append)
+        assert states[0].n_found == 1
+        assert states[1].n_found == 2
+        assert states[0].n_uncovered >= states[1].n_uncovered
+
+
+class TestValidation:
+    def test_hits_mismatch_rejected(self, instance):
+        t, n = instance
+        states = []
+        MultiHitSolver(hits=2, max_iterations=1).solve(t, n, on_iteration=states.append)
+        with pytest.raises(ValueError, match="2-hit"):
+            MultiHitSolver(hits=3).solve(t, n, resume=states[-1])
+
+    def test_alpha_mismatch_rejected(self, instance):
+        t, n = instance
+        states = []
+        MultiHitSolver(hits=2, max_iterations=1).solve(t, n, on_iteration=states.append)
+        with pytest.raises(ValueError, match="alpha"):
+            MultiHitSolver(hits=2, alpha=0.5).solve(t, n, resume=states[-1])
+
+    def test_wrong_matrix_rejected(self, instance, rng):
+        t, n = instance
+        states = []
+        MultiHitSolver(hits=2, max_iterations=1).solve(t, n, on_iteration=states.append)
+        other = rng.random((12, 49)) < 0.4
+        with pytest.raises(ValueError, match="samples"):
+            MultiHitSolver(hits=2).solve(other, n[:, :49], resume=states[-1])
+
+    def test_inconsistent_checkpoint_rejected(self, instance):
+        t, n = instance
+        states = []
+        MultiHitSolver(hits=2, max_iterations=1).solve(t, n, on_iteration=states.append)
+        bad = SolverState(
+            hits=2,
+            alpha=0.1,
+            combinations=states[-1].combinations,
+            active=np.ones(50, dtype=bool),  # claims nothing was covered
+        )
+        if any(c.tp > 0 for c in bad.combinations):
+            with pytest.raises(ValueError, match="inconsistent"):
+                MultiHitSolver(hits=2).solve(t, n, resume=bad)
+
+
+class TestPersistence:
+    def test_json_roundtrip(self, instance, tmp_path):
+        t, n = instance
+        states = []
+        MultiHitSolver(hits=2, max_iterations=2).solve(t, n, on_iteration=states.append)
+        path = tmp_path / "ckpt.json"
+        save_state(states[-1], path)
+        back = load_state(path)
+        assert back.hits == 2
+        assert back.combinations == states[-1].combinations
+        np.testing.assert_array_equal(back.active, states[-1].active)
+
+    def test_version_check(self, instance, tmp_path):
+        import json
+
+        t, n = instance
+        states = []
+        MultiHitSolver(hits=2, max_iterations=1).solve(t, n, on_iteration=states.append)
+        path = tmp_path / "ckpt.json"
+        save_state(states[-1], path)
+        raw = json.loads(path.read_text())
+        raw["format_version"] = 9
+        path.write_text(json.dumps(raw))
+        with pytest.raises(ValueError, match="unsupported"):
+            load_state(path)
+
+    def test_solve_with_checkpoints_end_to_end(self, instance, tmp_path):
+        t, n = instance
+        path = tmp_path / "run.json"
+        full = MultiHitSolver(hits=2).solve(t, n)
+
+        # "Job killed" after 2 iterations...
+        interrupted = MultiHitSolver(hits=2, max_iterations=2)
+        solve_with_checkpoints(interrupted, t, n, path)
+        assert path.exists()
+        # ...relaunch with the identical call, now unbounded.
+        result = solve_with_checkpoints(MultiHitSolver(hits=2), t, n, path)
+        assert signature(result) == signature(full)
+        # Final checkpoint reflects the completed run.
+        assert load_state(path).n_found == len(full.combinations)

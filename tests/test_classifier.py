@@ -1,0 +1,103 @@
+"""Tests for the multi-hit classifier and accuracy metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.classifier import MultiHitClassifier
+from repro.analysis.metrics import sensitivity_specificity, wilson_interval
+from repro.bitmatrix.matrix import BitMatrix
+from repro.core.solver import MultiHitSolver
+from repro.data.matrices import GeneSampleMatrix
+
+
+class TestClassifier:
+    def test_predict_any_combo_fully_present(self):
+        dense = np.array(
+            [
+                [1, 1, 0, 0],
+                [1, 0, 0, 1],
+                [0, 1, 1, 0],
+                [0, 1, 1, 0],
+            ],
+            dtype=bool,
+        )
+        clf = MultiHitClassifier(combinations=((0, 1), (2, 3)))
+        # sample0: genes 0&1 -> tumor; sample1: genes 2&3 -> tumor;
+        # sample2: only 2&3 -> tumor; sample3: only gene1 -> normal.
+        np.testing.assert_array_equal(clf.predict(dense), [True, True, True, False])
+
+    def test_empty_classifier_predicts_normal(self):
+        clf = MultiHitClassifier(combinations=())
+        assert not clf.predict(np.ones((3, 5), dtype=bool)).any()
+
+    def test_accepts_all_matrix_types(self):
+        dense = np.ones((2, 3), dtype=bool)
+        clf = MultiHitClassifier(combinations=((0, 1),))
+        for m in (
+            dense,
+            BitMatrix.from_dense(dense),
+            GeneSampleMatrix(dense, ("a", "b"), ("x", "y", "z")),
+        ):
+            np.testing.assert_array_equal(clf.predict(m), [True, True, True])
+
+    def test_from_result(self, tiny_cohort):
+        res = MultiHitSolver(hits=3).solve(
+            tiny_cohort.tumor.values, tiny_cohort.normal.values
+        )
+        clf = MultiHitClassifier.from_result(res)
+        assert len(clf) == len(res.combinations)
+        # Training-set sensitivity equals the covered fraction.
+        pred = clf.predict(tiny_cohort.tumor)
+        assert pred.mean() == pytest.approx(res.coverage)
+
+
+class TestMetrics:
+    def test_sensitivity_specificity_values(self):
+        tumor_pred = np.array([True] * 8 + [False] * 2)
+        normal_pred = np.array([True] * 1 + [False] * 9)
+        p = sensitivity_specificity(tumor_pred, normal_pred, name="X")
+        assert p.sensitivity == pytest.approx(0.8)
+        assert p.specificity == pytest.approx(0.9)
+        assert p.n_tumor == 10 and p.n_normal == 10
+        assert "X" in p.describe()
+
+    def test_ci_contains_point(self):
+        p = sensitivity_specificity(
+            np.array([True] * 20 + [False] * 5), np.array([False] * 25)
+        )
+        lo, hi = p.sensitivity_ci
+        assert lo <= p.sensitivity <= hi
+        s_lo, s_hi = p.specificity_ci
+        assert s_lo == pytest.approx(0.8663, abs=1e-3)
+        assert s_hi == pytest.approx(1.0, abs=1e-9)
+
+    def test_requires_samples(self):
+        with pytest.raises(ValueError):
+            sensitivity_specificity(np.array([]), np.array([True]))
+
+
+class TestWilson:
+    def test_known_value(self):
+        # 8/10 successes: Wilson 95% CI ~ (0.490, 0.943).
+        lo, hi = wilson_interval(8, 10)
+        assert lo == pytest.approx(0.4902, abs=1e-3)
+        assert hi == pytest.approx(0.9433, abs=1e-3)
+
+    def test_extremes_clamped(self):
+        lo, hi = wilson_interval(0, 10)
+        assert lo == pytest.approx(0.0, abs=1e-12)
+        assert hi < 0.35
+        lo, hi = wilson_interval(10, 10)
+        assert hi == pytest.approx(1.0, abs=1e-12)
+        assert lo > 0.65
+
+    def test_narrower_with_more_trials(self):
+        lo1, hi1 = wilson_interval(8, 10)
+        lo2, hi2 = wilson_interval(80, 100)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 4)

@@ -1,0 +1,100 @@
+"""Tests for the CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.hits == 3
+        assert args.backend == "single"
+
+
+class TestCommands:
+    def test_solve(self, capsys, tmp_path):
+        out = tmp_path / "res.json"
+        code = main(
+            [
+                "solve",
+                "--genes", "25", "--tumor", "60", "--normal", "60",
+                "--hits", "2", "--output", str(out),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "combinations" in captured
+        assert "[planted]" in captured
+        payload = json.loads(out.read_text())
+        assert payload["combinations"]
+
+    def test_solve_distributed(self, capsys):
+        code = main(
+            ["solve", "--genes", "20", "--tumor", "40", "--normal", "40",
+             "--hits", "2", "--backend", "distributed", "--nodes", "2"]
+        )
+        assert code == 0
+
+    def test_experiment_list(self, capsys):
+        assert main(["experiment", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "ed-vs-ea" in out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "nope"]) == 2
+
+    def test_experiment_fig2(self, capsys):
+        assert main(["experiment", "fig2"]) == 0
+        assert "Fig 2" in capsys.readouterr().out
+
+    def test_catalog(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "BRCA" in out and "911" in out
+
+    def test_schedule(self, capsys):
+        assert main(["schedule", "--genes", "30", "--gpus", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "equiarea" in out
+        assert "gpu   3" in out
+
+
+class TestNewCommands:
+    def test_roofline(self, capsys):
+        assert main(["roofline"]) == 0
+        out = capsys.readouterr().out
+        assert "ridge intensity" in out
+        assert "3x1/baseline" in out
+
+    def test_dataset_roundtrip(self, capsys, tmp_path):
+        path = str(tmp_path / "c.npz")
+        assert main(["dataset", "generate", path, "--genes", "25",
+                     "--hits", "2", "--seed", "3"]) == 0
+        assert main(["dataset", "info", path]) == 0
+        out = capsys.readouterr().out
+        assert "25 genes" in out
+        assert "planted" in out
+
+    def test_dataset_from_catalog(self, capsys, tmp_path):
+        path = str(tmp_path / "acc.npz")
+        assert main(["dataset", "generate", path, "--cancer", "ACC",
+                     "--genes", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "77+85 samples" in out  # ACC catalog counts
+
+    def test_schedule_interleaved(self, capsys):
+        assert main(["schedule", "--genes", "40", "--gpus", "4",
+                     "--policy", "interleaved"]) == 0
+        assert "interleaved" in capsys.readouterr().out
+
+    def test_schedule_costaware(self, capsys):
+        assert main(["schedule", "--genes", "40", "--gpus", "4",
+                     "--policy", "costaware"]) == 0
+        assert "costaware" in capsys.readouterr().out

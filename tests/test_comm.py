@@ -1,0 +1,134 @@
+"""Tests for the thread-backed SimComm communicator."""
+
+import operator
+
+import pytest
+
+from repro.cluster.comm import SimComm, SimCommWorld
+from repro.cluster.runtime import SPMDRunner
+
+
+class TestWorld:
+    def test_needs_ranks(self):
+        with pytest.raises(ValueError):
+            SimCommWorld(0)
+
+    def test_rank_range_checked(self):
+        world = SimCommWorld(2)
+        with pytest.raises(ValueError):
+            SimComm(world, 5)
+
+    def test_introspection(self):
+        world = SimCommWorld(3)
+        comm = world.comm(1)
+        assert comm.Get_rank() == 1
+        assert comm.Get_size() == 3
+        assert comm.size == 3
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        def prog(comm):
+            if comm.Get_rank() == 0:
+                comm.send({"x": 42}, dest=1, tag=7)
+                return None
+            return comm.recv(source=0, tag=7)
+
+        results = SPMDRunner(2).run(prog)
+        assert results[1] == {"x": 42}
+
+    def test_tags_are_independent_channels(self):
+        def prog(comm):
+            if comm.Get_rank() == 0:
+                comm.send("b", dest=1, tag=2)
+                comm.send("a", dest=1, tag=1)
+                return None
+            # Receive in the opposite order of sending: tags must match.
+            first = comm.recv(source=0, tag=1)
+            second = comm.recv(source=0, tag=2)
+            return (first, second)
+
+        results = SPMDRunner(2).run(prog)
+        assert results[1] == ("a", "b")
+
+    def test_dest_validated(self):
+        world = SimCommWorld(2)
+        with pytest.raises(ValueError):
+            world.comm(0).send("x", dest=9)
+
+
+class TestCollectives:
+    def test_bcast(self):
+        def prog(comm):
+            data = {"k": [1, 2, 3]} if comm.Get_rank() == 0 else None
+            return comm.bcast(data, root=0)
+
+        results = SPMDRunner(4).run(prog)
+        assert all(r == {"k": [1, 2, 3]} for r in results)
+
+    def test_gather(self):
+        def prog(comm):
+            return comm.gather(comm.Get_rank() ** 2, root=0)
+
+        results = SPMDRunner(4).run(prog)
+        assert results[0] == [0, 1, 4, 9]
+        assert results[1] is None
+
+    def test_scatter(self):
+        def prog(comm):
+            objs = [f"part{i}" for i in range(3)] if comm.Get_rank() == 0 else None
+            return comm.scatter(objs, root=0)
+
+        results = SPMDRunner(3).run(prog)
+        assert results == ["part0", "part1", "part2"]
+
+    def test_scatter_validates_length(self):
+        def prog(comm):
+            objs = [1] if comm.Get_rank() == 0 else None
+            return comm.scatter(objs, root=0)
+
+        # The non-root rank is orphaned waiting for its part; the short
+        # recv timeout surfaces both failures quickly.
+        with pytest.raises(RuntimeError):
+            SPMDRunner(2, recv_timeout_s=0.3).run(prog)
+
+    def test_reduce_deterministic_order(self):
+        def prog(comm):
+            return comm.reduce(f"r{comm.Get_rank()}", op=operator.add, root=0)
+
+        results = SPMDRunner(4).run(prog)
+        assert results[0] == "r0r1r2r3"  # strict rank order
+
+    def test_allreduce(self):
+        def prog(comm):
+            return comm.allreduce(comm.Get_rank() + 1, op=operator.mul)
+
+        results = SPMDRunner(4).run(prog)
+        assert results == [24, 24, 24, 24]
+
+    def test_barrier(self):
+        def prog(comm):
+            comm.barrier()
+            return comm.Get_rank()
+
+        assert SPMDRunner(3).run(prog) == [0, 1, 2]
+
+    def test_nonzero_root(self):
+        def prog(comm):
+            return comm.gather(comm.Get_rank(), root=2)
+
+        results = SPMDRunner(3).run(prog)
+        assert results[2] == [0, 1, 2]
+        assert results[0] is None
+
+
+class TestErrors:
+    def test_rank_exception_propagates(self):
+        def prog(comm):
+            if comm.Get_rank() == 1:
+                raise ValueError("boom")
+            comm.barrier()
+            return 1
+
+        with pytest.raises(RuntimeError, match="rank 1"):
+            SPMDRunner(2).run(prog)

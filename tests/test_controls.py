@@ -1,0 +1,61 @@
+"""Tests for the permutation-test control."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.controls import permutation_test_best_f
+from repro.data.synthesis import CohortConfig, generate_cohort
+
+
+class TestPermutationTest:
+    def test_planted_signal_is_significant(self):
+        cohort = generate_cohort(
+            CohortConfig(
+                n_genes=16, n_tumor=60, n_normal=60, hits=2,
+                n_driver_combos=2, seed=3,
+            )
+        )
+        test = permutation_test_best_f(
+            cohort.tumor.values, cohort.normal.values,
+            hits=2, n_permutations=30, seed=0,
+        )
+        assert test.significant
+        assert test.p_value <= 1 / 31 + 1e-9
+        assert test.z_score > 2.0
+
+    def test_pure_noise_is_not_significant(self):
+        rng = np.random.default_rng(7)
+        t = rng.random((14, 50)) < 0.25
+        n = rng.random((14, 50)) < 0.25
+        test = permutation_test_best_f(t, n, hits=2, n_permutations=30, seed=1)
+        assert not test.significant
+
+    def test_p_value_never_zero(self):
+        rng = np.random.default_rng(0)
+        t = rng.random((10, 20)) < 0.5
+        n = rng.random((10, 20)) < 0.5
+        test = permutation_test_best_f(t, n, hits=2, n_permutations=10)
+        assert 0 < test.p_value <= 1.0
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(2)
+        t = rng.random((10, 25)) < 0.4
+        n = rng.random((10, 25)) < 0.2
+        a = permutation_test_best_f(t, n, hits=2, n_permutations=8, seed=5)
+        b = permutation_test_best_f(t, n, hits=2, n_permutations=8, seed=5)
+        np.testing.assert_array_equal(a.null_f, b.null_f)
+        assert a.observed_f == b.observed_f
+
+    def test_gene_axis_checked(self):
+        with pytest.raises(ValueError):
+            permutation_test_best_f(
+                np.zeros((4, 5), dtype=bool), np.zeros((5, 5), dtype=bool)
+            )
+
+    def test_null_length(self):
+        rng = np.random.default_rng(3)
+        t = rng.random((8, 15)) < 0.4
+        n = rng.random((8, 15)) < 0.2
+        test = permutation_test_best_f(t, n, hits=2, n_permutations=12)
+        assert len(test.null_f) == 12
+        assert test.n_permutations == 12

@@ -1,0 +1,72 @@
+"""Tests for cohort persistence."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import load_cohort, save_cohort
+from repro.data.synthesis import CohortConfig, generate_cohort
+
+
+@pytest.fixture
+def cohort():
+    return generate_cohort(
+        CohortConfig(n_genes=30, n_tumor=70, n_normal=65, hits=3, seed=9)
+    )
+
+
+class TestRoundTrip:
+    def test_matrices_exact(self, cohort, tmp_path):
+        path = tmp_path / "cohort.npz"
+        save_cohort(cohort, path)
+        back = load_cohort(path)
+        np.testing.assert_array_equal(back.tumor.values, cohort.tumor.values)
+        np.testing.assert_array_equal(back.normal.values, cohort.normal.values)
+
+    def test_labels_and_truth(self, cohort, tmp_path):
+        path = tmp_path / "cohort.npz"
+        save_cohort(cohort, path)
+        back = load_cohort(path)
+        assert back.tumor.gene_names == cohort.tumor.gene_names
+        assert back.tumor.sample_ids == cohort.tumor.sample_ids
+        assert back.planted == cohort.planted
+        np.testing.assert_array_equal(back.assignment, cohort.assignment)
+        np.testing.assert_allclose(back.background_rates, cohort.background_rates)
+
+    def test_config_preserved(self, cohort, tmp_path):
+        path = tmp_path / "cohort.npz"
+        save_cohort(cohort, path)
+        assert load_cohort(path).config == cohort.config
+
+    def test_solver_gives_same_result_after_reload(self, cohort, tmp_path):
+        from repro.core.solver import MultiHitSolver
+
+        path = tmp_path / "cohort.npz"
+        save_cohort(cohort, path)
+        back = load_cohort(path)
+        a = MultiHitSolver(hits=3, max_iterations=3).solve(
+            cohort.tumor.values, cohort.normal.values
+        )
+        b = MultiHitSolver(hits=3, max_iterations=3).solve(
+            back.tumor.values, back.normal.values
+        )
+        assert [c.genes for c in a.combinations] == [c.genes for c in b.combinations]
+
+    def test_version_check(self, cohort, tmp_path):
+        import json
+
+        path = tmp_path / "cohort.npz"
+        save_cohort(cohort, path)
+        with np.load(path) as z:
+            payload = {k: z[k] for k in z.files}
+        meta = json.loads(str(payload["meta"]))
+        meta["format_version"] = 99
+        payload["meta"] = np.array(json.dumps(meta))
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError, match="unsupported"):
+            load_cohort(path)
+
+    def test_compression_is_effective(self, cohort, tmp_path):
+        path = tmp_path / "cohort.npz"
+        save_cohort(cohort, path)
+        dense_bytes = cohort.tumor.values.nbytes + cohort.normal.values.nbytes
+        assert path.stat().st_size < dense_bytes

@@ -1,0 +1,60 @@
+"""Tests for generic combinatorial-number-system decoding."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.combinatorics.decode import combos_from_linear, top_index_array
+
+
+class TestTopIndex:
+    def test_order1_is_identity(self):
+        lam = np.arange(100)
+        np.testing.assert_array_equal(top_index_array(lam, 1), lam)
+
+    def test_matches_definition(self):
+        for order in (2, 3, 4, 5):
+            lam = np.arange(0, 2000, 7)
+            got = top_index_array(lam, order)
+            for l0, m in zip(lam, got):
+                assert math.comb(int(m), order) <= l0 < math.comb(int(m) + 1, order)
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            top_index_array(np.array([0]), 0)
+        with pytest.raises(ValueError):
+            top_index_array(np.array([-1]), 2)
+
+    @given(
+        st.integers(min_value=0, max_value=10**15),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_hypothesis_bracket(self, lam, order):
+        m = int(top_index_array(np.array([lam]), order)[0])
+        assert math.comb(m, order) <= lam < math.comb(m + 1, order)
+
+
+class TestCombosFromLinear:
+    @pytest.mark.parametrize("order", [1, 2, 3, 4, 5])
+    def test_exhaustive_colex_order(self, order):
+        g = 12
+        expected = sorted(
+            itertools.combinations(range(g), order), key=lambda t: tuple(reversed(t))
+        )
+        got = combos_from_linear(np.arange(len(expected)), order)
+        assert [tuple(r) for r in got] == expected
+
+    def test_rows_strictly_increasing(self):
+        got = combos_from_linear(np.arange(0, 100000, 997), 4)
+        assert (np.diff(got, axis=1) > 0).all()
+
+    def test_rank_roundtrip_large(self):
+        lam = np.array([0, 10**6, 10**12, 10**15])
+        got = combos_from_linear(lam, 4)
+        for l0, row in zip(lam, got):
+            rank = sum(math.comb(int(row[r]), r + 1) for r in range(4))
+            assert rank == l0

@@ -1,0 +1,101 @@
+"""Tests for the distributed engine (schedule -> per-GPU -> reduction)."""
+
+import pytest
+
+from repro.core.distributed import DistributedEngine, rank_best_combo
+from repro.core.engine import SingleGpuEngine
+from repro.core.reduction import ReductionStats
+from repro.scheduling.schemes import SCHEME_2X2, SCHEME_3X1
+
+
+class TestDistributedEngine:
+    @pytest.mark.parametrize("n_nodes,gpn", [(1, 1), (2, 3), (5, 6), (30, 2)])
+    def test_matches_single_gpu(self, small_bitmatrices, n_nodes, gpn):
+        tumor, normal, params = small_bitmatrices
+        ref = SingleGpuEngine(scheme=SCHEME_3X1).best_combo(tumor, normal, params)
+        eng = DistributedEngine(scheme=SCHEME_3X1, n_nodes=n_nodes, gpus_per_node=gpn)
+        got = eng.best_combo(tumor, normal, params)
+        assert got.genes == ref.genes and got.f == ref.f
+
+    @pytest.mark.parametrize("scheduler", ["equiarea", "equidistance"])
+    def test_both_schedulers_same_result(self, small_bitmatrices, scheduler):
+        tumor, normal, params = small_bitmatrices
+        eng = DistributedEngine(
+            scheme=SCHEME_2X2, n_nodes=3, gpus_per_node=2, scheduler=scheduler
+        )
+        ref = SingleGpuEngine(scheme=SCHEME_2X2).best_combo(tumor, normal, params)
+        got = eng.best_combo(tumor, normal, params)
+        assert got.genes == ref.genes
+
+    def test_unknown_scheduler(self, small_bitmatrices):
+        tumor, normal, params = small_bitmatrices
+        eng = DistributedEngine(scheme=SCHEME_3X1, n_nodes=2, scheduler="magic")
+        with pytest.raises(ValueError):
+            eng.best_combo(tumor, normal, params)
+
+    def test_reduction_stats_filled(self, small_bitmatrices):
+        tumor, normal, params = small_bitmatrices
+        stats = ReductionStats()
+        eng = DistributedEngine(scheme=SCHEME_3X1, n_nodes=4, gpus_per_node=2)
+        eng.best_combo(tumor, normal, params, reduction_stats=stats)
+        assert stats.stage_entries[0] == 4  # one candidate per rank
+
+    def test_more_gpus_than_threads(self, small_bitmatrices):
+        tumor, normal, params = small_bitmatrices
+        eng = DistributedEngine(scheme=SCHEME_3X1, n_nodes=500, gpus_per_node=6)
+        ref = SingleGpuEngine(scheme=SCHEME_3X1).best_combo(tumor, normal, params)
+        got = eng.best_combo(tumor, normal, params)
+        assert got.genes == ref.genes
+
+
+class TestRankBestCombo:
+    def test_rank_partitions_cover_grid(self, small_bitmatrices):
+        tumor, normal, params = small_bitmatrices
+        eng = DistributedEngine(scheme=SCHEME_3X1, n_nodes=3, gpus_per_node=2)
+        schedule = eng.build_schedule(tumor.n_genes)
+        from repro.core.reduction import multi_stage_reduce
+
+        winners = [
+            rank_best_combo(schedule, r, 2, tumor, normal, params) for r in range(3)
+        ]
+        combined = multi_stage_reduce(winners)
+        ref = SingleGpuEngine(scheme=SCHEME_3X1).best_combo(tumor, normal, params)
+        assert combined.genes == ref.genes
+
+    def test_rank_beyond_partitions_returns_none(self, small_bitmatrices):
+        tumor, normal, params = small_bitmatrices
+        eng = DistributedEngine(scheme=SCHEME_3X1, n_nodes=2, gpus_per_node=2)
+        schedule = eng.build_schedule(tumor.n_genes)
+        assert rank_best_combo(schedule, 99, 2, tumor, normal, params) is None
+
+
+class TestThreadedRank:
+    def test_threaded_partitions_same_result(self, small_bitmatrices):
+        tumor, normal, params = small_bitmatrices
+        seq = DistributedEngine(scheme=SCHEME_3X1, n_nodes=2, gpus_per_node=3)
+        par = DistributedEngine(
+            scheme=SCHEME_3X1, n_nodes=2, gpus_per_node=3, n_workers=3
+        )
+        a = seq.best_combo(tumor, normal, params)
+        b = par.best_combo(tumor, normal, params)
+        assert a.genes == b.genes and a.f == b.f
+
+    def test_threaded_first_pick_matches_single_backend(self, rng):
+        from repro.bitmatrix.matrix import BitMatrix
+        from repro.core.fscore import FScoreParams
+        from repro.core.solver import MultiHitSolver
+        from repro.scheduling.schemes import scheme_for
+
+        t = rng.random((11, 30)) < 0.4
+        n = rng.random((11, 30)) < 0.12
+        ref = MultiHitSolver(hits=3, backend="single").solve(t, n)
+
+        engine = DistributedEngine(
+            scheme=scheme_for(3, 2), n_nodes=2, gpus_per_node=3, n_workers=2
+        )
+        got = engine.best_combo(
+            BitMatrix.from_dense(t),
+            BitMatrix.from_dense(n),
+            FScoreParams(n_tumor=30, n_normal=30),
+        )
+        assert got.genes == ref.combinations[0].genes

@@ -1,0 +1,117 @@
+"""Tests for the vectorized single-GPU engine."""
+
+import numpy as np
+import pytest
+
+from repro.bitmatrix.matrix import BitMatrix
+from repro.core.engine import SingleGpuEngine, best_in_thread_range
+from repro.core.fscore import FScoreParams
+from repro.core.kernels import KernelCounters
+from repro.core.memopt import MemoryConfig
+from repro.core.sequential import sequential_best_combo
+from repro.scheduling.schemes import SCHEME_2X2, SCHEME_3X1, SCHEME_4X1, Scheme
+from repro.scheduling.workload import total_threads
+
+
+@pytest.fixture
+def instance(rng):
+    t = rng.random((14, 45)) < 0.35
+    n = rng.random((14, 38)) < 0.15
+    return (
+        t,
+        n,
+        BitMatrix.from_dense(t),
+        BitMatrix.from_dense(n),
+        FScoreParams(n_tumor=45, n_normal=38),
+    )
+
+
+ALL_SCHEMES = [Scheme(1, 1), Scheme(2, 1), Scheme(1, 2), SCHEME_2X2, SCHEME_3X1, SCHEME_4X1, Scheme(2, 0), Scheme(3, 0)]
+
+
+class TestFullRangeEquivalence:
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_matches_sequential_oracle(self, instance, scheme):
+        t, n, tumor, normal, params = instance
+        got = SingleGpuEngine(scheme=scheme).best_combo(tumor, normal, params)
+        ref = sequential_best_combo(t, n, scheme.hits, params)
+        assert got.genes == ref.genes
+        assert got.f == pytest.approx(ref.f, abs=1e-15)
+        assert (got.tp, got.tn) == (ref.tp, ref.tn)
+
+    def test_all_4hit_schemes_agree(self, instance):
+        _, _, tumor, normal, params = instance
+        winners = [
+            SingleGpuEngine(scheme=s).best_combo(tumor, normal, params)
+            for s in (SCHEME_2X2, SCHEME_3X1, SCHEME_4X1, Scheme(1, 3))
+        ]
+        assert len({(w.genes, round(w.f, 14)) for w in winners}) == 1
+
+
+class TestPartialRanges:
+    def test_partition_and_reduce_equals_full(self, instance):
+        _, _, tumor, normal, params = instance
+        scheme = SCHEME_3X1
+        g = tumor.n_genes
+        total = total_threads(scheme, g)
+        cuts = [0, total // 5, total // 2, 2 * total // 3, total]
+        from repro.core.combination import better
+
+        best = None
+        for lo, hi in zip(cuts, cuts[1:]):
+            best = better(
+                best,
+                best_in_thread_range(scheme, g, tumor, normal, params, lo, hi),
+            )
+        full = best_in_thread_range(scheme, g, tumor, normal, params, 0, total)
+        assert best.genes == full.genes and best.f == full.f
+
+    def test_empty_range(self, instance):
+        _, _, tumor, normal, params = instance
+        assert (
+            best_in_thread_range(SCHEME_3X1, 14, tumor, normal, params, 10, 10) is None
+        )
+
+    def test_range_clamped_to_grid(self, instance):
+        _, _, tumor, normal, params = instance
+        total = total_threads(SCHEME_3X1, 14)
+        got = best_in_thread_range(
+            SCHEME_3X1, 14, tumor, normal, params, 0, total + 10_000
+        )
+        assert got is not None
+
+    def test_gene_count_mismatch(self, instance):
+        _, _, tumor, normal, params = instance
+        with pytest.raises(ValueError):
+            best_in_thread_range(SCHEME_3X1, 15, tumor, normal, params, 0, 10)
+
+
+class TestCounters:
+    def test_combos_scored_counts_range(self, instance):
+        _, _, tumor, normal, params = instance
+        counters = KernelCounters()
+        best_in_thread_range(
+            SCHEME_3X1,
+            14,
+            tumor,
+            normal,
+            params,
+            0,
+            total_threads(SCHEME_3X1, 14),
+            counters=counters,
+            memory=MemoryConfig(),
+        )
+        import math
+
+        assert counters.combos_scored == math.comb(14, 4)
+        assert counters.word_reads > 0
+
+
+class TestTieDeterminism:
+    def test_constant_matrix_gives_lex_smallest(self):
+        t = BitMatrix.from_dense(np.ones((10, 20), dtype=bool))
+        n = BitMatrix.from_dense(np.zeros((10, 20), dtype=bool))
+        params = FScoreParams(n_tumor=20, n_normal=20)
+        for scheme in (SCHEME_3X1, SCHEME_2X2):
+            got = SingleGpuEngine(scheme=scheme).best_combo(t, n, params)
+            assert got.genes == (0, 1, 2, 3)

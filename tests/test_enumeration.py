@@ -1,0 +1,50 @@
+"""Tests for block-wise combination enumeration."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.combinatorics.enumeration import combinations_array, iter_combination_blocks
+
+
+class TestCombinationsArray:
+    def test_pairs_window(self):
+        got = combinations_array(2, 0, 6)
+        expected = [(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (2, 3)]
+        assert [tuple(r) for r in got] == expected
+
+    def test_triples_window(self):
+        got = combinations_array(3, 1, 4)
+        expected = [(0, 1, 3), (0, 2, 3), (1, 2, 3)]
+        assert [tuple(r) for r in got] == expected
+
+    def test_empty_window(self):
+        assert combinations_array(2, 5, 5).shape == (0, 2)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            combinations_array(4, 0, 10)
+        with pytest.raises(ValueError):
+            combinations_array(2, 5, 3)
+
+
+class TestBlocks:
+    @pytest.mark.parametrize("order,g,block", [(2, 10, 7), (3, 10, 11), (2, 15, 200), (3, 12, 1)])
+    def test_blocks_cover_exactly_once(self, order, g, block):
+        seen = []
+        for start, combos in iter_combination_blocks(order, g, block):
+            assert len(combos) <= block
+            seen.extend(tuple(r) for r in combos)
+        assert len(seen) == math.comb(g, order)
+        assert len(set(seen)) == len(seen)
+        assert set(seen) == set(itertools.combinations(range(g), order))
+
+    def test_blocks_start_offsets(self):
+        starts = [s for s, _ in iter_combination_blocks(2, 10, 10)]
+        assert starts == [0, 10, 20, 30, 40]
+
+    def test_invalid_block(self):
+        with pytest.raises(ValueError):
+            list(iter_combination_blocks(2, 10, 0))

@@ -1,0 +1,121 @@
+"""Tests for the block-level kernel executor (functional CUDA structure)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bitmatrix.matrix import BitMatrix
+from repro.core.engine import SingleGpuEngine
+from repro.core.fscore import FScoreParams
+from repro.core.memopt import MemoryConfig
+from repro.gpusim.executor import BlockKernelExecutor
+from repro.scheduling.schemes import SCHEME_2X2, SCHEME_3X1, Scheme
+
+
+@pytest.fixture
+def instance(rng):
+    t = rng.random((12, 40)) < 0.35
+    n = rng.random((12, 35)) < 0.15
+    return (
+        BitMatrix.from_dense(t),
+        BitMatrix.from_dense(n),
+        FScoreParams(n_tumor=40, n_normal=35),
+    )
+
+
+class TestBlockExecution:
+    @pytest.mark.parametrize("scheme", [Scheme(1, 1), Scheme(2, 1), SCHEME_3X1, SCHEME_2X2])
+    def test_matches_vectorized_engine(self, instance, scheme):
+        tumor, normal, params = instance
+        ref = SingleGpuEngine(scheme=scheme).best_combo(tumor, normal, params)
+        got = BlockKernelExecutor(scheme=scheme, block_size=16).launch(
+            tumor, normal, params
+        )
+        assert got.winner.genes == ref.genes
+        assert got.winner.f == pytest.approx(ref.f, abs=1e-15)
+
+    def test_block_structure(self, instance):
+        tumor, normal, params = instance
+        res = BlockKernelExecutor(scheme=SCHEME_3X1, block_size=50).launch(
+            tumor, normal, params
+        )
+        total = math.comb(12, 3)
+        assert res.n_blocks == math.ceil(total / 50)
+        assert sum(b.n_threads for b in res.blocks) == total
+        # Stage 1 produces at most one record per block.
+        assert res.stage1_records <= res.n_blocks
+
+    def test_block_size_changes_blocks_not_result(self, instance):
+        tumor, normal, params = instance
+        winners = set()
+        for bs in (8, 64, 512):
+            res = BlockKernelExecutor(scheme=SCHEME_3X1, block_size=bs).launch(
+                tumor, normal, params
+            )
+            winners.add((res.winner.genes, round(res.winner.f, 14)))
+        assert len(winners) == 1
+
+    def test_partial_range(self, instance):
+        tumor, normal, params = instance
+        from repro.core.engine import best_in_thread_range
+
+        ref = best_in_thread_range(SCHEME_3X1, 12, tumor, normal, params, 20, 90)
+        got = BlockKernelExecutor(scheme=SCHEME_3X1, block_size=16).launch(
+            tumor, normal, params, 20, 90
+        )
+        assert got.winner.genes == ref.genes
+
+    def test_empty_range(self, instance):
+        tumor, normal, params = instance
+        res = BlockKernelExecutor(scheme=SCHEME_3X1).launch(
+            tumor, normal, params, 5, 5
+        )
+        assert res.winner is None and res.n_blocks == 0
+
+    def test_gene_axis_checked(self, instance, rng):
+        tumor, _, params = instance
+        bad_normal = BitMatrix.from_dense(rng.random((13, 35)) < 0.1)
+        with pytest.raises(ValueError):
+            BlockKernelExecutor(scheme=SCHEME_3X1).launch(tumor, bad_normal, params)
+
+
+class TestCostAccounting:
+    def test_word_reads_match_memopt_model(self, instance):
+        tumor, normal, params = instance
+        from repro.core.memopt import global_word_reads
+        from repro.scheduling.workload import total_threads
+
+        for mem in (MemoryConfig(False, False, False), MemoryConfig(True, True, False)):
+            res = BlockKernelExecutor(
+                scheme=SCHEME_3X1, block_size=32, memory=mem
+            ).launch(tumor, normal, params)
+            expected = global_word_reads(
+                SCHEME_3X1,
+                12,
+                tumor.n_words + normal.n_words,
+                0,
+                total_threads(SCHEME_3X1, 12),
+                mem,
+            )
+            assert res.total_word_reads == expected
+
+    def test_prefetch_reduces_cycles(self, instance):
+        tumor, normal, params = instance
+        slow = BlockKernelExecutor(
+            scheme=SCHEME_3X1, memory=MemoryConfig(False, False, False)
+        ).launch(tumor, normal, params)
+        fast = BlockKernelExecutor(
+            scheme=SCHEME_3X1, memory=MemoryConfig(True, True, False)
+        ).launch(tumor, normal, params)
+        assert fast.total_cycles < slow.total_cycles
+
+    def test_busy_profile_shape(self, instance):
+        tumor, normal, params = instance
+        res = BlockKernelExecutor(scheme=SCHEME_2X2, block_size=8).launch(
+            tumor, normal, params
+        )
+        profile = res.busy_profile()
+        assert profile.shape == (res.n_blocks,)
+        # 2x2 blocks near lambda=0 hold the heavy threads.
+        assert profile[0] == profile.max()

@@ -1,0 +1,57 @@
+"""Report-formatting tests: every driver's report() is well-formed text.
+
+The benchmark harness prints these reports as the regenerated paper
+artifacts; they must be non-empty, multi-line, and mention their paper
+anchor so EXPERIMENTS.md cross-references stay greppable.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+
+# Cheap parameterizations per experiment so this file stays fast.
+_FAST_PARAMS = {
+    "fig1": dict(g=60, n_nodes=2),
+    "fig2": dict(g=10),
+    "fig3": dict(g=30, n_nodes=2),
+    "fig10": dict(),
+    "reduction-memory": dict(),
+}
+
+_ANCHORS = {
+    "fig1": "Fig 1",
+    "fig2": "Fig 2",
+    "fig3": "Fig 3",
+    "fig10": "Fig 10",
+    "reduction-memory": "24.34",
+}
+
+
+@pytest.mark.parametrize("name", sorted(_FAST_PARAMS))
+def test_report_is_well_formed(name):
+    mod = EXPERIMENTS[name]
+    result = mod.run(**_FAST_PARAMS[name])
+    text = mod.report(result)
+    assert isinstance(text, str)
+    lines = text.splitlines()
+    assert len(lines) >= 2
+    assert all(isinstance(l, str) for l in lines)
+    assert _ANCHORS[name] in text
+
+
+def test_every_experiment_has_docstring_anchor():
+    for name, mod in EXPERIMENTS.items():
+        doc = mod.__doc__ or ""
+        assert doc.strip(), f"{name} missing docstring"
+        first = doc.strip().splitlines()[0]
+        assert len(first) > 10, f"{name} docstring too thin"
+
+
+def test_registry_keys_match_module_intent():
+    # fig* keys map to fig*-named modules; ext-* to ext_* modules.
+    for name, mod in EXPERIMENTS.items():
+        modname = mod.__name__.rsplit(".", 1)[-1]
+        key = name.replace("-", "_")
+        assert modname.startswith(key.split("_")[0]) or modname.startswith(
+            ("table_", "ext_", "fig")
+        )

@@ -1,0 +1,57 @@
+"""Tests for the Section V extension experiments."""
+
+from repro.experiments import (
+    EXPERIMENTS,
+    ext_memory_distribution,
+    ext_mutation_level,
+    ext_scheduler_ablation,
+)
+
+
+class TestRegistry:
+    def test_extensions_registered(self):
+        for name in ("ext-mutation-level", "ext-scheduler-ablation", "ext-memory-distribution"):
+            assert name in EXPERIMENTS
+
+
+class TestMutationLevelExperiment:
+    def test_bands(self):
+        r = ext_mutation_level.run(n_genes=24, n_tumor=100, n_normal=100)
+        assert 1e5 < r.mutation_factor < 2e5  # paper ~1e5
+        assert 5e4 < r.extra_hit < 1e5
+        assert r.discrimination.mutation_level_sharper
+        assert r.full_summit_days > 10
+        assert "Section V" in ext_mutation_level.report(r)
+
+
+class TestSchedulerAblation:
+    def test_interleaving_beats_resizing(self):
+        r = ext_scheduler_ablation.run(n_nodes=50)  # 300 GPUs: straggler regime
+        assert r.interleave_improvement > 1.5
+        assert r.interleave_improvement > r.resizing_improvement
+        # Resizing alone cannot beat EA meaningfully (occupancy-bound).
+        assert r.resizing_improvement < 1.5
+        # The paper's 3x1 remedy is at least as balanced as interleaving.
+        assert r.scheme3x1_times.max() <= r.il_times.max() * 1.5
+        assert "makespan" in ext_scheduler_ablation.report(r)
+
+
+class TestMemoryDistribution:
+    def test_sizing(self):
+        r = ext_memory_distribution.run(n_nodes=10)
+        assert r.gene_level.replication_fits
+        assert 0 < r.mutation_level.mean_hot_fraction < 1.0
+        assert r.mutation_level.full_replication_bytes > r.gene_level.full_replication_bytes
+        assert "strategy 2" in ext_memory_distribution.report(r)
+
+
+class TestFullSummit:
+    def test_projection_shape(self):
+        from repro.experiments import ext_full_summit
+
+        r = ext_full_summit.run(node_counts=[100, 1000, 4608])
+        assert r.points[0].efficiency == 1.0
+        assert r.full_machine.n_nodes == 4608
+        assert r.full_machine.efficiency < r.points[1].efficiency
+        assert r.mutation_level_days_full_machine > 10
+        assert "27648 GPUs" in ext_full_summit.report(r)

@@ -1,0 +1,72 @@
+"""Tests for the F-score (Equation 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.fscore import DEFAULT_ALPHA, FScoreParams, fscore
+
+
+class TestParams:
+    def test_defaults(self):
+        p = FScoreParams(n_tumor=10, n_normal=20)
+        assert p.alpha == DEFAULT_ALPHA == 0.1
+        assert p.denominator == 30.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FScoreParams(n_tumor=0, n_normal=5)
+        with pytest.raises(ValueError):
+            FScoreParams(n_tumor=5, n_normal=-1)
+        with pytest.raises(ValueError):
+            FScoreParams(n_tumor=5, n_normal=5, alpha=-0.5)
+
+    def test_frozen(self):
+        p = FScoreParams(n_tumor=10, n_normal=20)
+        with pytest.raises(AttributeError):
+            p.alpha = 1.0
+
+
+class TestFScore:
+    def test_equation_one(self):
+        p = FScoreParams(n_tumor=40, n_normal=60)
+        # F = (0.1 * TP + TN) / (Nt + Nn)
+        assert fscore(10, 50, p) == pytest.approx((0.1 * 10 + 50) / 100)
+
+    def test_perfect_combination(self):
+        p = FScoreParams(n_tumor=40, n_normal=60)
+        assert fscore(40, 60, p) == pytest.approx((4 + 60) / 100)
+
+    def test_vectorized(self):
+        p = FScoreParams(n_tumor=10, n_normal=10)
+        tp = np.array([0, 5, 10])
+        tn = np.array([10, 5, 0])
+        np.testing.assert_allclose(fscore(tp, tn, p), (0.1 * tp + tn) / 20.0)
+
+    def test_tn_dominates_tp(self):
+        # The alpha penalty means one true negative outweighs one true
+        # positive (the algorithm's documented bias correction).
+        p = FScoreParams(n_tumor=50, n_normal=50)
+        assert fscore(1, 0, p) < fscore(0, 1, p)
+
+    @given(
+        st.integers(min_value=1, max_value=1000),
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_hypothesis_monotone(self, nt, nn, tp, tn):
+        p = FScoreParams(n_tumor=nt, n_normal=max(nn, 1))
+        tp = min(tp, nt)
+        tn = min(tn, max(nn, 1))
+        base = float(fscore(tp, tn, p))
+        if tp + 1 <= nt:
+            assert float(fscore(tp + 1, tn, p)) > base
+        if tn + 1 <= max(nn, 1):
+            assert float(fscore(tp, tn + 1, p)) > base
+
+    def test_bounded_by_max(self):
+        p = FScoreParams(n_tumor=10, n_normal=10)
+        assert float(fscore(10, 10, p)) == pytest.approx((0.1 * 10 + 10) / 20)
+        assert float(fscore(0, 0, p)) == 0.0

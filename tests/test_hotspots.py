@@ -1,0 +1,55 @@
+"""Tests for positional mutation synthesis (Fig. 10 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.data.hotspots import LGG_PROFILES, GeneMutationProfile, positional_distribution
+
+
+class TestProfileValidation:
+    def test_hotspot_mass_bounded(self):
+        with pytest.raises(ValueError):
+            GeneMutationProfile("X", 100, 0.5, 0.1, hotspots=((5, 0.7), (9, 0.6)))
+
+    def test_hotspot_position_in_protein(self):
+        with pytest.raises(ValueError):
+            GeneMutationProfile("X", 100, 0.5, 0.1, hotspots=((101, 0.5),))
+
+    def test_positive_length(self):
+        with pytest.raises(ValueError):
+            GeneMutationProfile("X", 0, 0.5, 0.1)
+
+
+class TestDistribution:
+    def test_driver_concentrates_at_hotspot(self):
+        p = LGG_PROFILES["IDH1"]
+        counts = positional_distribution(p, 532, tumor=True, seed=0)
+        assert counts.sum() > 300
+        assert counts[131] / counts.sum() > 0.8  # R132 dominates
+
+    def test_driver_absent_in_normals(self):
+        p = LGG_PROFILES["IDH1"]
+        counts = positional_distribution(p, 329, tumor=False, seed=0)
+        assert counts.sum() < 10  # near-zero background
+
+    def test_passenger_uniform(self):
+        p = LGG_PROFILES["MUC6"]
+        counts = positional_distribution(p, 5000, tumor=True, seed=1)
+        # No position should dominate a uniform scatter.
+        assert counts.max() / counts.sum() < 0.02
+
+    def test_counts_length_matches_protein(self):
+        p = LGG_PROFILES["MUC6"]
+        counts = positional_distribution(p, 100, tumor=True, seed=0)
+        assert counts.shape == (p.protein_length,)
+
+    def test_deterministic(self):
+        p = LGG_PROFILES["IDH1"]
+        a = positional_distribution(p, 100, tumor=True, seed=5)
+        b = positional_distribution(p, 100, tumor=True, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_normal_ignores_hotspots(self):
+        p = GeneMutationProfile("X", 50, 0.9, 0.9, hotspots=((10, 0.95),))
+        counts = positional_distribution(p, 3000, tumor=False, seed=2)
+        assert counts[9] / counts.sum() < 0.1

@@ -1,0 +1,44 @@
+"""Tests for result JSON serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core.solver import MultiHitSolver
+from repro.io.results import load_result, result_to_dict, save_result
+
+
+@pytest.fixture
+def solved(rng):
+    t = rng.random((10, 30)) < 0.4
+    n = rng.random((10, 30)) < 0.1
+    return MultiHitSolver(hits=2).solve(t, n)
+
+
+class TestRoundTrip:
+    def test_save_load(self, solved, tmp_path):
+        path = tmp_path / "result.json"
+        save_result(solved, path)
+        back = load_result(path)
+        assert [c.genes for c in back.combinations] == [
+            c.genes for c in solved.combinations
+        ]
+        assert back.params == solved.params
+        assert back.uncovered == solved.uncovered
+        assert back.counters.combos_scored == solved.counters.combos_scored
+        assert len(back.iterations) == len(solved.iterations)
+        assert back.coverage == pytest.approx(solved.coverage)
+
+    def test_dict_is_json_clean(self, solved):
+        import json
+
+        payload = json.dumps(result_to_dict(solved))
+        assert "combinations" in payload
+
+    def test_iteration_details_preserved(self, solved, tmp_path):
+        path = tmp_path / "r.json"
+        save_result(solved, path)
+        back = load_result(path)
+        for a, b in zip(solved.iterations, back.iterations):
+            assert a.newly_covered == b.newly_covered
+            assert a.tumor_words == b.tumor_words
+            assert a.combination.genes == b.combination.genes

@@ -1,0 +1,78 @@
+"""Tests for the vectorized scoring kernels."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.bitmatrix.matrix import BitMatrix
+from repro.core.fscore import FScoreParams
+from repro.core.kernels import KernelCounters, best_of, score_combos
+
+
+class TestScoreCombos:
+    def test_matches_dense_reference(self, small_matrices):
+        t, n, params = small_matrices
+        tumor = BitMatrix.from_dense(t)
+        normal = BitMatrix.from_dense(n)
+        combos = np.array(list(itertools.combinations(range(8), 3)))
+        f, tp, tn = score_combos(tumor, normal, combos, params)
+        for row, fv, tpv, tnv in zip(combos, f, tp, tn):
+            e_tp = int(np.logical_and.reduce(t[row], axis=0).sum())
+            e_tn = params.n_normal - int(np.logical_and.reduce(n[row], axis=0).sum())
+            assert tpv == e_tp
+            assert tnv == e_tn
+            assert fv == pytest.approx((0.1 * e_tp + e_tn) / params.denominator)
+
+    def test_empty_block(self, small_bitmatrices):
+        tumor, normal, params = small_bitmatrices
+        f, tp, tn = score_combos(tumor, normal, np.empty((0, 3), dtype=int), params)
+        assert len(f) == len(tp) == len(tn) == 0
+
+    def test_rejects_1d(self, small_bitmatrices):
+        tumor, normal, params = small_bitmatrices
+        with pytest.raises(ValueError):
+            score_combos(tumor, normal, np.array([1, 2, 3]), params)
+
+    def test_does_not_mutate_matrices(self, small_bitmatrices):
+        tumor, normal, params = small_bitmatrices
+        before_t = tumor.words.copy()
+        before_n = normal.words.copy()
+        score_combos(tumor, normal, np.array([[0, 1, 2], [3, 4, 5]]), params)
+        np.testing.assert_array_equal(tumor.words, before_t)
+        np.testing.assert_array_equal(normal.words, before_n)
+
+    def test_counters_accumulate(self, small_bitmatrices):
+        tumor, normal, params = small_bitmatrices
+        counters = KernelCounters()
+        combos = np.array([[0, 1], [2, 3], [4, 5]])
+        score_combos(tumor, normal, combos, params, counters)
+        assert counters.combos_scored == 3
+        assert counters.word_reads == 3 * 2 * (tumor.n_words + normal.n_words)
+        score_combos(tumor, normal, combos, params, counters)
+        assert counters.combos_scored == 6
+
+    def test_counters_merge(self):
+        a = KernelCounters(combos_scored=1, word_reads=2, word_ops=3)
+        b = KernelCounters(combos_scored=10, word_reads=20, word_ops=30)
+        a.merge(b)
+        assert (a.combos_scored, a.word_reads, a.word_ops) == (11, 22, 33)
+
+
+class TestBestOf:
+    def test_empty(self):
+        assert best_of(np.empty((0, 2)), np.array([]), np.array([]), np.array([])) is None
+
+    def test_picks_max(self):
+        combos = np.array([[0, 1], [0, 2], [1, 2]])
+        f = np.array([0.1, 0.9, 0.5])
+        best = best_of(combos, f, np.array([1, 2, 3]), np.array([4, 5, 6]))
+        assert best.genes == (0, 2)
+        assert best.f == pytest.approx(0.9)
+        assert (best.tp, best.tn) == (2, 5)
+
+    def test_tie_break_lexicographic(self):
+        combos = np.array([[1, 3], [0, 9], [0, 5]])
+        f = np.array([0.5, 0.5, 0.5])
+        best = best_of(combos, f, np.zeros(3, int), np.zeros(3, int))
+        assert best.genes == (0, 5)

@@ -1,0 +1,54 @@
+"""Tests for the labeled GeneSampleMatrix."""
+
+import numpy as np
+import pytest
+
+from repro.data.matrices import GeneSampleMatrix
+
+
+def make(g=4, s=6, seed=0):
+    rng = np.random.default_rng(seed)
+    return GeneSampleMatrix(
+        rng.random((g, s)) < 0.5,
+        tuple(f"g{i}" for i in range(g)),
+        tuple(f"s{i}" for i in range(s)),
+    )
+
+
+class TestValidation:
+    def test_label_lengths_checked(self):
+        with pytest.raises(ValueError):
+            GeneSampleMatrix(np.zeros((2, 3), dtype=bool), ("a",), ("x", "y", "z"))
+        with pytest.raises(ValueError):
+            GeneSampleMatrix(np.zeros((2, 3), dtype=bool), ("a", "b"), ("x",))
+
+    def test_must_be_2d(self):
+        with pytest.raises(ValueError):
+            GeneSampleMatrix(np.zeros(3, dtype=bool), ("a", "b", "c"), ())
+
+
+class TestOps:
+    def test_to_bitmatrix_roundtrip(self):
+        m = make()
+        np.testing.assert_array_equal(m.to_bitmatrix().to_dense(), m.values)
+
+    def test_select_samples(self):
+        m = make(s=6)
+        sub = m.select_samples(np.array([0, 3, 5]))
+        assert sub.sample_ids == ("s0", "s3", "s5")
+        np.testing.assert_array_equal(sub.values, m.values[:, [0, 3, 5]])
+
+    def test_gene_index(self):
+        m = make()
+        assert m.gene_index("g2") == 2
+        with pytest.raises(KeyError):
+            m.gene_index("nope")
+
+    def test_mutation_frequency(self):
+        values = np.array([[1, 1, 0, 0], [1, 0, 0, 0]], dtype=bool)
+        m = GeneSampleMatrix(values, ("a", "b"), ("w", "x", "y", "z"))
+        np.testing.assert_allclose(m.mutation_frequency(), [0.5, 0.25])
+
+    def test_empty_samples_frequency(self):
+        m = GeneSampleMatrix(np.zeros((2, 0), dtype=bool), ("a", "b"), ())
+        np.testing.assert_array_equal(m.mutation_frequency(), [0.0, 0.0])

@@ -1,0 +1,93 @@
+"""Tests for the memory-optimization config and access-count model."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.core.memopt import MemoryConfig, global_word_reads
+from repro.scheduling.schemes import SCHEME_2X2, SCHEME_3X1, Scheme
+from repro.scheduling.workload import total_threads
+
+
+def brute_force_reads(scheme, g, words, lo, hi, config):
+    """Count word reads by explicit thread enumeration."""
+    pre = min(config.prefetched_rows, scheme.flattened)
+    per_combo_rows = (scheme.flattened - pre) + scheme.inner
+    combos = sorted(
+        itertools.combinations(range(g), scheme.flattened),
+        key=lambda t: tuple(reversed(t)),
+    )
+    total = 0
+    for lam in range(lo, hi):
+        top = combos[lam][-1]
+        w = math.comb(g - 1 - top, scheme.inner)
+        total += pre + w * per_combo_rows
+    return total * words
+
+
+class TestConfig:
+    def test_labels(self):
+        assert MemoryConfig(False, False, False).label == "baseline"
+        assert MemoryConfig(True, False, False).label == "MemOpt1"
+        assert MemoryConfig(True, True, True).label == "MemOpt1+MemOpt2+BitSplicing"
+
+    def test_prefetched_rows(self):
+        assert MemoryConfig(False, False, False).prefetched_rows == 0
+        assert MemoryConfig(True, False, False).prefetched_rows == 1
+        assert MemoryConfig(True, True, False).prefetched_rows == 2
+
+    def test_default_all_on(self):
+        m = MemoryConfig()
+        assert m.prefetch_i and m.prefetch_j and m.bitsplice
+
+
+class TestGlobalWordReads:
+    @pytest.mark.parametrize("scheme", [Scheme(2, 1), SCHEME_3X1, SCHEME_2X2])
+    @pytest.mark.parametrize(
+        "config",
+        [
+            MemoryConfig(False, False, False),
+            MemoryConfig(True, False, False),
+            MemoryConfig(True, True, False),
+        ],
+    )
+    def test_matches_brute_force(self, scheme, config):
+        g, words = 12, 3
+        total = total_threads(scheme, g)
+        for lo, hi in [(0, total), (5, total // 2), (total - 4, total)]:
+            assert global_word_reads(scheme, g, words, lo, hi, config) == (
+                brute_force_reads(scheme, g, words, lo, hi, config)
+            )
+
+    def test_empty_range(self):
+        assert global_word_reads(SCHEME_3X1, 10, 2, 5, 5, MemoryConfig()) == 0
+
+    def test_prefetch_reduces_reads(self):
+        g, words = 30, 4
+        total = total_threads(SCHEME_3X1, g)
+        reads = [
+            global_word_reads(SCHEME_3X1, g, words, 0, total, MemoryConfig(i, j, False))
+            for i, j in [(False, False), (True, False), (True, True)]
+        ]
+        assert reads[0] > reads[1] > reads[2]
+
+    def test_four_to_two_rows_is_near_2x(self):
+        # 3x1: baseline reads 4 rows/combo, full prefetch reads 2 — the
+        # asymptotic reduction approaches 2x as inner loops dominate.
+        g, words = 200, 4
+        total = total_threads(SCHEME_3X1, g)
+        base = global_word_reads(
+            SCHEME_3X1, g, words, 0, total, MemoryConfig(False, False, False)
+        )
+        opt = global_word_reads(
+            SCHEME_3X1, g, words, 0, total, MemoryConfig(True, True, False)
+        )
+        assert 1.8 < base / opt <= 2.0
+
+    def test_scales_linearly_with_words(self):
+        g = 15
+        total = total_threads(SCHEME_3X1, g)
+        r1 = global_word_reads(SCHEME_3X1, g, 1, 0, total, MemoryConfig())
+        r7 = global_word_reads(SCHEME_3X1, g, 7, 0, total, MemoryConfig())
+        assert r7 == 7 * r1

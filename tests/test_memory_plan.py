@@ -1,0 +1,51 @@
+"""Tests for the per-GPU memory-footprint planner."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel.memory import plan_memory
+from repro.scheduling.equiarea import equiarea_schedule
+from repro.scheduling.schemes import SCHEME_3X1
+
+
+class TestPlanMemory:
+    def test_full_replication_size(self):
+        sched = equiarea_schedule(SCHEME_3X1, 1000, 6)
+        plan = plan_memory(sched, words=10)
+        assert plan.full_replication_bytes == 1000 * 10 * 8
+
+    def test_hot_set_shrinks_with_partition_index(self):
+        sched = equiarea_schedule(SCHEME_3X1, 2000, 12)
+        plan = plan_memory(sched, words=4)
+        hot = plan.hot_bytes
+        # Later partitions' inner loops span fewer rows.
+        assert hot[0] > hot[-1]
+        assert (np.diff(hot) <= 0).all()
+
+    def test_hot_fraction_below_one(self):
+        sched = equiarea_schedule(SCHEME_3X1, 2000, 12)
+        plan = plan_memory(sched, words=4)
+        assert 0 < plan.mean_hot_fraction < 1.0
+
+    def test_hot_plus_stream_covers_at_most_matrix(self):
+        sched = equiarea_schedule(SCHEME_3X1, 500, 8)
+        plan = plan_memory(sched, words=2)
+        assert (plan.hot_bytes <= plan.full_replication_bytes).all()
+        assert (plan.streamable_bytes <= plan.full_replication_bytes).all()
+
+    def test_fits_flags(self):
+        sched = equiarea_schedule(SCHEME_3X1, 100, 2)
+        plan = plan_memory(sched, words=1)
+        assert plan.replication_fits and plan.hot_set_fits
+
+    def test_empty_partitions(self):
+        sched = equiarea_schedule(SCHEME_3X1, 5, 30)
+        plan = plan_memory(sched, words=1)
+        assert (plan.hot_bytes >= 0).all()
+
+    def test_mutation_scale_plan(self):
+        # The Section V case: 4e5 rows still schedulable and plannable.
+        sched = equiarea_schedule(SCHEME_3X1, 400_000, 24)
+        plan = plan_memory(sched, words=31)
+        assert plan.full_replication_bytes == 400_000 * 31 * 8
+        assert plan.hot_set_fits

@@ -1,0 +1,77 @@
+"""Tests for cross-combination gene analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.overlap import (
+    combination_jaccard,
+    gene_recurrence,
+    rank_genes,
+)
+
+
+class TestRecurrence:
+    def test_counts_combinations_not_occurrences(self):
+        counts = gene_recurrence([(1, 2, 3), (1, 4, 5), (1, 2, 6)])
+        assert counts[1] == 3
+        assert counts[2] == 2
+        assert counts[6] == 1
+
+    def test_empty(self):
+        assert gene_recurrence([]) == {}
+
+
+class TestJaccard:
+    def test_identical(self):
+        a = [(1, 2), (3, 4)]
+        assert combination_jaccard(a, a) == 1.0
+
+    def test_disjoint(self):
+        assert combination_jaccard([(1, 2)], [(3, 4)]) == 0.0
+
+    def test_partial(self):
+        assert combination_jaccard([(1, 2, 3)], [(3, 4)]) == pytest.approx(1 / 4)
+
+    def test_both_empty(self):
+        assert combination_jaccard([], []) == 1.0
+
+
+class TestRankGenes:
+    def test_driver_vs_passenger_signature(self):
+        rng = np.random.default_rng(0)
+        # Gene 0: driver (tumor-only). Gene 1: passenger (everywhere).
+        tumor = rng.random((5, 100)) < 0.05
+        normal = rng.random((5, 100)) < 0.05
+        tumor[0] = True
+        tumor[1] = normal[1] = True
+        ranks = rank_genes([(0, 1, 2)], tumor, normal)
+        by_gene = {r.gene: r for r in ranks}
+        assert by_gene[0].enrichment > 5
+        assert by_gene[1].enrichment == pytest.approx(1.0)
+
+    def test_sorted_by_recurrence_then_enrichment(self):
+        tumor = np.zeros((4, 10), dtype=bool)
+        normal = np.zeros((4, 10), dtype=bool)
+        tumor[0] = True  # enriched
+        tumor[1, :5] = True
+        normal[1, :5] = True  # passenger-like
+        ranks = rank_genes([(0, 1), (0, 2), (1, 3)], tumor, normal)
+        assert ranks[0].gene in (0, 1)  # recurrence 2 each
+        assert ranks[0].gene == 0  # enrichment breaks the tie
+        assert [r.recurrence for r in ranks] == sorted(
+            [r.recurrence for r in ranks], reverse=True
+        )
+
+    def test_on_solver_output(self, tiny_cohort):
+        from repro.core.solver import MultiHitSolver
+
+        res = MultiHitSolver(hits=3).solve(
+            tiny_cohort.tumor.values, tiny_cohort.normal.values
+        )
+        ranks = rank_genes(
+            res.gene_sets(), tiny_cohort.tumor.values, tiny_cohort.normal.values
+        )
+        planted_genes = {g for combo in tiny_cohort.planted for g in combo}
+        # The most recurrent, most enriched genes are the planted drivers.
+        top = {r.gene for r in ranks[:4]}
+        assert top & planted_genes

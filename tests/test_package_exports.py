@@ -1,0 +1,65 @@
+"""Subpackage export-surface checks."""
+
+import importlib
+
+import pytest
+
+SUBPACKAGES = [
+    "repro.bitmatrix",
+    "repro.combinatorics",
+    "repro.scheduling",
+    "repro.core",
+    "repro.cluster",
+    "repro.gpusim",
+    "repro.perfmodel",
+    "repro.data",
+    "repro.analysis",
+    "repro.mutlevel",
+    "repro.experiments",
+    "repro.io",
+]
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_subpackage_all_resolves(name):
+    mod = importlib.import_module(name)
+    exported = getattr(mod, "__all__", None)
+    if exported is None:
+        return
+    for attr in exported:
+        assert hasattr(mod, attr), f"{name}.{attr} missing"
+
+
+def test_scheduling_extension_exports():
+    from repro.scheduling import (  # noqa: F401
+        InterleavedSchedule,
+        ThreadCostModel,
+        costaware_schedule,
+        interleaved_schedule,
+        lambda_cut_for_work,
+        latency_aware_schedule,
+    )
+
+
+def test_perfmodel_extension_exports():
+    from repro.perfmodel import (  # noqa: F401
+        GpuMemoryPlan,
+        interleaved_gpu_busy_times,
+        plan_memory,
+    )
+
+
+def test_every_module_has_docstring():
+    import pathlib
+
+    import repro
+
+    root = pathlib.Path(repro.__file__).parent
+    for path in sorted(root.rglob("*.py")):
+        source = path.read_text()
+        if not source.strip():
+            continue
+        first = source.lstrip()
+        assert first.startswith('"""') or first.startswith("'''"), (
+            f"{path} lacks a module docstring"
+        )

@@ -1,0 +1,102 @@
+"""Tests for 64-sample bit packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.bitmatrix.packing import WORD_BITS, pack_bool_matrix, unpack_bool_matrix, words_for
+
+
+class TestWordsFor:
+    @pytest.mark.parametrize(
+        "n,expected", [(0, 0), (1, 1), (63, 1), (64, 1), (65, 2), (128, 2), (911, 15)]
+    )
+    def test_values(self, n, expected):
+        assert words_for(n) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            words_for(-1)
+
+
+class TestPacking:
+    def test_roundtrip_simple(self):
+        dense = np.array([[1, 0, 1], [0, 1, 1]], dtype=np.uint8)
+        packed = pack_bool_matrix(dense)
+        assert packed.shape == (2, 1)
+        assert packed.dtype == np.uint64
+        np.testing.assert_array_equal(
+            unpack_bool_matrix(packed, 3), dense.astype(bool)
+        )
+
+    def test_bit_layout_lsb_first(self):
+        dense = np.zeros((1, 70), dtype=bool)
+        dense[0, 0] = True   # word 0, bit 0
+        dense[0, 63] = True  # word 0, bit 63
+        dense[0, 64] = True  # word 1, bit 0
+        packed = pack_bool_matrix(dense)
+        assert packed.shape == (1, 2)
+        assert int(packed[0, 0]) == (1 | (1 << 63))
+        assert int(packed[0, 1]) == 1
+
+    def test_tail_bits_zero(self):
+        dense = np.ones((3, 70), dtype=bool)
+        packed = pack_bool_matrix(dense)
+        # Bits 70..127 of the second word must be zero.
+        assert int(packed[0, 1]) == (1 << 6) - 1
+
+    def test_compression_ratio(self):
+        # 64 samples/word: a byte-per-sample dense matrix shrinks ~8x in
+        # bytes (the paper quotes 32x vs their 4-byte int representation).
+        dense = np.ones((100, 640), dtype=np.uint8)
+        packed = pack_bool_matrix(dense)
+        assert dense.nbytes / packed.nbytes == 8.0
+        assert (dense.astype(np.int32).nbytes / packed.nbytes) == 32.0
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            pack_bool_matrix(np.zeros(10))
+        with pytest.raises(ValueError):
+            unpack_bool_matrix(np.zeros(4, dtype=np.uint64), 10)
+
+    def test_unpack_capacity_check(self):
+        with pytest.raises(ValueError):
+            unpack_bool_matrix(np.zeros((2, 1), dtype=np.uint64), 65)
+
+    def test_zero_samples(self):
+        packed = pack_bool_matrix(np.zeros((5, 0), dtype=bool))
+        assert packed.shape == (5, 0)
+        assert unpack_bool_matrix(packed, 0).shape == (5, 0)
+
+    @given(
+        arrays(
+            dtype=bool,
+            shape=st.tuples(
+                st.integers(min_value=1, max_value=8),
+                st.integers(min_value=1, max_value=200),
+            ),
+        )
+    )
+    def test_hypothesis_roundtrip(self, dense):
+        packed = pack_bool_matrix(dense)
+        assert packed.shape == (dense.shape[0], words_for(dense.shape[1]))
+        np.testing.assert_array_equal(
+            unpack_bool_matrix(packed, dense.shape[1]), dense
+        )
+
+    @given(
+        arrays(
+            dtype=bool,
+            shape=st.tuples(
+                st.integers(min_value=1, max_value=4),
+                st.integers(min_value=1, max_value=150),
+            ),
+        )
+    )
+    def test_hypothesis_popcount_preserved(self, dense):
+        packed = pack_bool_matrix(dense)
+        np.testing.assert_array_equal(
+            np.bitwise_count(packed).sum(axis=1), dense.sum(axis=1)
+        )

@@ -1,0 +1,27 @@
+"""Tests for the top-level public API surface."""
+
+import repro
+
+
+class TestApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_docstring_flow(self):
+        # The flow shown in the package docstring must actually work.
+        cohort = repro.generate_cohort(
+            repro.CohortConfig(n_genes=20, n_tumor=40, n_normal=40, hits=2, seed=0)
+        )
+        result = repro.MultiHitSolver(hits=2).solve(
+            cohort.tumor.values, cohort.normal.values
+        )
+        assert result.combinations
+        assert all(len(c.genes) == 2 for c in result.combinations)
+
+    def test_scheme_constants_exported(self):
+        assert repro.SCHEME_3X1.name == "3x1"
+        assert repro.SCHEME_2X2.hits == 4

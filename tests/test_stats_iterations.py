@@ -1,0 +1,94 @@
+"""Tests for cohort statistics and the iteration-model fitter."""
+
+import numpy as np
+import pytest
+
+from repro.data.stats import (
+    cooccurrence_matrix,
+    pairwise_log_odds,
+    summarize_matrix,
+)
+from repro.data.synthesis import CohortConfig, generate_cohort
+from repro.perfmodel.iterations import fit_iteration_model
+from repro.core.solver import MultiHitSolver
+
+
+class TestSummary:
+    def test_values(self):
+        dense = np.array([[1, 1, 0], [0, 0, 0], [1, 0, 1]], dtype=bool)
+        s = summarize_matrix(dense)
+        assert s.n_genes == 3 and s.n_samples == 3
+        assert s.mutation_rate == pytest.approx(4 / 9)
+        assert s.mutations_per_sample_max == 2
+        assert s.silent_genes == 1
+        assert "silent" in s.describe()
+
+    def test_accepts_gene_sample_matrix(self, tiny_cohort):
+        s = summarize_matrix(tiny_cohort.tumor)
+        assert s.n_genes == tiny_cohort.tumor.n_genes
+
+
+class TestCooccurrence:
+    def test_counts(self):
+        dense = np.array([[1, 1, 0], [1, 0, 0], [0, 1, 1]], dtype=bool)
+        c = cooccurrence_matrix(dense)
+        assert c[0, 0] == 2  # diagonal = per-gene counts
+        assert c[0, 1] == 1  # genes 0,1 share sample 0
+        assert c[1, 2] == 0
+        np.testing.assert_array_equal(c, c.T)
+
+    def test_planted_combo_coocurs(self, tiny_cohort):
+        lo = pairwise_log_odds(tiny_cohort.tumor)
+        combo = tiny_cohort.planted[0]
+        within = [lo[a, b] for a in combo for b in combo if a < b]
+        # Genes of the same planted combination co-occur strongly.
+        assert min(within) > 1.0
+
+    def test_cross_combo_not_enriched(self, tiny_cohort):
+        lo = pairwise_log_odds(tiny_cohort.tumor)
+        a = tiny_cohort.planted[0][0]
+        b = tiny_cohort.planted[1][0]
+        within = lo[tiny_cohort.planted[0][0], tiny_cohort.planted[0][1]]
+        across = lo[a, b]
+        assert across < within
+
+    def test_log_odds_symmetric_zero_diagonal(self):
+        rng = np.random.default_rng(0)
+        dense = rng.random((6, 40)) < 0.3
+        lo = pairwise_log_odds(dense)
+        np.testing.assert_allclose(lo, lo.T)
+        np.testing.assert_array_equal(np.diag(lo), 0.0)
+        assert np.isfinite(lo).all()
+
+
+class TestIterationFit:
+    def test_fit_recovers_trajectory(self, rng):
+        t = rng.random((12, 80)) < 0.4
+        n = rng.random((12, 80)) < 0.1
+        result = MultiHitSolver(hits=2).solve(t, n)
+        fit = fit_iteration_model(result)
+        assert fit.n_iterations == len(result.iterations)
+        assert 0 < fit.cover_fraction < 1
+        assert fit.rmse < result.params.n_tumor  # sane scale
+        assert len(fit.empirical_fractions) == fit.n_iterations
+
+    def test_fitted_model_plugs_into_jobmodel(self, rng):
+        from repro.perfmodel.runtime import JobModel
+        from repro.perfmodel.workloads import ACC
+        from repro.scheduling.schemes import SCHEME_3X1
+
+        t = rng.random((12, 60)) < 0.45
+        n = rng.random((12, 60)) < 0.1
+        result = MultiHitSolver(hits=2).solve(t, n)
+        fit = fit_iteration_model(result)
+        model = JobModel(scheme=SCHEME_3X1, iteration_model=fit.model)
+        job = model.run(ACC, 2)
+        assert len(job.iteration_s) == fit.n_iterations
+
+    def test_empty_result(self):
+        t = np.zeros((5, 6), dtype=bool)
+        n = np.zeros((5, 6), dtype=bool)
+        result = MultiHitSolver(hits=2).solve(t, n)
+        fit = fit_iteration_model(result)
+        assert fit.n_iterations == 1
+        assert fit.cover_fraction == 0.0

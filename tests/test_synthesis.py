@@ -1,0 +1,103 @@
+"""Tests for the planted-combination cohort generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.cancers import cancer
+from repro.data.synthesis import CohortConfig, generate_cohort
+
+
+def cfg(**kw):
+    base = dict(n_genes=40, n_tumor=100, n_normal=80, hits=3, n_driver_combos=3, seed=1)
+    base.update(kw)
+    return CohortConfig(**base)
+
+
+class TestConfig:
+    def test_needs_room_for_drivers(self):
+        with pytest.raises(ValueError):
+            CohortConfig(n_genes=10, n_tumor=5, n_normal=5, hits=4, n_driver_combos=3)
+
+    def test_penetrance_range(self):
+        with pytest.raises(ValueError):
+            cfg(driver_penetrance=1.5)
+
+    def test_sporadic_range(self):
+        with pytest.raises(ValueError):
+            cfg(sporadic_fraction=1.0)
+
+
+class TestGeneration:
+    def test_shapes_and_labels(self):
+        c = generate_cohort(cfg())
+        assert c.tumor.values.shape == (40, 100)
+        assert c.normal.values.shape == (40, 80)
+        assert len(c.tumor.gene_names) == 40
+        assert c.tumor.gene_names == c.normal.gene_names
+        assert len(set(c.tumor.sample_ids)) == 100
+
+    def test_planted_combos_disjoint_and_sorted(self):
+        c = generate_cohort(cfg())
+        seen = set()
+        for combo in c.planted:
+            assert list(combo) == sorted(combo)
+            assert not (set(combo) & seen)
+            seen |= set(combo)
+
+    def test_deterministic_by_seed(self):
+        a = generate_cohort(cfg(seed=9))
+        b = generate_cohort(cfg(seed=9))
+        np.testing.assert_array_equal(a.tumor.values, b.tumor.values)
+        assert a.planted == b.planted
+
+    def test_different_seeds_differ(self):
+        a = generate_cohort(cfg(seed=1))
+        b = generate_cohort(cfg(seed=2))
+        assert not np.array_equal(a.tumor.values, b.tumor.values)
+
+    def test_assignment_consistent_with_mutations(self):
+        c = generate_cohort(cfg(driver_penetrance=1.0, sporadic_fraction=0.0))
+        # With full penetrance every assigned sample carries its combo.
+        for s, a in enumerate(c.assignment):
+            combo = c.planted[a]
+            assert c.tumor.values[list(combo), s].all()
+
+    def test_drivers_enriched_in_tumors(self):
+        c = generate_cohort(cfg())
+        driver_genes = [g for combo in c.planted for g in combo]
+        t_freq = c.tumor.values[driver_genes].mean()
+        n_freq = c.normal.values[driver_genes].mean()
+        assert t_freq > n_freq + 0.1
+
+    def test_sporadic_fraction_approximate(self):
+        c = generate_cohort(cfg(n_tumor=2000, sporadic_fraction=0.25))
+        frac = (c.assignment < 0).mean()
+        assert 0.18 < frac < 0.32
+
+    def test_background_rates_recorded(self):
+        c = generate_cohort(cfg())
+        assert c.background_rates.shape == (40,)
+        assert (c.background_rates >= 0).all()
+
+    def test_planted_names(self):
+        c = generate_cohort(cfg())
+        names = c.planted_names
+        assert len(names) == 3
+        assert all(n.startswith("G") for combo in names for n in combo)
+
+
+class TestFromCatalog:
+    def test_catalog_counts_respected(self):
+        acc = cancer("ACC")
+        c = generate_cohort(cancer=acc, n_genes=60)
+        assert c.tumor.n_samples == acc.n_tumor
+        assert c.normal.n_samples == acc.n_normal
+        assert c.config.hits == acc.estimated_hits
+
+    def test_requires_config_or_cancer(self):
+        with pytest.raises(ValueError):
+            generate_cohort()
+
+    def test_overrides_only_with_cancer(self):
+        with pytest.raises(ValueError):
+            generate_cohort(cfg(), n_genes=10)

@@ -1,0 +1,139 @@
+"""Tests for the lambda <-> (i, j, k) tetrahedral map (Algorithm 3)."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.combinatorics.tetrahedral import (
+    linear_from_triple,
+    sqrt_729l2_minus_3_logexp,
+    tetrahedral_size,
+    triple_from_linear,
+    triple_from_linear_array,
+    triple_from_linear_closed_form,
+)
+
+
+class TestForwardMap:
+    def test_first_triples(self):
+        assert linear_from_triple(0, 1, 2) == 0
+        assert linear_from_triple(0, 1, 3) == 1
+        assert linear_from_triple(0, 2, 3) == 2
+        assert linear_from_triple(1, 2, 3) == 3
+        assert linear_from_triple(0, 1, 4) == 4
+
+    def test_rejects_bad_order(self):
+        for bad in [(0, 0, 1), (2, 1, 3), (0, 3, 3), (-1, 0, 1)]:
+            with pytest.raises(ValueError):
+                linear_from_triple(*bad)
+
+
+class TestInverseScalar:
+    def test_roundtrip_exhaustive(self):
+        for lam in range(tetrahedral_size(40)):
+            i, j, k = triple_from_linear(lam)
+            assert 0 <= i < j < k
+            assert linear_from_triple(i, j, k) == lam
+
+    def test_enumeration_order_is_colex(self):
+        g = 15
+        expected = sorted(
+            itertools.combinations(range(g), 3), key=lambda t: (t[2], t[1], t[0])
+        )
+        got = [triple_from_linear(lam) for lam in range(tetrahedral_size(g))]
+        assert got == expected
+
+    def test_huge_lambda_exact(self):
+        lam = 10**24
+        t = triple_from_linear(lam)
+        assert linear_from_triple(*t) == lam
+
+    @given(st.integers(min_value=0, max_value=10**18))
+    def test_hypothesis_roundtrip(self, lam):
+        t = triple_from_linear(lam)
+        assert linear_from_triple(*t) == lam
+
+
+class TestClosedForm:
+    def test_matches_scalar_small(self):
+        lam = np.arange(tetrahedral_size(30), dtype=np.uint64)
+        i, j, k = triple_from_linear_closed_form(lam)
+        for idx in range(len(lam)):
+            assert (int(i[idx]), int(j[idx]), int(k[idx])) == triple_from_linear(idx)
+
+    def test_paper_scale_window(self):
+        # Last threads of the BRCA 3x1 grid: lambda near C(19411, 3).
+        top = math.comb(19411, 3)
+        lam = np.arange(top - 8, top, dtype=np.uint64)
+        i, j, k = triple_from_linear_array(lam)
+        assert int(k[-1]) == 19410
+        for a, b, c, l0 in zip(i, j, k, lam):
+            assert linear_from_triple(int(a), int(b), int(c)) == int(l0)
+
+    def test_tetrahedral_boundaries(self):
+        # At C(k, 3) the triple resets to (0, 1, k).
+        ks = np.arange(3, 4000, 113)
+        lam = np.array([math.comb(int(k), 3) for k in ks], dtype=np.uint64)
+        i, j, k = triple_from_linear_closed_form(lam)
+        np.testing.assert_array_equal(i, 0)
+        np.testing.assert_array_equal(j, 1)
+        np.testing.assert_array_equal(k, ks)
+
+    def test_logexp_and_direct_forms_agree(self):
+        lam = np.arange(1, 5000, dtype=np.uint64)
+        a = triple_from_linear_closed_form(lam, use_logexp=True)
+        b = triple_from_linear_closed_form(lam, use_logexp=False)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_overflow_guard(self):
+        with pytest.raises(OverflowError):
+            triple_from_linear_closed_form(np.array([1 << 60], dtype=np.uint64))
+
+    def test_mutation_level_grid_range(self):
+        # C(4e5, 3) ~ 1.1e16 exceeds 2**52; the repair loops keep the
+        # decode exact out there (needed by the Section V extension).
+        top = math.comb(400_000, 3)
+        lam = np.array([top - 1, top - 12345], dtype=np.uint64)
+        i, j, k = triple_from_linear_closed_form(lam)
+        for a, b, c, l0 in zip(i, j, k, lam):
+            assert linear_from_triple(int(a), int(b), int(c)) == int(l0)
+
+    @settings(max_examples=200)
+    @given(st.integers(min_value=0, max_value=(1 << 52) - 1))
+    def test_hypothesis_closed_form_exact(self, lam):
+        i, j, k = triple_from_linear_closed_form(np.array([lam], dtype=np.uint64))
+        assert linear_from_triple(int(i[0]), int(j[0]), int(k[0])) == lam
+
+
+class TestLogExpDiscriminant:
+    def test_matches_exact_value(self):
+        # 3*lam * (243*lam - 1/lam) == 729*lam^2 - 3, so the log/exp route
+        # must reproduce sqrt(729*lam^2 - 3) to float precision.
+        for lam in [1, 2, 1000, 10**9, 2**40, 2**51]:
+            got = float(sqrt_729l2_minus_3_logexp(np.array([lam], dtype=np.float64))[0])
+            exact = 729 * lam * lam - 3
+            assert abs(got * got - exact) / exact < 1e-9
+
+    def test_rejects_lambda_below_one(self):
+        with pytest.raises(ValueError):
+            sqrt_729l2_minus_3_logexp(np.array([0.0]))
+
+    def test_avoids_128bit_overflow_range(self):
+        # 729 * (2**51)**2 overflows u64 (needs 128-bit); the log/exp path
+        # must still be finite and positive there.
+        lam = np.array([2.0**51], dtype=np.float64)
+        got = sqrt_729l2_minus_3_logexp(lam)
+        assert np.isfinite(got[0]) and got[0] > 0
+
+
+class TestSize:
+    def test_sizes(self):
+        assert tetrahedral_size(2) == 0
+        assert tetrahedral_size(3) == 1
+        assert tetrahedral_size(10) == 120
+        assert tetrahedral_size(19411) == math.comb(19411, 3)

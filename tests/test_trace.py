@@ -1,0 +1,72 @@
+"""Tests for virtual-cluster event tracing."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.network import NetworkModel
+from repro.cluster.trace import TracingCluster
+
+
+def make(n=3):
+    return TracingCluster(
+        n, network=NetworkModel(latency_s=1e-6, bandwidth_bps=1e9,
+                                per_rank_software_overhead_s=0.0)
+    )
+
+
+class TestTracing:
+    def test_events_recorded_per_phase(self):
+        vc = make(2)
+        vc.compute(np.array([1.0, 2.0]))
+        vc.reduce_to_root(20)
+        vc.bcast_from_root(40)
+        phases = [e.phase for e in vc.trace.events]
+        assert phases.count("compute") == 2
+        assert phases.count("reduce") == 2
+        assert phases.count("bcast") == 2
+
+    def test_event_intervals_consistent(self):
+        vc = make(2)
+        vc.compute(np.array([1.0, 3.0]))
+        vc.reduce_to_root(20)
+        for e in vc.trace.events:
+            assert e.end_s >= e.start_s
+            assert e.duration_s == pytest.approx(e.end_s - e.start_s)
+        # Rank timelines are contiguous: compute end == reduce start.
+        r0 = vc.trace.for_rank(0)
+        assert r0[0].end_s == pytest.approx(r0[1].start_s)
+
+    def test_critical_rank_is_straggler(self):
+        vc = make(3)
+        vc.compute(np.array([1.0, 5.0, 2.0]))
+        vc.reduce_to_root(20)
+        assert vc.trace.critical_rank(0) == 1
+
+    def test_wait_time_sums_gaps(self):
+        vc = make(3)
+        vc.compute(np.array([1.0, 5.0, 2.0]))
+        assert vc.trace.wait_time(0) == pytest.approx((5 - 1) + (5 - 2))
+
+    def test_iteration_counter(self):
+        vc = make(2)
+        vc.compute(np.array([1.0, 1.0]))
+        vc.next_iteration()
+        vc.compute(np.array([1.0, 1.0]))
+        assert vc.trace.n_iterations == 2
+        assert vc.trace.critical_rank(1) in (0, 1)
+
+    def test_empty_trace(self):
+        vc = make(2)
+        assert vc.trace.n_iterations == 0
+        assert vc.trace.critical_rank(0) is None
+        assert vc.trace.wait_time(0) == 0.0
+
+    def test_virtual_cluster_semantics_preserved(self):
+        from repro.cluster.virtual import VirtualCluster
+
+        plain = VirtualCluster(n_ranks=3)
+        traced = TracingCluster(3)
+        for vc in (plain, traced):
+            vc.compute(np.array([1.0, 2.0, 3.0]))
+            vc.reduce_to_root(20)
+        np.testing.assert_allclose(plain.clock, traced.clock)

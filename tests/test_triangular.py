@@ -1,0 +1,103 @@
+"""Tests for the lambda <-> (i, j) triangular index map (Algorithms 1-2)."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.combinatorics.triangular import (
+    linear_from_pair,
+    pair_from_linear,
+    pair_from_linear_array,
+    triangular_size,
+)
+
+
+class TestForwardMap:
+    def test_first_pairs(self):
+        assert linear_from_pair(0, 1) == 0
+        assert linear_from_pair(0, 2) == 1
+        assert linear_from_pair(1, 2) == 2
+        assert linear_from_pair(0, 3) == 3
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            linear_from_pair(2, 2)
+        with pytest.raises(ValueError):
+            linear_from_pair(3, 1)
+        with pytest.raises(ValueError):
+            linear_from_pair(-1, 0)
+
+
+class TestInverseScalar:
+    def test_roundtrip_exhaustive(self):
+        for lam in range(triangular_size(60)):
+            i, j = pair_from_linear(lam)
+            assert 0 <= i < j
+            assert linear_from_pair(i, j) == lam
+
+    def test_enumeration_order_is_colex(self):
+        g = 25
+        expected = sorted(itertools.combinations(range(g), 2), key=lambda p: (p[1], p[0]))
+        got = [pair_from_linear(lam) for lam in range(triangular_size(g))]
+        assert got == expected
+
+    def test_huge_lambda_exact(self):
+        lam = 10**30  # far beyond float precision
+        i, j = pair_from_linear(lam)
+        assert linear_from_pair(i, j) == lam
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            pair_from_linear(-1)
+
+    @given(st.integers(min_value=0, max_value=10**18))
+    def test_hypothesis_roundtrip(self, lam):
+        i, j = pair_from_linear(lam)
+        assert linear_from_pair(i, j) == lam
+
+
+class TestInverseVectorized:
+    def test_matches_scalar(self):
+        lam = np.arange(triangular_size(80), dtype=np.uint64)
+        i, j = pair_from_linear_array(lam)
+        for idx in range(0, len(lam), 97):
+            si, sj = pair_from_linear(int(lam[idx]))
+            assert (i[idx], j[idx]) == (si, sj)
+
+    def test_triangular_boundaries(self):
+        # Exactly at triangular numbers the pair resets to i = 0.
+        boundaries = np.array(
+            [math.comb(j, 2) for j in range(2, 2000, 37)], dtype=np.uint64
+        )
+        i, j = pair_from_linear_array(boundaries)
+        np.testing.assert_array_equal(i, 0)
+
+    def test_large_lambda_window(self):
+        base = math.comb(19411, 2) - 5  # last pairs at paper scale
+        lam = np.arange(base, base + 5, dtype=np.uint64)
+        i, j = pair_from_linear_array(lam)
+        assert int(j[-1]) == 19410
+        assert int(i[-1]) == 19409
+        for a, b, l0 in zip(i, j, lam):
+            assert linear_from_pair(int(a), int(b)) == int(l0)
+
+    def test_overflow_guard(self):
+        with pytest.raises(OverflowError):
+            pair_from_linear_array(np.array([1 << 53], dtype=np.uint64))
+
+    @given(st.integers(min_value=0, max_value=(1 << 52) - 1))
+    def test_hypothesis_vectorized_exact(self, lam):
+        i, j = pair_from_linear_array(np.array([lam], dtype=np.uint64))
+        assert linear_from_pair(int(i[0]), int(j[0])) == lam
+
+
+class TestSize:
+    def test_sizes(self):
+        assert triangular_size(0) == 0
+        assert triangular_size(1) == 0
+        assert triangular_size(2) == 1
+        assert triangular_size(10) == 45
