@@ -11,7 +11,6 @@ import math
 import numpy as np
 import pytest
 
-from repro.bitmatrix.matrix import BitMatrix
 from repro.combinatorics.tetrahedral import triple_from_linear_array
 from repro.core.engine import SingleGpuEngine
 from repro.core.fscore import FScoreParams

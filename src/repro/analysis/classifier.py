@@ -9,7 +9,6 @@ what produces the sensitivity/specificity bars of Fig. 9.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 

@@ -34,9 +34,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--hits", type=int, default=3)
     p_solve.add_argument("--seed", type=int, default=0)
     p_solve.add_argument(
-        "--backend", choices=["single", "distributed", "sequential"], default="single"
+        "--backend",
+        choices=["single", "pool", "distributed", "sequential"],
+        default="single",
     )
     p_solve.add_argument("--nodes", type=int, default=2, help="distributed backend only")
+    p_solve.add_argument(
+        "--workers", type=int, default=2, help="pool backend: worker processes"
+    )
     p_solve.add_argument("--output", type=str, default=None, help="save result JSON")
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
@@ -93,7 +98,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             )
         )
         hits = args.hits
-    solver = MultiHitSolver(hits=hits, backend=args.backend, n_nodes=args.nodes)
+    solver = MultiHitSolver(
+        hits=hits, backend=args.backend, n_nodes=args.nodes, n_workers=args.workers
+    )
     result = solver.solve(cohort.tumor.values, cohort.normal.values)
     print(
         f"solved {cohort.tumor.n_genes} genes / "

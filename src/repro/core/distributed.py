@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.bitmatrix.matrix import BitMatrix
-from repro.core.combination import MultiHitCombination, better
+from repro.core.combination import MultiHitCombination
 from repro.core.engine import best_in_thread_range
 from repro.core.fscore import FScoreParams
 from repro.core.kernels import KernelCounters
@@ -38,6 +38,7 @@ def rank_best_combo(
     memory: "MemoryConfig | None" = None,
     counters: "KernelCounters | None" = None,
     n_workers: int = 1,
+    pool: "object | None" = None,
 ) -> "MultiHitCombination | None":
     """Search the ``gpus_per_rank`` partitions owned by one MPI rank.
 
@@ -50,6 +51,11 @@ def rank_best_combo(
     the stand-in for a node's six GPUs running concurrently (NumPy
     releases the GIL in the bitwise kernels).  Counters are not supported
     concurrently (they are plain accumulators).
+
+    ``pool`` (a :class:`repro.core.pool.PoolEngine`) searches each
+    partition's thread range on that process pool instead — each
+    simulated GPU's range is itself cut equi-area across the workers.
+    Partitions are walked serially, so counters stay supported.
     """
     parts = [
         rank * gpus_per_rank + local
@@ -59,6 +65,10 @@ def rank_best_combo(
 
     def search(part: int) -> "MultiHitCombination | None":
         lo, hi = schedule.thread_range(part)
+        if pool is not None:
+            return pool.best_combo(
+                tumor, normal, params, lam_start=lo, lam_end=hi, counters=counters
+            )
         return best_in_thread_range(
             schedule.scheme,
             schedule.g,
@@ -71,11 +81,14 @@ def rank_best_combo(
             memory=memory,
         )
 
+    if pool is not None:
+        return multi_stage_reduce([search(p) for p in parts])
+
     if n_workers > 1 and len(parts) > 1:
         from concurrent.futures import ThreadPoolExecutor
 
-        with ThreadPoolExecutor(max_workers=n_workers) as pool:
-            candidates = list(pool.map(search, parts))
+        with ThreadPoolExecutor(max_workers=n_workers) as executor:
+            candidates = list(executor.map(search, parts))
     else:
         candidates = [search(p) for p in parts]
     return multi_stage_reduce(candidates)
@@ -96,6 +109,7 @@ class DistributedEngine:
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     scheduler: str = "equiarea"
     n_workers: int = 1  # threads per rank (simulates concurrent local GPUs)
+    pool_workers: int = 0  # >0: pooled search inside each GPU's range
 
     def build_schedule(self, g: int) -> Schedule:
         n_parts = self.n_nodes * self.gpus_per_node
@@ -117,19 +131,31 @@ class DistributedEngine:
     ) -> "MultiHitCombination | None":
         """Full distributed arg-max: all ranks' results reduced at root."""
         schedule = self.build_schedule(tumor.n_genes)
-        rank_winners: list["MultiHitCombination | None"] = []
-        for rank in range(self.n_nodes):
-            rank_winners.append(
-                rank_best_combo(
-                    schedule,
-                    rank,
-                    self.gpus_per_node,
-                    tumor,
-                    normal,
-                    params,
-                    memory=self.memory,
-                    counters=counters,
-                    n_workers=self.n_workers,
-                )
+        pool = None
+        if self.pool_workers > 0:
+            from repro.core.pool import PoolEngine
+
+            pool = PoolEngine(
+                scheme=self.scheme, n_workers=self.pool_workers, memory=self.memory
             )
-        return multi_stage_reduce(rank_winners, stats=reduction_stats)
+        try:
+            rank_winners: list["MultiHitCombination | None"] = []
+            for rank in range(self.n_nodes):
+                rank_winners.append(
+                    rank_best_combo(
+                        schedule,
+                        rank,
+                        self.gpus_per_node,
+                        tumor,
+                        normal,
+                        params,
+                        memory=self.memory,
+                        counters=counters,
+                        n_workers=self.n_workers,
+                        pool=pool,
+                    )
+                )
+            return multi_stage_reduce(rank_winners, stats=reduction_stats)
+        finally:
+            if pool is not None:
+                pool.close()

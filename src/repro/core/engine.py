@@ -68,15 +68,22 @@ def best_in_thread_range(
     d = scheme.inner
 
     best: "MultiHitCombination | None" = None
+    scored = 0  # combinations scored by this call (traffic epilogue input)
 
     if d == 0:
-        # Threads == combinations: decode and score directly.
+        # Threads == combinations: decode and score directly.  Traffic is
+        # metered once in the shared epilogue below, so the kernel's own
+        # word_reads metering is disabled here (passing ``counters`` would
+        # count the same reads a second time).
         for start in range(lam_start, lam_end, _CHUNK_ELEMENTS):
             end = min(start + _CHUNK_ELEMENTS, lam_end)
             combos = combos_from_linear(np.arange(start, end), f_ord)
-            fvals, tp, tn = score_combos(tumor, normal, combos, params, counters)
+            fvals, tp, tn = score_combos(tumor, normal, combos, params, None)
+            scored += int(fvals.size)
             best = better(best, best_of(combos, fvals, tp, tn))
-        return best
+        return _metered(
+            best, scored, scheme, g, tumor, normal, lam_start, lam_end, counters, memory
+        )
 
     lo_top = int(top_index_array(np.asarray([lam_start]), f_ord)[0])
     hi_top = int(top_index_array(np.asarray([lam_end - 1]), f_ord)[0])
@@ -117,8 +124,7 @@ def best_in_thread_range(
             tn = params.n_normal - cn
             fvals = fscore(tp, tn, params)
             fmax = fvals.max()
-            if counters is not None:
-                counters.combos_scored += fvals.size
+            scored += int(fvals.size)
             cand: "MultiHitCombination | None" = None
             if best is None or fmax >= best.f:
                 ties = np.argwhere(fvals == fmax)
@@ -140,10 +146,43 @@ def best_in_thread_range(
                 )
             best = better(best, cand)
 
-    if counters is not None and memory is not None:
+    return _metered(
+        best, scored, scheme, g, tumor, normal, lam_start, lam_end, counters, memory
+    )
+
+
+def _metered(
+    best: "MultiHitCombination | None",
+    scored: int,
+    scheme: Scheme,
+    g: int,
+    tumor: BitMatrix,
+    normal: BitMatrix,
+    lam_start: int,
+    lam_end: int,
+    counters: "KernelCounters | None",
+    memory: "MemoryConfig | None",
+) -> "MultiHitCombination | None":
+    """Meter the call's work and traffic exactly once, identically for the
+    ``d == 0`` and ``d > 0`` paths.
+
+    ``word_reads`` follows the memory-optimization model when ``memory``
+    is given; otherwise it is the unoptimized kernel traffic (every
+    combination reads all ``hits`` rows).  The two agree whenever no
+    prefetch applies, so the MemOpt experiments see path-independent
+    counts on equivalent grids.
+    """
+    if counters is None:
+        return best
+    w = tumor.n_words + normal.n_words
+    counters.combos_scored += scored
+    counters.word_ops += scored * (scheme.hits - 1) * w
+    if memory is not None:
         counters.word_reads += global_word_reads(
-            scheme, g, tumor.n_words + normal.n_words, lam_start, lam_end, memory
+            scheme, g, w, lam_start, lam_end, memory
         )
+    else:
+        counters.word_reads += scored * scheme.hits * w
     return best
 
 

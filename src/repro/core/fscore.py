@@ -31,8 +31,10 @@ class FScoreParams:
     alpha: float = DEFAULT_ALPHA
 
     def __post_init__(self) -> None:
-        if self.n_tumor < 1:
-            raise ValueError("need at least one tumor sample")
+        # n_tumor == 0 is legal (an already-covered / empty cohort solves
+        # trivially with coverage 1.0); only negative counts are invalid.
+        if self.n_tumor < 0:
+            raise ValueError("n_tumor cannot be negative")
         if self.n_normal < 0:
             raise ValueError("n_normal cannot be negative")
         if self.alpha < 0:

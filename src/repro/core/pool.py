@@ -1,0 +1,467 @@
+"""Multiprocess equi-area execution backend (the ``"pool"`` backend).
+
+The paper's scale-out fans the per-iteration arg-max over thousands of
+GPUs: cut the thread grid into equal-*work* (equi-area) partitions,
+search each independently, reduce the per-partition winners through the
+multi-stage max-reduction.  This module realizes the identical
+shard -> score -> reduce shape on CPU cores:
+
+* the λ thread-range is cut with the O(G) equi-area level walk
+  (:func:`repro.scheduling.equiarea.equiarea_range_boundaries`, so a
+  single simulated GPU's sub-range can itself be pooled);
+* each chunk runs :func:`repro.core.engine.best_in_thread_range` in a
+  persistent worker process (one pool per engine, reused across greedy
+  iterations);
+* per-chunk :class:`KernelCounters` are merged in partition order and
+  the per-chunk winners flow through the same
+  :func:`repro.core.reduction.multi_stage_reduce` as every other engine,
+  so tie-breaking is bit-exact with the ``"single"`` and
+  ``"sequential"`` backends regardless of worker count or partition
+  boundaries.
+
+The packed :class:`BitMatrix` words are shipped **once per greedy
+iteration** via POSIX shared memory (``multiprocessing.shared_memory``),
+not re-pickled per chunk: a chunk task carries only segment names,
+shapes and the λ range; workers attach lazily and cache the mapping
+until the segment names change.
+
+A lost worker never loses a greedy iteration: a crashed or timed-out
+chunk is retried inline in the parent (with a one-time
+:class:`PoolDegradedWarning`) and a broken pool is rebuilt before the
+next call.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bitmatrix.matrix import BitMatrix
+from repro.core.combination import MultiHitCombination
+from repro.core.engine import best_in_thread_range
+from repro.core.fscore import FScoreParams
+from repro.core.kernels import KernelCounters
+from repro.core.memopt import MemoryConfig
+from repro.core.reduction import multi_stage_reduce
+from repro.scheduling.equiarea import equiarea_range_boundaries
+from repro.scheduling.schemes import Scheme
+from repro.scheduling.workload import (
+    cumulative_work_before,
+    total_threads,
+    work_prefix_by_level,
+)
+
+__all__ = ["ChunkRecord", "PoolDegradedWarning", "PoolEngine", "PoolStats"]
+
+
+class PoolDegradedWarning(RuntimeWarning):
+    """A worker chunk was recovered inline after a crash or timeout."""
+
+
+# -- chunk task / result (what actually crosses the process boundary) ----
+
+
+@dataclass(frozen=True)
+class _ChunkTask:
+    """Everything a worker needs to search one λ chunk.
+
+    Matrices travel by shared-memory segment name, never by value.
+    """
+
+    scheme: Scheme
+    g: int
+    tumor_name: str
+    tumor_shape: tuple[int, int]
+    tumor_samples: int
+    normal_name: str
+    normal_shape: tuple[int, int]
+    normal_samples: int
+    params: FScoreParams
+    lam_start: int
+    lam_end: int
+    memory: "MemoryConfig | None"
+
+
+# Per-worker cache: segment name -> (SharedMemory handle, word-array view).
+_ATTACHED: dict = {}
+
+
+def _attach(name: str, shape: tuple[int, int]) -> np.ndarray:
+    entry = _ATTACHED.get(name)
+    if entry is None:
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=name)
+        words = np.ndarray(shape, dtype=np.uint64, buffer=shm.buf)
+        _ATTACHED[name] = entry = (shm, words)
+    return entry[1]
+
+
+def _evict_stale(keep: set) -> None:
+    """Drop cached mappings from earlier iterations (segments renamed)."""
+    for name in [n for n in _ATTACHED if n not in keep]:
+        shm, _ = _ATTACHED.pop(name)
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - a view still referenced
+            pass
+
+
+def _search_chunk(task: _ChunkTask):
+    """Worker-side: attach, search the λ range, return (winner, counters)."""
+    t0 = time.perf_counter()
+    _evict_stale({task.tumor_name, task.normal_name})
+    tumor = BitMatrix(
+        _attach(task.tumor_name, task.tumor_shape), task.tumor_samples
+    )
+    normal = BitMatrix(
+        _attach(task.normal_name, task.normal_shape), task.normal_samples
+    )
+    counters = KernelCounters()
+    best = best_in_thread_range(
+        task.scheme,
+        task.g,
+        tumor,
+        normal,
+        task.params,
+        task.lam_start,
+        task.lam_end,
+        counters=counters,
+        memory=task.memory,
+    )
+    return best, counters, os.getpid(), time.perf_counter() - t0
+
+
+# -- per-run statistics --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChunkRecord:
+    """What one worker chunk of one arg-max call did."""
+
+    chunk: int
+    lam_start: int
+    lam_end: int
+    work: int
+    combos_scored: int
+    wall_seconds: float
+    worker_pid: int
+    inline_retry: bool
+
+
+@dataclass
+class PoolStats:
+    """Measured partition stats, accumulated over best_combo calls."""
+
+    n_workers: int = 0
+    chunks: list[ChunkRecord] = field(default_factory=list)
+    publish_seconds: float = 0.0
+    shipped_bytes: int = 0
+    n_publishes: int = 0
+
+    @property
+    def n_inline_retries(self) -> int:
+        return sum(c.inline_retry for c in self.chunks)
+
+    def per_worker(self) -> dict[int, dict]:
+        """Aggregate chunk stats per worker pid (parent pid = inline)."""
+        out: dict[int, dict] = {}
+        for c in self.chunks:
+            row = out.setdefault(
+                c.worker_pid,
+                {"chunks": 0, "work": 0, "combos_scored": 0, "wall_seconds": 0.0},
+            )
+            row["chunks"] += 1
+            row["work"] += c.work
+            row["combos_scored"] += c.combos_scored
+            row["wall_seconds"] += c.wall_seconds
+        return out
+
+    def describe(self) -> str:
+        work = [c.work for c in self.chunks] or [0]
+        mean = sum(work) / len(work)
+        lines = [
+            f"PoolStats workers={self.n_workers} chunks={len(self.chunks)} "
+            f"inline_retries={self.n_inline_retries} "
+            f"shipped={self.shipped_bytes}B in {self.n_publishes} publishes "
+            f"({self.publish_seconds * 1e3:.2f} ms) "
+            f"chunk-work imbalance={max(work) / mean if mean else 1.0:.4f}",
+            "  worker pid | chunks |        work | combos scored | wall (s)",
+        ]
+        for pid, row in sorted(self.per_worker().items()):
+            lines.append(
+                f"  {pid:10d} | {row['chunks']:6d} | {row['work']:11d} | "
+                f"{row['combos_scored']:13d} | {row['wall_seconds']:8.4f}"
+            )
+        return "\n".join(lines)
+
+
+# -- the engine ----------------------------------------------------------
+
+
+@dataclass
+class _Segment:
+    matrix: BitMatrix  # held so the identity check stays valid
+    shm: object
+
+
+@dataclass
+class PoolEngine:
+    """Equi-area multiprocess arg-max over a λ thread-range.
+
+    Parameters
+    ----------
+    scheme:
+        Loop-flattening scheme (the thread grid being partitioned).
+    n_workers:
+        Worker processes in the persistent pool.
+    memory:
+        Memory-optimization config forwarded to every chunk search.
+    chunks_per_worker:
+        Equi-area chunks submitted per worker and call.  1 (default)
+        matches the paper's one-partition-per-device shape; larger
+        values trade scheduling granularity for tail latency.
+    timeout:
+        Per-chunk seconds before the parent gives up on a worker and
+        recovers the chunk inline (``None`` waits forever).
+    start_method:
+        ``multiprocessing`` start method; default prefers ``fork``.
+    """
+
+    scheme: Scheme
+    n_workers: int = 2
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    chunks_per_worker: int = 1
+    timeout: "float | None" = None
+    start_method: "str | None" = None
+
+    _pool: "ProcessPoolExecutor | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _segments: dict = field(default_factory=dict, init=False, repr=False, compare=False)
+    _warned: bool = field(default=False, init=False, repr=False, compare=False)
+    _timed_out: bool = field(default=False, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if self.chunks_per_worker < 1:
+            raise ValueError("chunks_per_worker must be >= 1")
+
+    # -- pool / shared-memory lifecycle -------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            import multiprocessing
+
+            method = self.start_method
+            if method is None:
+                methods = multiprocessing.get_all_start_methods()
+                method = "fork" if "fork" in methods else methods[0]
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                mp_context=multiprocessing.get_context(method),
+            )
+        return self._pool
+
+    def _publish(self, slot: str, matrix: BitMatrix, stats: "PoolStats | None"):
+        """Copy a matrix into a named segment once; reuse while unchanged."""
+        seg = self._segments.get(slot)
+        if seg is not None and seg.matrix is matrix:
+            return seg.shm.name
+        from multiprocessing import shared_memory
+
+        t0 = time.perf_counter()
+        if seg is not None:
+            seg.shm.close()
+            seg.shm.unlink()
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(1, matrix.words.nbytes)
+        )
+        if matrix.words.nbytes:
+            dst = np.ndarray(matrix.words.shape, dtype=np.uint64, buffer=shm.buf)
+            dst[:] = matrix.words
+        self._segments[slot] = _Segment(matrix, shm)
+        if stats is not None:
+            stats.publish_seconds += time.perf_counter() - t0
+            stats.shipped_bytes += matrix.words.nbytes
+            stats.n_publishes += 1
+        return shm.name
+
+    def close(self) -> None:
+        """Shut the pool down and release the shared-memory segments."""
+        if self._pool is not None:
+            # A timed-out chunk leaves its worker running an abandoned
+            # search; without a kill, interpreter exit would block on it.
+            stuck = (
+                list(getattr(self._pool, "_processes", {}).values())
+                if self._timed_out
+                else []
+            )
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            for proc in stuck:
+                if proc.is_alive():
+                    proc.terminate()
+            self._pool = None
+        for seg in self._segments.values():
+            try:
+                seg.shm.close()
+                seg.shm.unlink()
+            except (FileNotFoundError, BufferError):  # pragma: no cover
+                pass
+        self._segments.clear()
+
+    def __enter__(self) -> "PoolEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- degradation ---------------------------------------------------
+
+    def _recover_inline(
+        self, exc: BaseException, tumor, normal, params, lo, hi
+    ):
+        """Re-run a lost chunk in the parent; warn the first time only."""
+        if not self._warned:
+            self._warned = True
+            warnings.warn(
+                f"pool worker lost ({type(exc).__name__}: {exc}); "
+                "retrying the λ-range inline — results are unaffected",
+                PoolDegradedWarning,
+                stacklevel=3,
+            )
+        if isinstance(exc, TimeoutError):
+            self._timed_out = True
+        if isinstance(exc, BrokenExecutor) and self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None  # rebuilt on the next call
+        t0 = time.perf_counter()
+        counters = KernelCounters()
+        best = best_in_thread_range(
+            self.scheme,
+            tumor.n_genes,
+            tumor,
+            normal,
+            params,
+            lo,
+            hi,
+            counters=counters,
+            memory=self.memory,
+        )
+        return best, counters, os.getpid(), time.perf_counter() - t0
+
+    # -- the arg-max ---------------------------------------------------
+
+    def best_combo(
+        self,
+        tumor: BitMatrix,
+        normal: BitMatrix,
+        params: FScoreParams,
+        lam_start: int = 0,
+        lam_end: "int | None" = None,
+        counters: "KernelCounters | None" = None,
+        stats: "PoolStats | None" = None,
+    ) -> "MultiHitCombination | None":
+        """Pooled arg-max over ``[lam_start, lam_end)``.
+
+        Bit-exact with :class:`SingleGpuEngine` over the same range: the
+        per-chunk winners are reduced with the library-wide tie rule, so
+        worker count and chunk boundaries never change the result.
+        """
+        g = tumor.n_genes
+        if normal.n_genes != g:
+            raise ValueError("tumor and normal matrices must share the gene axis")
+        total = total_threads(self.scheme, g)
+        if lam_end is None:
+            lam_end = total
+        lam_start = max(0, lam_start)
+        lam_end = min(lam_end, total)
+        if lam_end <= lam_start:
+            return None
+        if stats is not None:
+            stats.n_workers = self.n_workers
+
+        bounds = equiarea_range_boundaries(
+            self.scheme, g, lam_start, lam_end, self.n_workers * self.chunks_per_worker
+        )
+        ranges = [
+            (bounds[i], bounds[i + 1])
+            for i in range(len(bounds) - 1)
+            if bounds[i + 1] > bounds[i]
+        ]
+
+        t_name = self._publish("tumor", tumor, stats)
+        n_name = self._publish("normal", normal, stats)
+        tasks = [
+            _ChunkTask(
+                scheme=self.scheme,
+                g=g,
+                tumor_name=t_name,
+                tumor_shape=tumor.words.shape,
+                tumor_samples=tumor.n_samples,
+                normal_name=n_name,
+                normal_shape=normal.words.shape,
+                normal_samples=normal.n_samples,
+                params=params,
+                lam_start=lo,
+                lam_end=hi,
+                memory=self.memory,
+            )
+            for lo, hi in ranges
+        ]
+
+        pool = self._ensure_pool()
+        try:
+            futures = [pool.submit(_search_chunk, task) for task in tasks]
+        except BrokenExecutor as exc:  # pragma: no cover - submit-time break
+            futures = None
+            results = [
+                self._recover_inline(exc, tumor, normal, params, lo, hi) + (True,)
+                for lo, hi in ranges
+            ]
+        if futures is not None:
+            results = []
+            for fut, (lo, hi) in zip(futures, ranges):
+                try:
+                    results.append(fut.result(timeout=self.timeout) + (False,))
+                except (BrokenExecutor, TimeoutError, OSError) as exc:
+                    results.append(
+                        self._recover_inline(exc, tumor, normal, params, lo, hi)
+                        + (True,)
+                    )
+
+        prefix = work_prefix_by_level(self.scheme, g)
+        winners: list["MultiHitCombination | None"] = []
+        for i, ((lo, hi), (best, chunk_counters, pid, wall, retried)) in enumerate(
+            zip(ranges, results)
+        ):
+            winners.append(best)
+            if counters is not None:
+                counters.merge(chunk_counters)
+            if stats is not None:
+                stats.chunks.append(
+                    ChunkRecord(
+                        chunk=i,
+                        lam_start=lo,
+                        lam_end=hi,
+                        work=cumulative_work_before(self.scheme, g, hi, prefix)
+                        - cumulative_work_before(self.scheme, g, lo, prefix),
+                        combos_scored=chunk_counters.combos_scored,
+                        wall_seconds=wall,
+                        worker_pid=pid,
+                        inline_retry=retried,
+                    )
+                )
+        return multi_stage_reduce(winners)

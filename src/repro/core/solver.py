@@ -59,7 +59,13 @@ class MultiHitResult:
 
     @property
     def coverage(self) -> float:
-        """Fraction of tumor samples covered by the returned combinations."""
+        """Fraction of tumor samples covered by the returned combinations.
+
+        An empty tumor set is vacuously covered: coverage is 1.0, not a
+        ``ZeroDivisionError``.
+        """
+        if self.params.n_tumor == 0:
+            return 1.0
         return 1.0 - self.uncovered / self.params.n_tumor
 
     def gene_sets(self) -> list[tuple[int, ...]]:
@@ -77,8 +83,10 @@ class MultiHitSolver:
     alpha:
         TP penalty weight of Equation 1.
     backend:
-        ``"single"`` (vectorized single-GPU engine), ``"distributed"``
-        (scheduled multi-node engine) or ``"sequential"`` (dense oracle).
+        ``"single"`` (vectorized single-GPU engine), ``"pool"`` (the
+        single-GPU search fanned out over a persistent multiprocess
+        worker pool), ``"distributed"`` (scheduled multi-node engine) or
+        ``"sequential"`` (dense oracle).
     scheme:
         Loop-flattening scheme; defaults to ``(h-1)x1`` (the paper's 3x1
         for ``h = 4``).
@@ -87,6 +95,8 @@ class MultiHitSolver:
         splice-vs-mask handling of covered samples.
     n_nodes / gpus_per_node:
         Simulated Summit shape for the distributed backend.
+    n_workers:
+        Worker processes for the pool backend (ignored otherwise).
     """
 
     hits: int = 4
@@ -96,6 +106,7 @@ class MultiHitSolver:
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     n_nodes: int = 1
     gpus_per_node: int = 6
+    n_workers: int = 2
     max_iterations: "int | None" = None
 
     def __post_init__(self) -> None:
@@ -107,8 +118,10 @@ class MultiHitSolver:
             raise ValueError(
                 f"scheme searches {self.scheme.hits}-hit combos, expected {self.hits}"
             )
-        if self.backend not in ("single", "distributed", "sequential"):
+        if self.backend not in ("single", "pool", "distributed", "sequential"):
             raise ValueError(f"unknown backend {self.backend!r}")
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
 
     # -- per-iteration arg-max ----------------------------------------
 
@@ -118,6 +131,7 @@ class MultiHitSolver:
         normal: BitMatrix,
         params: FScoreParams,
         counters: KernelCounters,
+        pool: "object | None" = None,
     ) -> "MultiHitCombination | None":
         if tumor.n_samples == 0:
             return None
@@ -125,6 +139,8 @@ class MultiHitSolver:
             return sequential_best_combo(
                 tumor.to_dense(), normal.to_dense(), self.hits, params
             )
+        if self.backend == "pool":
+            return pool.best_combo(tumor, normal, params, counters=counters)
         if self.backend == "single":
             engine = SingleGpuEngine(scheme=self.scheme, memory=self.memory)
             return engine.best_combo(tumor, normal, params, counters=counters)
@@ -181,12 +197,35 @@ class MultiHitSolver:
                 mask = tumor.sample_mask_to_words(active)
                 work = BitMatrix(tumor.words & mask[None, :], tumor.n_samples)
 
+        pool = None
+        if self.backend == "pool":
+            from repro.core.pool import PoolEngine
+
+            # One persistent pool for the whole greedy run: workers (and
+            # the normal matrix's shared segment) survive across
+            # iterations; only the re-spliced tumor matrix is re-shipped.
+            pool = PoolEngine(
+                scheme=self.scheme, n_workers=self.n_workers, memory=self.memory
+            )
+        try:
+            return self._greedy_loop(
+                tumor, normal, params, counters, combos, records, work, active,
+                on_iteration, pool,
+            )
+        finally:
+            if pool is not None:
+                pool.close()
+
+    def _greedy_loop(
+        self, tumor, normal, params, counters, combos, records, work, active,
+        on_iteration, pool,
+    ) -> MultiHitResult:
         while active.any():
             if self.max_iterations is not None and len(combos) >= self.max_iterations:
                 break
             remaining_before = int(active.sum())
             t0 = time.perf_counter()
-            best = self._best(work, normal, params, counters)
+            best = self._best(work, normal, params, counters, pool)
             dt = time.perf_counter() - t0
             if best is None or best.tp == 0:
                 break

@@ -12,6 +12,7 @@ workload levels rather than the ``C(G, 3)`` individual threads.
 
 from repro.scheduling.schemes import Scheme, SCHEME_1X3, SCHEME_2X2, SCHEME_3X1, SCHEME_4X1
 from repro.scheduling.workload import (
+    cumulative_work_before,
     level_thread_counts,
     level_work,
     thread_work_array,
@@ -22,6 +23,7 @@ from repro.scheduling.workload import (
 from repro.scheduling.schedule import Schedule
 from repro.scheduling.equidistance import equidistance_schedule
 from repro.scheduling.equiarea import (
+    equiarea_range_boundaries,
     equiarea_schedule,
     equiarea_schedule_naive,
     lambda_cut_for_work,
@@ -46,6 +48,7 @@ __all__ = [
     "SCHEME_3X1",
     "SCHEME_4X1",
     "Schedule",
+    "cumulative_work_before",
     "thread_work_array",
     "level_thread_counts",
     "level_work",
@@ -55,4 +58,5 @@ __all__ = [
     "equidistance_schedule",
     "equiarea_schedule",
     "equiarea_schedule_naive",
+    "equiarea_range_boundaries",
 ]

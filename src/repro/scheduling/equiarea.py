@@ -20,15 +20,20 @@ import numpy as np
 from repro.scheduling.schedule import Schedule
 from repro.scheduling.schemes import Scheme
 from repro.scheduling.workload import (
+    cumulative_work_before,
     level_range,
     level_work,
-    thread_work_array,
     total_threads,
     total_work,
     work_prefix_by_level,
 )
 
-__all__ = ["equiarea_schedule", "equiarea_schedule_naive", "lambda_cut_for_work"]
+__all__ = [
+    "equiarea_schedule",
+    "equiarea_schedule_naive",
+    "equiarea_range_boundaries",
+    "lambda_cut_for_work",
+]
 
 
 def lambda_cut_for_work(
@@ -105,23 +110,64 @@ def equiarea_schedule(scheme: Scheme, g: int, n_parts: int) -> Schedule:
     return Schedule(scheme=scheme, g=g, boundaries=tuple(boundaries), policy="equiarea")
 
 
+def equiarea_range_boundaries(
+    scheme: Scheme, g: int, lam_start: int, lam_end: int, n_parts: int
+) -> tuple[int, ...]:
+    """Equi-area cut points of the sub-range ``[lam_start, lam_end)``.
+
+    The same level walk as :func:`equiarea_schedule`, restricted to an
+    arbitrary thread sub-range so a single GPU partition (or the whole
+    grid) can itself be fanned out — the pool backend cuts its range into
+    equal-*work* worker chunks with this.  For the full grid the cuts are
+    identical to ``equiarea_schedule(scheme, g, n_parts).boundaries``.
+    """
+    if n_parts < 1:
+        raise ValueError("n_parts must be >= 1")
+    t_total = total_threads(scheme, g)
+    lam_start = max(0, min(lam_start, t_total))
+    lam_end = max(lam_start, min(lam_end, t_total))
+    prefix = work_prefix_by_level(scheme, g)
+    w_lo = cumulative_work_before(scheme, g, lam_start, prefix)
+    span = cumulative_work_before(scheme, g, lam_end, prefix) - w_lo
+    bounds = [lam_start]
+    for p in range(1, n_parts):
+        target = w_lo + (span * p + n_parts - 1) // n_parts  # ceil
+        cut = lambda_cut_for_work(scheme, g, target, prefix)
+        bounds.append(min(max(cut, bounds[-1]), lam_end))
+    bounds.append(lam_end)
+    return tuple(bounds)
+
+
 def equiarea_schedule_naive(scheme: Scheme, g: int, n_parts: int) -> Schedule:
     """O(T) per-thread prefix-scan equi-area partitioner (ablation baseline).
 
     Materializes the full per-thread workload array — the approach the
     paper reports as taking tens of hours and running out of memory at
     ``C(G, 3)`` scale.  Only usable at small ``g``.
+
+    The prefix scan accumulates exact Python integers (object dtype), not
+    float64: cumulative work passes 2**53 well before paper scale (e.g.
+    ``C(200, 10)`` for a depth-10 inner loop), at which point a float64
+    ``cumsum`` can no longer represent the running total exactly and the
+    ``searchsorted`` cut may land on the wrong thread — breaking the
+    "identical boundaries" guarantee against the O(G) level walk.
     """
     if n_parts < 1:
         raise ValueError("n_parts must be >= 1")
     t_total = total_threads(scheme, g)
     w_total = total_work(scheme, g)
-    lam = np.arange(t_total, dtype=np.uint64)
-    work = thread_work_array(scheme, g, lam)
-    cumulative = np.concatenate([[0.0], np.cumsum(work)])
+    # Per-thread work, materialized level by level with exact integers.
+    works = np.empty(t_total, dtype=object)
+    for m in range(g):
+        lo, hi = level_range(scheme, m)
+        if hi > lo:
+            works[lo:hi] = level_work(scheme, g, m)
+    cumulative = np.empty(t_total + 1, dtype=object)
+    cumulative[0] = 0
+    np.cumsum(works, out=cumulative[1:])  # object dtype: exact int adds
     boundaries = [0]
     for p in range(1, n_parts):
-        target = float((w_total * p + n_parts - 1) // n_parts)
+        target = (w_total * p + n_parts - 1) // n_parts  # exact int, no float()
         cut = int(np.searchsorted(cumulative, target, side="left"))
         cut = max(min(cut, t_total), boundaries[-1])
         boundaries.append(cut)

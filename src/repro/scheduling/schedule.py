@@ -7,13 +7,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.scheduling.schemes import Scheme
-from repro.scheduling.workload import (
-    level_range,
-    level_work,
-    thread_top_index,
-    total_threads,
-    total_work,
-)
+from repro.scheduling.workload import total_threads, total_work
 
 __all__ = ["Schedule"]
 
@@ -63,23 +57,13 @@ class Schedule:
     # -- exact per-partition work -------------------------------------
 
     def _work_before(self, lam: int) -> int:
-        """Exact total work of threads with linear id < ``lam`` (O(f) per call).
-
-        Splits ``lam`` at its level boundary: whole levels below, plus the
-        partial level, every thread of which has identical work.
-        """
-        if lam == 0:
-            return 0
-        top = int(thread_top_index(self.scheme, np.asarray([lam - 1], dtype=np.uint64))[0])
-        lo, _ = level_range(self.scheme, top)
-        from repro.scheduling.workload import work_prefix_by_level
+        """Exact total work of threads with linear id < ``lam`` (O(f) per call)."""
+        from repro.scheduling.workload import cumulative_work_before, work_prefix_by_level
 
         key = "prefix"
         if key not in self._work_cache:
             self._work_cache[key] = work_prefix_by_level(self.scheme, self.g)
-        prefix = self._work_cache[key]
-        partial = (lam - lo) * level_work(self.scheme, self.g, top)
-        return prefix[top] + partial
+        return cumulative_work_before(self.scheme, self.g, lam, self._work_cache[key])
 
     def work_per_part(self) -> list[int]:
         """Exact combinations assigned to each partition."""

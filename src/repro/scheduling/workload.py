@@ -23,6 +23,7 @@ from repro.scheduling.schemes import Scheme
 __all__ = [
     "total_threads",
     "total_work",
+    "cumulative_work_before",
     "level_work",
     "level_thread_counts",
     "level_range",
@@ -88,6 +89,26 @@ def thread_work_array(scheme: Scheme, g: int, lam: np.ndarray) -> np.ndarray:
     """
     top = thread_top_index(scheme, lam)
     return binomial_float(g - 1 - top, scheme.inner)
+
+
+def cumulative_work_before(
+    scheme: Scheme, g: int, lam: int, prefix: "list[int] | None" = None
+) -> int:
+    """Exact total inner-loop work of threads with linear id < ``lam``.
+
+    Splits ``lam`` at its level boundary: whole levels below (from the
+    :func:`work_prefix_by_level` table, recomputed if not supplied) plus
+    the partial level, every thread of which has identical work.  Python
+    ints keep this exact at ``C(20000, 4)`` scale.
+    """
+    if lam <= 0:
+        return 0
+    lam = min(lam, total_threads(scheme, g))
+    if prefix is None:
+        prefix = work_prefix_by_level(scheme, g)
+    top = int(thread_top_index(scheme, np.asarray([lam - 1], dtype=np.uint64))[0])
+    lo, _ = level_range(scheme, top)
+    return prefix[top] + (lam - lo) * level_work(scheme, g, top)
 
 
 def work_prefix_by_level(scheme: Scheme, g: int) -> list[int]:

@@ -9,7 +9,7 @@ from repro.core.engine import SingleGpuEngine, best_in_thread_range
 from repro.core.fscore import FScoreParams
 from repro.core.sequential import sequential_best_combo
 from repro.core.solver import MultiHitSolver
-from repro.scheduling.schemes import SCHEME_2X2, SCHEME_3X1, Scheme
+from repro.scheduling.schemes import SCHEME_3X1, Scheme
 
 
 class TestEngineChunking:
@@ -101,7 +101,6 @@ class TestRangeEdges:
         tumor, normal = BitMatrix.from_dense(t), BitMatrix.from_dense(n)
         # Thread 0 of 3x1 owns combos (0,1,2,l); compare to brute force.
         got = best_in_thread_range(SCHEME_3X1, 12, tumor, normal, params, 0, 1)
-        import itertools
 
         best = None
         for l in range(3, 12):

@@ -106,6 +106,61 @@ class TestCounters:
         assert counters.combos_scored == math.comb(14, 4)
         assert counters.word_reads > 0
 
+    @pytest.mark.parametrize(
+        "scheme", [Scheme(4, 0), SCHEME_3X1, SCHEME_2X2, Scheme(1, 3)]
+    )
+    def test_traffic_metered_exactly_once(self, instance, scheme):
+        # Regression: the fully-flattened (d == 0) path metered traffic
+        # through score_combos while the d > 0 path only counted
+        # word_reads when a memory config was passed — and never counted
+        # word_ops at all — so equivalent grids disagreed.  Without a
+        # memory model every combination touches all h rows once:
+        # word_reads = combos * h * w and word_ops = combos * (h-1) * w,
+        # identically for every scheme covering the same combinations.
+        import math
+
+        _, _, tumor, normal, params = instance
+        counters = KernelCounters()
+        best_in_thread_range(
+            scheme,
+            14,
+            tumor,
+            normal,
+            params,
+            0,
+            total_threads(scheme, 14),
+            counters=counters,
+        )
+        w = tumor.n_words + normal.n_words
+        combos = math.comb(14, 4)
+        assert counters.combos_scored == combos
+        assert counters.word_reads == combos * 4 * w
+        assert counters.word_ops == combos * 3 * w
+
+    def test_word_reads_parity_between_paths(self, instance):
+        # word_reads parity between the d == 0 and d > 0 code paths on
+        # an equivalent grid, with and without a memory model.  Under
+        # the no-prefetch memory model the traffic formula degenerates
+        # to h rows per combination for both paths.
+        _, _, tumor, normal, params = instance
+        for memory in (None, MemoryConfig(False, False, False)):
+            flat, nested = KernelCounters(), KernelCounters()
+            for scheme, counters in ((Scheme(4, 0), flat), (SCHEME_3X1, nested)):
+                best_in_thread_range(
+                    scheme,
+                    14,
+                    tumor,
+                    normal,
+                    params,
+                    0,
+                    total_threads(scheme, 14),
+                    counters=counters,
+                    memory=memory,
+                )
+            assert flat.word_reads == nested.word_reads
+            assert flat.word_ops == nested.word_ops
+            assert flat.combos_scored == nested.combos_scored
+
 
 class TestTieDeterminism:
     def test_constant_matrix_gives_lex_smallest(self):

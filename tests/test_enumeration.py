@@ -3,7 +3,6 @@
 import itertools
 import math
 
-import numpy as np
 import pytest
 
 from repro.combinatorics.enumeration import combinations_array, iter_combination_blocks

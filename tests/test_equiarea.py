@@ -70,6 +70,21 @@ class TestLevelWalkCorrectness:
         naive = equiarea_schedule_naive(scheme, g, n_parts)
         assert fast.boundaries == naive.boundaries
 
+    def test_naive_exact_past_float64(self):
+        # Regression: the naive reference accumulated per-thread work in
+        # float64, which is exact only up to 2^53 and cannot even
+        # evaluate deep inner ranges (binomial_float caps at k = 4), so
+        # the "identical boundaries" guarantee silently broke at scale.
+        # C(200, 10) combinations of work is well past 2^53; the naive
+        # scan must still cut exactly where the O(G) level walk does.
+        scheme = Scheme(1, 9)
+        g = 200
+        assert total_work(scheme, g) > 2**53
+        fast = equiarea_schedule(scheme, g, 7)
+        naive = equiarea_schedule_naive(scheme, g, 7)
+        assert fast.boundaries == naive.boundaries
+        assert sum(naive.work_per_part()) == total_work(scheme, g)
+
 
 class TestPaperScale:
     def test_full_summit_schedule_is_fast_and_balanced(self):

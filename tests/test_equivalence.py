@@ -14,7 +14,7 @@ from hypothesis import strategies as st
 from repro.core.memopt import MemoryConfig
 from repro.core.sequential import sequential_solve
 from repro.core.solver import MultiHitSolver
-from repro.scheduling.schemes import Scheme, scheme_for
+from repro.scheduling.schemes import scheme_for
 
 
 def signature(combos):

@@ -4,7 +4,6 @@ Heavy experiments run with reduced parameters; the full-parameter runs
 live in the benchmark harness.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

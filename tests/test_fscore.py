@@ -15,8 +15,11 @@ class TestParams:
         assert p.denominator == 30.0
 
     def test_validation(self):
+        # Zero tumor samples is legal (empty cohorts solve trivially);
+        # negative counts are not.
+        assert FScoreParams(n_tumor=0, n_normal=5).n_tumor == 0
         with pytest.raises(ValueError):
-            FScoreParams(n_tumor=0, n_normal=5)
+            FScoreParams(n_tumor=-1, n_normal=5)
         with pytest.raises(ValueError):
             FScoreParams(n_tumor=5, n_normal=-1)
         with pytest.raises(ValueError):

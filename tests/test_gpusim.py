@@ -3,7 +3,7 @@
 import pytest
 
 from repro.gpusim.counters import metrics_from_timing
-from repro.gpusim.device import V100, DeviceSpec
+from repro.gpusim.device import V100
 from repro.gpusim.kernel import KernelStats
 from repro.gpusim.profiler import Profiler
 from repro.gpusim.timing import KernelTiming, TimingTuning, kernel_time

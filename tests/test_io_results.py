@@ -1,6 +1,5 @@
 """Tests for result JSON serialization."""
 
-import numpy as np
 import pytest
 
 from repro.core.solver import MultiHitSolver

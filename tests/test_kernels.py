@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.bitmatrix.matrix import BitMatrix
-from repro.core.fscore import FScoreParams
 from repro.core.kernels import KernelCounters, best_of, score_combos
 
 

@@ -1,7 +1,6 @@
 """Tests for MAF handling and summarization."""
 
 import numpy as np
-import pytest
 
 from repro.data.maf import MafRecord, read_maf, summarize_maf, write_maf
 

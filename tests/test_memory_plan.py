@@ -1,7 +1,6 @@
 """Tests for the per-GPU memory-footprint planner."""
 
 import numpy as np
-import pytest
 
 from repro.perfmodel.memory import plan_memory
 from repro.scheduling.equiarea import equiarea_schedule

@@ -1,6 +1,5 @@
 """Tests for the gene-vs-mutation resolution classifier comparison."""
 
-import pytest
 
 from repro.mutlevel.classifier import evaluate_resolutions
 from repro.mutlevel.synthesis import PositionalCohortConfig, generate_positional_cohort

@@ -1,6 +1,5 @@
 """Tests for the alpha-beta network model."""
 
-import math
 
 import pytest
 

@@ -6,7 +6,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
-from repro.bitmatrix.packing import WORD_BITS, pack_bool_matrix, unpack_bool_matrix, words_for
+from repro.bitmatrix.packing import pack_bool_matrix, unpack_bool_matrix, words_for
 
 
 class TestWordsFor:

@@ -1,0 +1,296 @@
+"""Tests for the multiprocess equi-area execution backend.
+
+The contract under test: ``backend="pool"`` is bit-exact with
+``backend="single"`` — same combinations, same F-scores, same
+tie-breaks, same merged counters — for every worker count and partition
+boundary, and a lost worker degrades to an inline retry without changing
+any of that.
+"""
+
+import math
+import os
+import time
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.core.pool as pool_module
+from repro.bitmatrix.matrix import BitMatrix
+from repro.core.distributed import DistributedEngine
+from repro.core.engine import SingleGpuEngine
+from repro.core.fscore import FScoreParams
+from repro.core.kernels import KernelCounters
+from repro.core.pool import PoolDegradedWarning, PoolEngine, PoolStats
+from repro.core.sequential import sequential_solve
+from repro.core.solver import MultiHitSolver
+from repro.scheduling.equiarea import equiarea_range_boundaries, equiarea_schedule
+from repro.scheduling.schemes import SCHEME_2X2, SCHEME_3X1, Scheme, scheme_for
+from repro.scheduling.workload import (
+    cumulative_work_before,
+    total_threads,
+    total_work,
+)
+
+
+def signature(combos):
+    return [(c.genes, round(c.f, 12), c.tp, c.tn) for c in combos]
+
+
+def _counter_tuple(c):
+    return (c.combos_scored, c.word_reads, c.word_ops)
+
+
+# Module-level so fork workers can unpickle them by reference.
+def _crash_chunk(task):
+    os._exit(1)
+
+
+def _slow_chunk(task):
+    time.sleep(5)
+
+
+@pytest.fixture
+def instance(rng):
+    t = rng.random((12, 28)) < 0.4
+    n = rng.random((12, 20)) < 0.2
+    return (
+        BitMatrix.from_dense(t),
+        BitMatrix.from_dense(n),
+        FScoreParams(n_tumor=28, n_normal=20),
+    )
+
+
+# -- range partitioning --------------------------------------------------
+
+
+class TestRangeBoundaries:
+    @pytest.mark.parametrize("scheme", [Scheme(1, 1), SCHEME_2X2, SCHEME_3X1])
+    @pytest.mark.parametrize("n_parts", [1, 2, 5, 13])
+    def test_full_range_matches_schedule(self, scheme, n_parts):
+        g = 20
+        total = total_threads(scheme, g)
+        bounds = equiarea_range_boundaries(scheme, g, 0, total, n_parts)
+        assert bounds == equiarea_schedule(scheme, g, n_parts).boundaries
+
+    def test_subrange_cuts_balance_work(self):
+        scheme, g = SCHEME_3X1, 30
+        lo, hi = 100, 3500
+        bounds = equiarea_range_boundaries(scheme, g, lo, hi, 6)
+        assert bounds[0] == lo and bounds[-1] == hi
+        assert all(a <= b for a, b in zip(bounds, bounds[1:]))
+        works = [
+            cumulative_work_before(scheme, g, b)
+            - cumulative_work_before(scheme, g, a)
+            for a, b in zip(bounds, bounds[1:])
+        ]
+        assert sum(works) == cumulative_work_before(
+            scheme, g, hi
+        ) - cumulative_work_before(scheme, g, lo)
+        mean = sum(works) / len(works)
+        assert max(works) <= mean + (g - scheme.flattened)  # one thread's work
+
+    def test_clamps_and_degenerate_ranges(self):
+        scheme, g = SCHEME_3X1, 10
+        total = total_threads(scheme, g)
+        assert equiarea_range_boundaries(scheme, g, -5, total + 99, 2)[0] == 0
+        assert equiarea_range_boundaries(scheme, g, -5, total + 99, 2)[-1] == total
+        assert equiarea_range_boundaries(scheme, g, 7, 7, 3) == (7, 7, 7, 7)
+        with pytest.raises(ValueError):
+            equiarea_range_boundaries(scheme, g, 0, total, 0)
+
+
+# -- bit-exactness -------------------------------------------------------
+
+
+class TestPoolBitExactness:
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_engine_matches_single(self, instance, n_workers):
+        tumor, normal, params = instance
+        scheme = scheme_for(3, 2)
+        ref_counters = KernelCounters()
+        ref = SingleGpuEngine(scheme=scheme).best_combo(
+            tumor, normal, params, counters=ref_counters
+        )
+        pool_counters = KernelCounters()
+        with PoolEngine(scheme=scheme, n_workers=n_workers) as eng:
+            got = eng.best_combo(tumor, normal, params, counters=pool_counters)
+        assert got == ref
+        assert _counter_tuple(pool_counters) == _counter_tuple(ref_counters)
+
+    def test_subrange_matches_engine(self, instance):
+        tumor, normal, params = instance
+        scheme = scheme_for(3, 2)
+        total = total_threads(scheme, tumor.n_genes)
+        lo, hi = total // 7, 5 * total // 6
+        from repro.core.engine import best_in_thread_range
+
+        ref = best_in_thread_range(
+            scheme, tumor.n_genes, tumor, normal, params, lo, hi
+        )
+        with PoolEngine(scheme=scheme, n_workers=3) as eng:
+            got = eng.best_combo(tumor, normal, params, lam_start=lo, lam_end=hi)
+        assert got == ref
+
+    def test_tie_straddling_worker_boundary(self):
+        # All-ones tumor: every combination ties at the maximal F, so
+        # each worker chunk returns its own lex-smallest candidate and
+        # the cross-chunk reduction must still pick the global
+        # lex-smallest — exactly the single-engine tie rule.
+        t = BitMatrix.from_dense(np.ones((10, 20), dtype=bool))
+        n = BitMatrix.from_dense(np.zeros((10, 20), dtype=bool))
+        params = FScoreParams(n_tumor=20, n_normal=20)
+        for n_workers in (2, 3, 4):
+            with PoolEngine(scheme=SCHEME_3X1, n_workers=n_workers) as eng:
+                got = eng.best_combo(t, n, params)
+            assert got.genes == (0, 1, 2, 3)
+
+    def test_empty_range_and_validation(self, instance):
+        tumor, normal, params = instance
+        with PoolEngine(scheme=scheme_for(2, 1), n_workers=2) as eng:
+            assert eng.best_combo(tumor, normal, params, 5, 5) is None
+            bad = BitMatrix.from_dense(np.zeros((9, 4), dtype=bool))
+            with pytest.raises(ValueError):
+                eng.best_combo(tumor, bad, params)
+        with pytest.raises(ValueError):
+            PoolEngine(scheme=SCHEME_3X1, n_workers=0)
+        with pytest.raises(ValueError):
+            PoolEngine(scheme=SCHEME_3X1, chunks_per_worker=0)
+
+
+class TestSolverBackendEquivalence:
+    @settings(
+        max_examples=5, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(
+        st.integers(min_value=0, max_value=2**31),
+        st.integers(min_value=2, max_value=4),
+    )
+    def test_pool_single_sequential_agree(self, seed, hits):
+        rng = np.random.default_rng(seed)
+        g = int(rng.integers(hits + 2, 12))
+        t = rng.random((g, int(rng.integers(3, 25)))) < rng.uniform(0.1, 0.7)
+        n = rng.random((g, int(rng.integers(1, 25)))) < rng.uniform(0.0, 0.4)
+        ref = MultiHitSolver(hits=hits, backend="single").solve(t, n)
+        seq = signature(sequential_solve(t, n, hits))
+        assert signature(ref.combinations) == seq
+        for n_workers in (1, 2, 4):
+            got = MultiHitSolver(
+                hits=hits, backend="pool", n_workers=n_workers
+            ).solve(t, n)
+            assert signature(got.combinations) == signature(ref.combinations)
+            assert got.uncovered == ref.uncovered
+            assert _counter_tuple(got.counters) == _counter_tuple(ref.counters)
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            MultiHitSolver(backend="pool", n_workers=0)
+
+    def test_distributed_pool_workers_match_plain(self, instance):
+        tumor, normal, params = instance
+        scheme = scheme_for(3, 2)
+        plain = DistributedEngine(
+            scheme=scheme, n_nodes=2, gpus_per_node=2
+        ).best_combo(tumor, normal, params)
+        counters = KernelCounters()
+        pooled = DistributedEngine(
+            scheme=scheme, n_nodes=2, gpus_per_node=2, pool_workers=2
+        ).best_combo(tumor, normal, params, counters=counters)
+        assert pooled == plain
+        assert counters.combos_scored == math.comb(tumor.n_genes, 3)
+
+
+# -- shared-memory lifecycle and stats -----------------------------------
+
+
+class TestStatsAndSharedMemory:
+    def test_matrices_shipped_once_while_unchanged(self, instance):
+        tumor, normal, params = instance
+        stats = PoolStats()
+        with PoolEngine(scheme=scheme_for(3, 2), n_workers=4) as eng:
+            first = eng.best_combo(tumor, normal, params, stats=stats)
+            second = eng.best_combo(tumor, normal, params, stats=stats)
+            assert first == second
+            assert stats.n_publishes == 2  # tumor + normal, once each
+            assert stats.shipped_bytes == tumor.words.nbytes + normal.words.nbytes
+            # A new tumor matrix (a greedy splice) re-ships tumor only.
+            spliced = BitMatrix(tumor.words.copy(), tumor.n_samples)
+            eng.best_combo(spliced, normal, params, stats=stats)
+            assert stats.n_publishes == 3
+
+    def test_chunk_records_cover_range_exactly(self, instance):
+        tumor, normal, params = instance
+        scheme = scheme_for(3, 2)
+        stats = PoolStats()
+        with PoolEngine(scheme=scheme, n_workers=4) as eng:
+            eng.best_combo(tumor, normal, params, stats=stats)
+        assert stats.n_workers == 4
+        assert 1 <= len(stats.chunks) <= 4
+        assert stats.chunks[0].lam_start == 0
+        assert stats.chunks[-1].lam_end == total_threads(scheme, tumor.n_genes)
+        assert sum(c.work for c in stats.chunks) == total_work(
+            scheme, tumor.n_genes
+        )
+        assert sum(c.combos_scored for c in stats.chunks) == total_work(
+            scheme, tumor.n_genes
+        )
+        assert stats.n_inline_retries == 0
+        per_worker = stats.per_worker()
+        assert sum(row["chunks"] for row in per_worker.values()) == len(stats.chunks)
+        assert "PoolStats" in stats.describe()
+
+    def test_close_is_idempotent(self, instance):
+        tumor, normal, params = instance
+        eng = PoolEngine(scheme=scheme_for(2, 1), n_workers=2)
+        eng.best_combo(tumor, normal, params)
+        eng.close()
+        eng.close()
+
+
+# -- graceful degradation ------------------------------------------------
+
+
+class TestGracefulDegradation:
+    def test_worker_crash_recovers_inline_with_one_warning(
+        self, instance, monkeypatch
+    ):
+        tumor, normal, params = instance
+        scheme = scheme_for(3, 2)
+        ref = SingleGpuEngine(scheme=scheme).best_combo(tumor, normal, params)
+        # Fork workers inherit the patched module, so every chunk dies.
+        monkeypatch.setattr(pool_module, "_search_chunk", _crash_chunk)
+        with PoolEngine(scheme=scheme, n_workers=2) as eng:
+            stats = PoolStats()
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                got = eng.best_combo(tumor, normal, params, stats=stats)
+            degraded = [
+                w for w in caught if issubclass(w.category, PoolDegradedWarning)
+            ]
+            assert got == ref
+            assert len(degraded) == 1  # warn once, not per chunk
+            assert stats.n_inline_retries == len(stats.chunks)
+            # The pool is rebuilt: with the real worker restored the next
+            # call runs on fresh processes with no further warnings.
+            monkeypatch.undo()
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                again = eng.best_combo(tumor, normal, params)
+            assert again == ref
+            assert not [
+                w for w in caught if issubclass(w.category, PoolDegradedWarning)
+            ]
+
+    def test_worker_timeout_recovers_inline(self, instance, monkeypatch):
+        tumor, normal, params = instance
+        scheme = scheme_for(2, 1)
+        ref = SingleGpuEngine(scheme=scheme).best_combo(tumor, normal, params)
+        monkeypatch.setattr(pool_module, "_search_chunk", _slow_chunk)
+        with PoolEngine(scheme=scheme, n_workers=2, timeout=0.2) as eng:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                got = eng.best_combo(tumor, normal, params)
+        assert got == ref
+        assert [w for w in caught if issubclass(w.category, PoolDegradedWarning)]

@@ -97,6 +97,17 @@ class TestGreedyLoop:
                 rng.random((3, 10)) < 0.5, rng.random((3, 10)) < 0.5
             )
 
+    def test_zero_tumor_samples(self):
+        # Regression: an empty tumor cohort raised (first ValueError in
+        # FScoreParams, then ZeroDivisionError in coverage) instead of
+        # solving trivially.
+        t = np.zeros((8, 0), dtype=bool)
+        n = np.zeros((8, 12), dtype=bool)
+        res = MultiHitSolver(hits=2).solve(t, n)
+        assert res.combinations == []
+        assert res.uncovered == 0
+        assert res.coverage == 1.0
+
     def test_uncoverable_samples_reported(self):
         t = np.zeros((6, 10), dtype=bool)
         t[0, :5] = t[1, :5] = True  # only 5 of 10 samples coverable

@@ -1,6 +1,5 @@
 """Tests for the SPMD rank program (the real distributed code path)."""
 
-import numpy as np
 import pytest
 
 from repro.bitmatrix.matrix import BitMatrix

@@ -8,7 +8,7 @@ from repro.data.stats import (
     pairwise_log_odds,
     summarize_matrix,
 )
-from repro.data.synthesis import CohortConfig, generate_cohort
+
 from repro.perfmodel.iterations import fit_iteration_model
 from repro.core.solver import MultiHitSolver
 
