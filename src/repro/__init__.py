@@ -51,6 +51,7 @@ from repro.data import (
 )
 from repro.analysis import MultiHitClassifier, sensitivity_specificity
 from repro.cluster import SimComm, SimCommWorld, SPMDRunner, VirtualCluster
+from repro.faults import FaultPlan, FaultReport, FaultSpec, RetryPolicy
 from repro.perfmodel import JobModel, WorkloadSpec
 
 __version__ = "1.0.0"
@@ -85,6 +86,10 @@ __all__ = [
     "SimCommWorld",
     "SPMDRunner",
     "VirtualCluster",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultReport",
+    "RetryPolicy",
     "JobModel",
     "WorkloadSpec",
     "__version__",

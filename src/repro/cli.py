@@ -43,6 +43,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=2, help="pool backend: worker processes"
     )
     p_solve.add_argument("--output", type=str, default=None, help="save result JSON")
+    p_solve.add_argument(
+        "--checkpoint", type=str, default=None, metavar="PATH",
+        help="checkpoint file; if it already exists the run resumes from it",
+    )
+    p_solve.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="persist the checkpoint every N greedy iterations (default 1)",
+    )
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p_exp.add_argument("name", help="experiment id ('list' to enumerate, 'all' to run every one)")
@@ -101,7 +109,22 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     solver = MultiHitSolver(
         hits=hits, backend=args.backend, n_nodes=args.nodes, n_workers=args.workers
     )
-    result = solver.solve(cohort.tumor.values, cohort.normal.values)
+    if args.checkpoint:
+        from pathlib import Path
+
+        from repro.core.checkpoint import solve_with_checkpoints
+
+        if Path(args.checkpoint).exists():
+            print(f"resuming from checkpoint {args.checkpoint}")
+        result = solve_with_checkpoints(
+            solver,
+            cohort.tumor.values,
+            cohort.normal.values,
+            args.checkpoint,
+            every=args.checkpoint_every,
+        )
+    else:
+        result = solver.solve(cohort.tumor.values, cohort.normal.values)
     print(
         f"solved {cohort.tumor.n_genes} genes / "
         f"{cohort.tumor.n_samples}+{cohort.normal.n_samples} samples: "

@@ -13,8 +13,8 @@ GPUs).  This package substitutes:
 """
 
 from repro.cluster.node import SummitNodeSpec, SUMMIT_NODE
-from repro.cluster.comm import SimComm, SimCommWorld
-from repro.cluster.runtime import SPMDRunner
+from repro.cluster.comm import CommAbortedError, SimComm, SimCommWorld
+from repro.cluster.runtime import RankFailedError, SPMDRunner
 from repro.cluster.network import NetworkModel, SUMMIT_NETWORK
 from repro.cluster.virtual import RankTimeline, VirtualCluster
 from repro.cluster.mpi_program import rank_program, spmd_best_combo
@@ -28,8 +28,10 @@ __all__ = [
     "spmd_best_combo",
     "SummitNodeSpec",
     "SUMMIT_NODE",
+    "CommAbortedError",
     "SimComm",
     "SimCommWorld",
+    "RankFailedError",
     "SPMDRunner",
     "NetworkModel",
     "SUMMIT_NETWORK",

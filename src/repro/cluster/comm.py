@@ -15,28 +15,53 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Any, Callable
 
-__all__ = ["SimCommWorld", "SimComm"]
+__all__ = ["CommAbortedError", "SimCommWorld", "SimComm"]
 
 _DEFAULT_TAG = 0
+
+
+class CommAbortedError(RuntimeError):
+    """A peer rank failed and the world was aborted; recv fails fast."""
 
 
 class SimCommWorld:
     """Shared mailbox fabric for ``n_ranks`` simulated processes.
 
     ``recv_timeout_s`` bounds every blocking receive so a rank orphaned
-    by a peer's failure surfaces an error instead of deadlocking.
+    by a peer's failure surfaces an error instead of deadlocking — and
+    every receive polls the world's **abort event** (``abort_poll_s``
+    granularity), so when a peer dies the survivors raise
+    :class:`CommAbortedError` within milliseconds instead of burning
+    the full timeout.
+
+    ``fault_plan`` (a :class:`repro.faults.FaultPlan`) injects
+    ``recv_drop`` / ``recv_delay`` faults at the ``"comm"`` site,
+    matched against the receiving rank.  Heartbeats (updated by every
+    send/recv) let a runner detect a rank that has gone silent.
     """
 
-    def __init__(self, n_ranks: int, recv_timeout_s: float = 60.0):
+    def __init__(
+        self,
+        n_ranks: int,
+        recv_timeout_s: float = 60.0,
+        fault_plan: "object | None" = None,
+        abort_poll_s: float = 0.02,
+    ):
         if n_ranks < 1:
             raise ValueError("need at least one rank")
         self.n_ranks = n_ranks
         self.recv_timeout_s = recv_timeout_s
+        self.fault_plan = fault_plan
+        self.abort_poll_s = abort_poll_s
         self._boxes: dict[tuple[int, int, int], queue.Queue] = {}
         self._lock = threading.Lock()
         self._barrier = threading.Barrier(n_ranks)
+        self._abort = threading.Event()
+        self._abort_reason: "str | None" = None
+        self.heartbeats: list[float] = [time.monotonic()] * n_ranks
         self.bytes_sent = 0
 
     def _box(self, src: int, dst: int, tag: int) -> queue.Queue:
@@ -49,6 +74,22 @@ class SimCommWorld:
 
     def comm(self, rank: int) -> "SimComm":
         return SimComm(self, rank)
+
+    # -- failure propagation -------------------------------------------
+
+    def abort(self, reason: str) -> None:
+        """Fail every blocked rank fast: set the event, break the barrier."""
+        self._abort_reason = reason
+        self._abort.set()
+        self._barrier.abort()
+
+    @property
+    def aborted(self) -> bool:
+        return self._abort.is_set()
+
+    @property
+    def abort_reason(self) -> "str | None":
+        return self._abort_reason
 
 
 class SimComm:
@@ -74,16 +115,53 @@ class SimComm:
 
     # -- point to point --------------------------------------------------
 
+    def heartbeat(self) -> None:
+        """Record liveness (every send/recv beats; runners may poll it)."""
+        self.world.heartbeats[self.rank] = time.monotonic()
+
     def send(self, obj: Any, dest: int, tag: int = _DEFAULT_TAG) -> None:
         if not 0 <= dest < self.world.n_ranks:
             raise ValueError(f"dest {dest} out of range")
+        self.heartbeat()
         self.world._box(self.rank, dest, tag).put(obj)
 
     def recv(self, source: int, tag: int = _DEFAULT_TAG, timeout: "float | None" = None) -> Any:
-        """Blocking receive; a timeout guards against deadlocked tests."""
+        """Blocking receive; abort-aware and deadline-bounded.
+
+        Polls in ``abort_poll_s`` slices so a world abort (a dead peer)
+        raises :class:`CommAbortedError` immediately rather than after
+        ``recv_timeout_s``; an undelivered message past the timeout
+        raises :class:`TimeoutError`.  Injected ``recv_drop`` faults
+        discard one delivered message (a lost wire transfer);
+        ``recv_delay`` sleeps before delivering.
+        """
+        world = self.world
         if timeout is None:
-            timeout = self.world.recv_timeout_s
-        return self.world._box(source, self.rank, tag).get(timeout=timeout)
+            timeout = world.recv_timeout_s
+        self.heartbeat()
+        box = world._box(source, self.rank, tag)
+        deadline = time.monotonic() + timeout
+        while True:
+            if world.aborted:
+                raise CommAbortedError(world.abort_reason or "world aborted")
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"rank {self.rank}: recv from rank {source} "
+                    f"(tag {tag}) timed out after {timeout}s"
+                )
+            try:
+                obj = box.get(timeout=min(world.abort_poll_s, remaining))
+            except queue.Empty:
+                continue
+            self.heartbeat()
+            if world.fault_plan is not None:
+                spec = world.fault_plan.take("comm", self.rank)
+                if spec is not None and spec.kind == "recv_drop":
+                    continue  # the transfer was lost on the wire
+                if spec is not None and spec.kind == "recv_delay":
+                    time.sleep(spec.delay_s)
+            return obj
 
     # -- collectives ------------------------------------------------------
 

@@ -6,16 +6,33 @@ candidate to rank 0, which broadcasts the winner back — exactly the
 communication structure of Section III-E.  Runs under the thread-backed
 :class:`SimComm`; swapping in mpi4py's communicator would port it to a
 real cluster unchanged.
+
+Fault tolerance (:func:`spmd_best_combo`): a failed run surfaces as
+:class:`RankFailedError` naming the dead ranks; the driver re-cuts each
+dead rank's λ-range equi-area across the survivors and relaunches the
+SPMD world on the survivors only, each now searching its original
+partitions **plus** its share of the dead ranks' ranges.  Because every
+candidate flows through the same total-order reduction, the recovered
+winner is bit-identical to the failure-free one.  A
+:class:`repro.faults.FaultPlan` injects rank crashes / hangs /
+stragglers and recv drops/delays deterministically.
 """
 
 from __future__ import annotations
 
+import time
+
 from repro.bitmatrix.matrix import BitMatrix
 from repro.cluster.comm import SimComm
-from repro.cluster.runtime import SPMDRunner
+from repro.cluster.runtime import RankFailedError, SPMDRunner
 from repro.core.combination import MultiHitCombination, better
 from repro.core.distributed import rank_best_combo
+from repro.core.engine import best_in_thread_range
 from repro.core.fscore import FScoreParams
+from repro.faults.plan import FaultInjected, FaultPlan
+from repro.faults.policy import RetryPolicy
+from repro.faults.report import FaultReport
+from repro.faults.reschedule import rank_partitions, reschedule_ranges
 from repro.scheduling.schedule import Schedule
 
 __all__ = ["rank_program", "spmd_best_combo"]
@@ -37,21 +54,50 @@ def rank_program(
     return comm.bcast(winner, root=0)
 
 
-def spmd_best_combo(
-    n_ranks: int,
+def _ft_rank_program(
+    comm: SimComm,
     schedule: Schedule,
+    gpus_per_rank: int,
+    live_ranks: "list[int]",
+    extra: "dict[int, list[tuple[int, int]]]",
     tumor: BitMatrix,
     normal: BitMatrix,
     params: FScoreParams,
-    gpus_per_rank: int = 6,
+    fault_plan: "FaultPlan | None",
+    call: int,
 ) -> "MultiHitCombination | None":
-    """Run one distributed arg-max as a real SPMD program on ``n_ranks``.
+    """Recovery-aware rank body: original partitions + rescheduled shares.
 
-    All ranks must agree on the winner (asserted); returns it.
+    ``live_ranks[comm.Get_rank()]`` is the rank's identity in the
+    *original* schedule; ``extra[orig]`` holds λ-ranges inherited from
+    dead ranks.  Identical to :func:`rank_program` when nothing has
+    failed (all ranks live, no extra ranges).
     """
-    results = SPMDRunner(n_ranks).run(
-        rank_program, schedule, gpus_per_rank, tumor, normal, params
+    orig = live_ranks[comm.Get_rank()]
+    if fault_plan is not None:
+        spec = fault_plan.take("rank", orig, call)
+        if spec is not None:
+            if spec.kind == "crash":
+                raise FaultInjected(f"injected crash on rank {orig}")
+            if spec.kind in ("hang", "straggler"):
+                # A hang trips the heartbeat/recv deadline; a straggler
+                # merely finishes late.
+                time.sleep(spec.delay_s)
+    local = rank_best_combo(
+        schedule, orig, gpus_per_rank, tumor, normal, params
     )
+    for lo, hi in extra.get(orig, ()):
+        local = better(
+            local,
+            best_in_thread_range(
+                schedule.scheme, schedule.g, tumor, normal, params, lo, hi
+            ),
+        )
+    winner = comm.reduce(local, op=better, root=0)
+    return comm.bcast(winner, root=0)
+
+
+def _check_agreement(results: "list") -> "MultiHitCombination | None":
     first = results[0]
     for r in results[1:]:
         if (r is None) != (first is None) or (
@@ -59,3 +105,109 @@ def spmd_best_combo(
         ):
             raise AssertionError(f"ranks disagree on the winner: {first} vs {r}")
     return first
+
+
+def spmd_best_combo(
+    n_ranks: int,
+    schedule: Schedule,
+    tumor: BitMatrix,
+    normal: BitMatrix,
+    params: FScoreParams,
+    gpus_per_rank: int = 6,
+    fault_plan: "FaultPlan | None" = None,
+    retry_policy: "RetryPolicy | None" = None,
+    report: "FaultReport | None" = None,
+    recv_timeout_s: float = 60.0,
+    heartbeat_timeout_s: "float | None" = None,
+    call: int = 0,
+) -> "MultiHitCombination | None":
+    """Run one distributed arg-max as a real SPMD program on ``n_ranks``.
+
+    All ranks must agree on the winner (asserted); returns it.
+
+    If ranks fail, the run is restarted on the survivors with the dead
+    ranks' λ-ranges re-cut equi-area among them; up to
+    ``1 + retry_policy.resubmits`` recovery restarts are attempted
+    (with the policy's backoff) before the last failure propagates.
+    ``heartbeat_timeout_s`` should be set below ``recv_timeout_s`` so a
+    hung rank is named by the detector before its peers time out.
+    """
+    policy = retry_policy or RetryPolicy()
+    live = list(range(n_ranks))
+    extra: "dict[int, list[tuple[int, int]]]" = {r: [] for r in live}
+    restarts = 0
+    while True:
+        runner = SPMDRunner(
+            len(live),
+            recv_timeout_s=recv_timeout_s,
+            heartbeat_timeout_s=heartbeat_timeout_s,
+            fault_plan=fault_plan,
+        )
+        try:
+            results = runner.run(
+                _ft_rank_program,
+                schedule,
+                gpus_per_rank,
+                live,
+                extra,
+                tumor,
+                normal,
+                params,
+                fault_plan,
+                call,
+            )
+            return _check_agreement(results)
+        except RankFailedError as err:
+            dead_local = set(err.failed_ranks)
+            dead = sorted(live[i] for i in dead_local)
+            survivors = [r for i, r in enumerate(live) if i not in dead_local]
+            if report is not None:
+                for i, exc in err.failures:
+                    report.record(
+                        "hang" if isinstance(exc, TimeoutError) else "crash",
+                        "rank",
+                        live[i],
+                        call,
+                        "detected",
+                        attempt=restarts + 1,
+                        detail=f"{type(exc).__name__}: {exc}",
+                    )
+            if not survivors or restarts >= 1 + policy.resubmits:
+                raise
+            restarts += 1
+            policy.sleep_before(restarts)
+            # Dead ranks' partitions, re-cut equi-area across survivors.
+            dead_parts = [
+                p for r in dead for p in rank_partitions(schedule, r, gpus_per_rank)
+            ]
+            shares = reschedule_ranges(schedule, dead_parts, len(survivors))
+            new_extra = {r: list(extra[r]) for r in survivors}
+            for j, survivor in enumerate(survivors):
+                for part, lo, hi in shares[j]:
+                    new_extra[survivor].append((lo, hi))
+                    if report is not None:
+                        report.record_reschedule(
+                            dead_rank=part // gpus_per_rank,
+                            survivor=survivor,
+                            lam_start=lo,
+                            lam_end=hi,
+                            call=call,
+                        )
+            # Extra ranges a dead rank had already inherited move too.
+            orphaned = [rng for r in dead for rng in extra.get(r, ())]
+            for k, (lo, hi) in enumerate(orphaned):
+                survivor = survivors[k % len(survivors)]
+                new_extra[survivor].append((lo, hi))
+                if report is not None:
+                    report.record_reschedule(
+                        dead_rank=dead[0], survivor=survivor,
+                        lam_start=lo, lam_end=hi, call=call,
+                    )
+            if report is not None:
+                report.record(
+                    "crash", "rank", dead[0], call, "restarted",
+                    attempt=restarts,
+                    detail=f"world restarted on {len(survivors)} survivors",
+                )
+            live = survivors
+            extra = new_extra

@@ -13,6 +13,7 @@ uninterrupted one (asserted by the tests).
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -86,7 +87,14 @@ class SolverState:
 
 
 def save_state(state: SolverState, path: "str | Path") -> None:
-    """Persist a checkpoint as JSON."""
+    """Persist a checkpoint as JSON, atomically.
+
+    The payload is written to a sibling temp file, flushed to disk, and
+    renamed over ``path`` with :func:`os.replace` — a crash mid-write
+    (the very failure checkpoints exist to survive) can never leave a
+    torn checkpoint behind: ``path`` holds either the previous complete
+    snapshot or the new one.
+    """
     payload = {
         "format_version": _FORMAT_VERSION,
         "hits": state.hits,
@@ -98,7 +106,16 @@ def save_state(state: SolverState, path: "str | Path") -> None:
         "active": [int(i) for i in np.flatnonzero(state.active)],
         "n_samples": int(state.active.shape[0]),
     }
-    Path(path).write_text(json.dumps(payload) + "\n")
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "w") as fh:
+            fh.write(json.dumps(payload) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
 
 
 def load_state(path: "str | Path") -> SolverState:
@@ -123,20 +140,35 @@ def solve_with_checkpoints(
     normal,
     path: "str | Path",
     resume_if_exists: bool = True,
+    every: int = 1,
 ):
-    """Run a solver, persisting a checkpoint after every iteration.
+    """Run a solver, persisting a checkpoint every ``every`` iterations.
 
     If ``path`` exists (and ``resume_if_exists``), the run continues from
-    it; either way the file tracks the latest completed iteration, so an
+    it; either way the file tracks a recent completed iteration, so an
     interrupted process can always be relaunched with the same call.
+    ``every > 1`` trades re-computable iterations for checkpoint I/O;
+    the final state is always persisted regardless of cadence, and each
+    write is atomic (see :func:`save_state`).
     """
+    if every < 1:
+        raise ValueError("every must be >= 1")
     path = Path(path)
     resume = None
     if resume_if_exists and path.exists():
         resume = load_state(path)
-    return solver.solve(
-        tumor,
-        normal,
-        resume=resume,
-        on_iteration=lambda state: save_state(state, path),
-    )
+
+    last: "list[SolverState | None]" = [None]
+    seen = [0]
+
+    def on_iteration(state: SolverState) -> None:
+        seen[0] += 1
+        last[0] = state
+        if seen[0] % every == 0:
+            save_state(state, path)
+            last[0] = None
+
+    result = solver.solve(tumor, normal, resume=resume, on_iteration=on_iteration)
+    if last[0] is not None:
+        save_state(last[0], path)
+    return result

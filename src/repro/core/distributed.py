@@ -10,6 +10,7 @@ function under the thread-backed SimComm for true SPMD semantics.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.bitmatrix.matrix import BitMatrix
@@ -19,6 +20,10 @@ from repro.core.fscore import FScoreParams
 from repro.core.kernels import KernelCounters
 from repro.core.memopt import MemoryConfig
 from repro.core.reduction import ReductionStats, multi_stage_reduce
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import RetryPolicy
+from repro.faults.report import FaultReport
+from repro.faults.reschedule import rank_partitions, reschedule_ranges
 from repro.scheduling.equiarea import equiarea_schedule
 from repro.scheduling.schedule import Schedule
 from repro.scheduling.schemes import Scheme
@@ -101,6 +106,17 @@ class DistributedEngine:
     Parameters mirror a Summit job: ``n_nodes`` MPI ranks with
     ``gpus_per_node`` GPU partitions each.  ``scheduler`` builds the
     partition (equi-area by default).
+
+    Fault tolerance: each rank's search runs under the shared
+    ``retry_policy`` — a rank that fails (injected via ``fault_plan``
+    or raising for real) is retried with backoff up to
+    ``retry_policy.resubmits`` times; a rank that stays dead has its
+    λ-range re-cut equi-area across the surviving ranks, so the
+    iteration completes with a bit-identical winner.  A rank whose
+    wall time exceeds ``retry_policy.deadline_s`` (injected hang) is
+    declared lost; one that finishes but exceeds
+    ``retry_policy.straggler_after_s`` is recorded as a straggler.
+    Everything detected/retried/rescheduled lands in ``report``.
     """
 
     scheme: Scheme
@@ -110,6 +126,13 @@ class DistributedEngine:
     scheduler: str = "equiarea"
     n_workers: int = 1  # threads per rank (simulates concurrent local GPUs)
     pool_workers: int = 0  # >0: pooled search inside each GPU's range
+    fault_plan: "FaultPlan | None" = None
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
+    report: FaultReport = field(
+        default_factory=FaultReport, repr=False, compare=False
+    )
+
+    _calls: int = field(default=0, init=False, repr=False, compare=False)
 
     def build_schedule(self, g: int) -> Schedule:
         n_parts = self.n_nodes * self.gpus_per_node
@@ -129,7 +152,14 @@ class DistributedEngine:
         counters: "KernelCounters | None" = None,
         reduction_stats: "ReductionStats | None" = None,
     ) -> "MultiHitCombination | None":
-        """Full distributed arg-max: all ranks' results reduced at root."""
+        """Full distributed arg-max: all ranks' results reduced at root.
+
+        Ranks that fail beyond the retry budget are declared dead and
+        their λ-ranges re-cut across survivors before the reduction —
+        the winner is bit-identical to the failure-free run.
+        """
+        call = self._calls
+        self._calls += 1
         schedule = self.build_schedule(tumor.n_genes)
         pool = None
         if self.pool_workers > 0:
@@ -140,22 +170,125 @@ class DistributedEngine:
             )
         try:
             rank_winners: list["MultiHitCombination | None"] = []
+            dead: list[int] = []
             for rank in range(self.n_nodes):
-                rank_winners.append(
-                    rank_best_combo(
-                        schedule,
-                        rank,
-                        self.gpus_per_node,
-                        tumor,
-                        normal,
-                        params,
-                        memory=self.memory,
-                        counters=counters,
-                        n_workers=self.n_workers,
-                        pool=pool,
+                winner, alive = self._run_rank(
+                    schedule, rank, call, tumor, normal, params, counters, pool
+                )
+                if alive:
+                    rank_winners.append(winner)
+                else:
+                    dead.append(rank)
+            if dead:
+                rank_winners.extend(
+                    self._reschedule_dead(
+                        schedule, dead, call, tumor, normal, params, counters
                     )
                 )
             return multi_stage_reduce(rank_winners, stats=reduction_stats)
         finally:
             if pool is not None:
                 pool.close()
+
+    # -- fault-tolerant rank execution ---------------------------------
+
+    def _run_rank(
+        self, schedule, rank, call, tumor, normal, params, counters, pool
+    ) -> "tuple[MultiHitCombination | None, bool]":
+        """One rank's search under the retry policy.
+
+        Returns ``(winner, alive)``; ``alive=False`` marks the rank dead
+        after exhausting ``retry_policy.resubmits`` — its range is then
+        rescheduled by the caller.
+        """
+        policy = self.retry_policy
+        last_kind = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                policy.sleep_before(attempt - 1)
+            spec = (
+                self.fault_plan.take("rank", rank, call)
+                if self.fault_plan is not None
+                else None
+            )
+            if spec is not None and spec.kind in ("crash", "hang"):
+                # A hang is surfaced by the deadline detector, a crash
+                # by the dead pipe; both mean this attempt is lost.
+                last_kind = spec.kind
+                self.report.record(
+                    spec.kind, "rank", rank, call, "detected", attempt=attempt,
+                    detail="deadline exceeded" if spec.kind == "hang" else "",
+                )
+                continue
+            t0 = time.perf_counter()
+            if spec is not None and spec.kind == "straggler":
+                time.sleep(spec.delay_s)
+            winner = rank_best_combo(
+                schedule,
+                rank,
+                self.gpus_per_node,
+                tumor,
+                normal,
+                params,
+                memory=self.memory,
+                counters=counters,
+                n_workers=self.n_workers,
+                pool=pool,
+            )
+            wall = time.perf_counter() - t0
+            if policy.is_straggler(wall) or (
+                spec is not None and spec.kind == "straggler"
+            ):
+                self.report.record(
+                    "straggler", "rank", rank, call, "observed",
+                    attempt=attempt, detail=f"{wall:.3f}s",
+                )
+            if attempt > 1 and last_kind is not None:
+                self.report.record(
+                    last_kind, "rank", rank, call, "resubmitted", attempt=attempt
+                )
+            return winner, True
+        return None, False
+
+    def _reschedule_dead(
+        self, schedule, dead, call, tumor, normal, params, counters
+    ) -> "list[MultiHitCombination | None]":
+        """Re-cut dead ranks' λ-ranges across survivors and search them.
+
+        The equi-area re-cut keeps the recovered work balanced; the
+        pieces feed the same reduction as regular rank winners, so the
+        result cannot depend on which ranks died.
+        """
+        survivors = [r for r in range(self.n_nodes) if r not in dead]
+        dead_parts = [
+            p
+            for r in dead
+            for p in rank_partitions(schedule, r, self.gpus_per_node)
+        ]
+        n_surv = max(1, len(survivors))
+        shares = reschedule_ranges(schedule, dead_parts, n_surv)
+        winners: list["MultiHitCombination | None"] = []
+        for j, pieces in enumerate(shares):
+            survivor = survivors[j] if survivors else -1  # -1: root recovers
+            for part, lo, hi in pieces:
+                self.report.record_reschedule(
+                    dead_rank=part // self.gpus_per_node,
+                    survivor=survivor,
+                    lam_start=lo,
+                    lam_end=hi,
+                    call=call,
+                )
+                winners.append(
+                    best_in_thread_range(
+                        schedule.scheme,
+                        schedule.g,
+                        tumor,
+                        normal,
+                        params,
+                        lo,
+                        hi,
+                        counters=counters,
+                        memory=self.memory,
+                    )
+                )
+        return winners

@@ -26,9 +26,13 @@ shapes and the λ range; workers attach lazily and cache the mapping
 until the segment names change.
 
 A lost worker never loses a greedy iteration: a crashed or timed-out
-chunk is retried inline in the parent (with a one-time
-:class:`PoolDegradedWarning`) and a broken pool is rebuilt before the
-next call.
+chunk is re-submitted per the engine's :class:`repro.faults.RetryPolicy`
+(with exponential backoff) and finally retried inline in the parent
+(with a one-time :class:`PoolDegradedWarning`); a broken pool is rebuilt
+before the next attempt.  Every detection and recovery is recorded in
+the engine's :class:`repro.faults.FaultReport`, and a
+:class:`repro.faults.FaultPlan` can deterministically inject chunk
+crashes, hangs, and stragglers for testing.
 """
 
 from __future__ import annotations
@@ -37,7 +41,7 @@ import os
 import time
 import warnings
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -48,6 +52,9 @@ from repro.core.fscore import FScoreParams
 from repro.core.kernels import KernelCounters
 from repro.core.memopt import MemoryConfig
 from repro.core.reduction import multi_stage_reduce
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.faults.policy import RetryPolicy
+from repro.faults.report import FaultReport
 from repro.scheduling.equiarea import equiarea_range_boundaries
 from repro.scheduling.schemes import Scheme
 from repro.scheduling.workload import (
@@ -85,6 +92,7 @@ class _ChunkTask:
     lam_start: int
     lam_end: int
     memory: "MemoryConfig | None"
+    fault: "FaultSpec | None" = None
 
 
 # Per-worker cache: segment name -> (SharedMemory handle, word-array view).
@@ -112,9 +120,21 @@ def _evict_stale(keep: set) -> None:
             pass
 
 
+def _apply_worker_fault(spec: FaultSpec) -> None:
+    """Worker-side realization of an injected chunk fault."""
+    if spec.kind == "crash":
+        os._exit(17)  # hard death: no exception crosses the pipe
+    elif spec.kind in ("hang", "straggler"):
+        # A hang outlives the parent's deadline (which recovers the
+        # chunk); a straggler merely finishes late.
+        time.sleep(spec.delay_s)
+
+
 def _search_chunk(task: _ChunkTask):
     """Worker-side: attach, search the λ range, return (winner, counters)."""
     t0 = time.perf_counter()
+    if task.fault is not None:
+        _apply_worker_fault(task.fault)
     _evict_stale({task.tumor_name, task.normal_name})
     tumor = BitMatrix(
         _attach(task.tumor_name, task.tumor_shape), task.tumor_samples
@@ -228,9 +248,20 @@ class PoolEngine:
         values trade scheduling granularity for tail latency.
     timeout:
         Per-chunk seconds before the parent gives up on a worker and
-        recovers the chunk inline (``None`` waits forever).
+        recovers the chunk (``None`` falls back to
+        ``retry_policy.deadline_s``; if both are ``None``, waits
+        forever).
     start_method:
         ``multiprocessing`` start method; default prefers ``fork``.
+    retry_policy:
+        Shared recovery policy: ``resubmits`` re-submissions to the
+        (rebuilt) pool with backoff before the guaranteed inline
+        retry; ``deadline_s`` as the default chunk deadline;
+        ``straggler_after_s`` as the soft straggler-detection
+        threshold.
+    fault_plan:
+        Optional deterministic fault injection (site ``"pool"``,
+        target = chunk index, call = arg-max call number).
     """
 
     scheme: Scheme
@@ -239,6 +270,11 @@ class PoolEngine:
     chunks_per_worker: int = 1
     timeout: "float | None" = None
     start_method: "str | None" = None
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
+    fault_plan: "FaultPlan | None" = None
+    report: FaultReport = field(
+        default_factory=FaultReport, repr=False, compare=False
+    )
 
     _pool: "ProcessPoolExecutor | None" = field(
         default=None, init=False, repr=False, compare=False
@@ -246,6 +282,7 @@ class PoolEngine:
     _segments: dict = field(default_factory=dict, init=False, repr=False, compare=False)
     _warned: bool = field(default=False, init=False, repr=False, compare=False)
     _timed_out: bool = field(default=False, init=False, repr=False, compare=False)
+    _calls: int = field(default=0, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -330,23 +367,68 @@ class PoolEngine:
 
     # -- degradation ---------------------------------------------------
 
-    def _recover_inline(
-        self, exc: BaseException, tumor, normal, params, lo, hi
-    ):
-        """Re-run a lost chunk in the parent; warn the first time only."""
+    def _note_failure(self, exc: BaseException) -> None:
+        """Bookkeeping common to every detected chunk loss."""
         if not self._warned:
             self._warned = True
             warnings.warn(
                 f"pool worker lost ({type(exc).__name__}: {exc}); "
-                "retrying the λ-range inline — results are unaffected",
+                "recovering the λ-range — results are unaffected",
                 PoolDegradedWarning,
-                stacklevel=3,
+                stacklevel=4,
             )
         if isinstance(exc, TimeoutError):
             self._timed_out = True
         if isinstance(exc, BrokenExecutor) and self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None  # rebuilt on the next call
+            self._pool = None  # rebuilt on the next attempt
+
+    def _recover_chunk(
+        self, exc: BaseException, chunk: int, call: int, task: _ChunkTask,
+        tumor, normal, params, timeout: "float | None",
+    ):
+        """Detected loss of one chunk: resubmit per policy, then inline."""
+        kind = "hang" if isinstance(exc, TimeoutError) else "crash"
+        self._note_failure(exc)
+        policy = self.retry_policy
+        self.report.record(
+            kind, "pool", chunk, call, "detected",
+            detail=f"{type(exc).__name__}: {exc}",
+        )
+        for attempt in range(1, policy.resubmits + 1):
+            policy.sleep_before(attempt)
+            fault = (
+                self.fault_plan.take("pool", chunk, call)
+                if self.fault_plan is not None
+                else None
+            )
+            retry_task = replace(task, fault=fault)
+            try:
+                out = self._ensure_pool().submit(
+                    _search_chunk, retry_task
+                ).result(timeout=timeout)
+            except (BrokenExecutor, TimeoutError, OSError) as exc2:
+                self._note_failure(exc2)
+                self.report.record(
+                    "hang" if isinstance(exc2, TimeoutError) else "crash",
+                    "pool", chunk, call, "detected", attempt=attempt + 1,
+                    detail=f"{type(exc2).__name__}: {exc2}",
+                )
+                continue
+            self.report.record(
+                kind, "pool", chunk, call, "resubmitted", attempt=attempt + 1
+            )
+            return out + (False,)
+        self.report.record(
+            kind, "pool", chunk, call, "inline-retry",
+            attempt=policy.resubmits + 2,
+        )
+        return self._recover_inline(
+            tumor, normal, params, task.lam_start, task.lam_end
+        ) + (True,)
+
+    def _recover_inline(self, tumor, normal, params, lo, hi):
+        """Re-run a lost chunk in the parent (the guaranteed fallback)."""
         t0 = time.perf_counter()
         counters = KernelCounters()
         best = best_in_thread_range(
@@ -390,6 +472,13 @@ class PoolEngine:
         lam_end = min(lam_end, total)
         if lam_end <= lam_start:
             return None
+        call = self._calls
+        self._calls += 1
+        timeout = (
+            self.timeout
+            if self.timeout is not None
+            else self.retry_policy.deadline_s
+        )
         if stats is not None:
             stats.n_workers = self.n_workers
 
@@ -418,8 +507,13 @@ class PoolEngine:
                 lam_start=lo,
                 lam_end=hi,
                 memory=self.memory,
+                fault=(
+                    self.fault_plan.take("pool", i, call)
+                    if self.fault_plan is not None
+                    else None
+                ),
             )
-            for lo, hi in ranges
+            for i, (lo, hi) in enumerate(ranges)
         ]
 
         pool = self._ensure_pool()
@@ -428,18 +522,21 @@ class PoolEngine:
         except BrokenExecutor as exc:  # pragma: no cover - submit-time break
             futures = None
             results = [
-                self._recover_inline(exc, tumor, normal, params, lo, hi) + (True,)
-                for lo, hi in ranges
+                self._recover_chunk(
+                    exc, i, call, task, tumor, normal, params, timeout
+                )
+                for i, task in enumerate(tasks)
             ]
         if futures is not None:
             results = []
-            for fut, (lo, hi) in zip(futures, ranges):
+            for i, (fut, task) in enumerate(zip(futures, tasks)):
                 try:
-                    results.append(fut.result(timeout=self.timeout) + (False,))
+                    results.append(fut.result(timeout=timeout) + (False,))
                 except (BrokenExecutor, TimeoutError, OSError) as exc:
                     results.append(
-                        self._recover_inline(exc, tumor, normal, params, lo, hi)
-                        + (True,)
+                        self._recover_chunk(
+                            exc, i, call, task, tumor, normal, params, timeout
+                        )
                     )
 
         prefix = work_prefix_by_level(self.scheme, g)
@@ -450,6 +547,11 @@ class PoolEngine:
             winners.append(best)
             if counters is not None:
                 counters.merge(chunk_counters)
+            if not retried and self.retry_policy.is_straggler(wall):
+                self.report.record(
+                    "straggler", "pool", i, call, "observed",
+                    detail=f"{wall:.3f}s",
+                )
             if stats is not None:
                 stats.chunks.append(
                     ChunkRecord(

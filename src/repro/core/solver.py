@@ -25,6 +25,9 @@ from repro.core.fscore import DEFAULT_ALPHA, FScoreParams
 from repro.core.kernels import KernelCounters
 from repro.core.memopt import MemoryConfig
 from repro.core.sequential import sequential_best_combo
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import RetryPolicy
+from repro.faults.report import FaultReport
 from repro.scheduling.schemes import Scheme, scheme_for
 
 __all__ = ["IterationRecord", "MultiHitResult", "MultiHitSolver"]
@@ -52,6 +55,7 @@ class MultiHitResult:
     params: FScoreParams
     uncovered: int
     counters: KernelCounters = field(default_factory=KernelCounters)
+    fault_report: "FaultReport | None" = None
 
     @property
     def n_iterations(self) -> int:
@@ -97,6 +101,10 @@ class MultiHitSolver:
         Simulated Summit shape for the distributed backend.
     n_workers:
         Worker processes for the pool backend (ignored otherwise).
+    fault_plan / retry_policy:
+        Fault-tolerance knobs forwarded to the pool / distributed
+        engine; detected faults and recovery actions come back on
+        ``result.fault_report``.
     """
 
     hits: int = 4
@@ -108,6 +116,8 @@ class MultiHitSolver:
     gpus_per_node: int = 6
     n_workers: int = 2
     max_iterations: "int | None" = None
+    fault_plan: "FaultPlan | None" = None
+    retry_policy: "RetryPolicy | None" = None
 
     def __post_init__(self) -> None:
         if self.hits < 2:
@@ -132,6 +142,7 @@ class MultiHitSolver:
         params: FScoreParams,
         counters: KernelCounters,
         pool: "object | None" = None,
+        dist: "DistributedEngine | None" = None,
     ) -> "MultiHitCombination | None":
         if tumor.n_samples == 0:
             return None
@@ -144,13 +155,7 @@ class MultiHitSolver:
         if self.backend == "single":
             engine = SingleGpuEngine(scheme=self.scheme, memory=self.memory)
             return engine.best_combo(tumor, normal, params, counters=counters)
-        engine = DistributedEngine(
-            scheme=self.scheme,
-            n_nodes=self.n_nodes,
-            gpus_per_node=self.gpus_per_node,
-            memory=self.memory,
-        )
-        return engine.best_combo(tumor, normal, params, counters=counters)
+        return dist.best_combo(tumor, normal, params, counters=counters)
 
     # -- greedy loop ---------------------------------------------------
 
@@ -198,6 +203,7 @@ class MultiHitSolver:
                 work = BitMatrix(tumor.words & mask[None, :], tumor.n_samples)
 
         pool = None
+        dist = None
         if self.backend == "pool":
             from repro.core.pool import PoolEngine
 
@@ -205,27 +211,48 @@ class MultiHitSolver:
             # the normal matrix's shared segment) survive across
             # iterations; only the re-spliced tumor matrix is re-shipped.
             pool = PoolEngine(
-                scheme=self.scheme, n_workers=self.n_workers, memory=self.memory
+                scheme=self.scheme,
+                n_workers=self.n_workers,
+                memory=self.memory,
+                fault_plan=self.fault_plan,
+                retry_policy=self.retry_policy or RetryPolicy(),
+            )
+        elif self.backend == "distributed":
+            # One engine for the run so its arg-max call counter lines
+            # up with greedy iterations ("rank 1 crashes at iteration
+            # k") and its fault report spans the whole solve.
+            dist = DistributedEngine(
+                scheme=self.scheme,
+                n_nodes=self.n_nodes,
+                gpus_per_node=self.gpus_per_node,
+                memory=self.memory,
+                fault_plan=self.fault_plan,
+                retry_policy=self.retry_policy or RetryPolicy(),
             )
         try:
-            return self._greedy_loop(
+            result = self._greedy_loop(
                 tumor, normal, params, counters, combos, records, work, active,
-                on_iteration, pool,
+                on_iteration, pool, dist,
             )
+            if pool is not None:
+                result.fault_report = pool.report
+            elif dist is not None:
+                result.fault_report = dist.report
+            return result
         finally:
             if pool is not None:
                 pool.close()
 
     def _greedy_loop(
         self, tumor, normal, params, counters, combos, records, work, active,
-        on_iteration, pool,
+        on_iteration, pool, dist,
     ) -> MultiHitResult:
         while active.any():
             if self.max_iterations is not None and len(combos) >= self.max_iterations:
                 break
             remaining_before = int(active.sum())
             t0 = time.perf_counter()
-            best = self._best(work, normal, params, counters, pool)
+            best = self._best(work, normal, params, counters, pool, dist)
             dt = time.perf_counter() - t0
             if best is None or best.tp == 0:
                 break

@@ -1,0 +1,44 @@
+"""Fault tolerance: deterministic injection, retry policy, rescheduling.
+
+Three pillars (see DESIGN § fault model):
+
+* :class:`FaultPlan` / :class:`FaultSpec` — a deterministic, seedable
+  fault-injection plan (rank crash at iteration *k*, worker hang, recv
+  drop/delay, slow-GPU straggler) hooked into the pool, distributed,
+  SPMD/SimComm and gpusim layers, so any failure scenario is a
+  reproducible test case;
+* :class:`RetryPolicy` — the shared retry/backoff/deadline policy every
+  recovery layer consults (extracted from the pool's PR 1 inline retry);
+* :func:`reschedule_ranges` + :class:`FaultReport` — survivor
+  rescheduling of a dead rank's λ-range via the equi-area level walk,
+  with a per-run record of what was detected, retried, and rescheduled.
+
+Results under any injected plan are bit-identical to the failure-free
+run: recovery changes *who* searches a thread range, never which
+candidates exist or how ties break.
+"""
+
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FAULT_SITES,
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.faults.policy import RetryPolicy
+from repro.faults.report import FaultEvent, FaultReport, RescheduledRange
+from repro.faults.reschedule import rank_partitions, reschedule_ranges
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_SITES",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "FaultEvent",
+    "FaultReport",
+    "RescheduledRange",
+    "rank_partitions",
+    "reschedule_ranges",
+]

@@ -1,0 +1,184 @@
+"""Deterministic, seedable fault-injection plans.
+
+The paper's runs spanned up to 1000 Summit nodes, where a lost rank or a
+walltime kill is routine; testing the recovery machinery on real
+hardware failures is neither deterministic nor CI-friendly.  A
+:class:`FaultPlan` is the substitute: an explicit list of
+:class:`FaultSpec` events ("rank 1 crashes on arg-max call 0", "pool
+chunk 2 hangs on call 1", "the recv into rank 0 is dropped once") that
+the execution layers consult at well-defined injection points —
+:class:`repro.core.pool.PoolEngine` chunks, the
+:class:`repro.core.distributed.DistributedEngine` rank loop, the SPMD
+rank program under :class:`repro.cluster.comm.SimComm`, and the
+block-level :class:`repro.gpusim.executor.BlockKernelExecutor`.
+
+Every spec fires a bounded number of times (``count``; ``-1`` =
+persistent, e.g. a node that stays dead), so an injected failure either
+recovers under retry or forces rescheduling — and the whole scenario
+replays identically on every run.  ``FaultPlan.random(seed=...)``
+derives a plan from a seed for randomized-but-reproducible campaigns.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["FAULT_KINDS", "FAULT_SITES", "FaultInjected", "FaultPlan", "FaultSpec"]
+
+#: Supported failure modes.
+FAULT_KINDS = ("crash", "hang", "straggler", "recv_drop", "recv_delay")
+
+#: Injection points: pool worker chunk, distributed/SPMD rank, SimComm
+#: receive, simulated-GPU block.
+FAULT_SITES = ("pool", "rank", "comm", "gpu")
+
+
+class FaultInjected(RuntimeError):
+    """Raised at an injection point to simulate a failure."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault.
+
+    Parameters
+    ----------
+    kind:
+        ``"crash"`` (the unit dies), ``"hang"`` (it blocks past any
+        deadline), ``"straggler"`` (it is slow but correct),
+        ``"recv_drop"`` / ``"recv_delay"`` (one message is lost /
+        delayed in transit — ``comm`` site only).
+    site:
+        Where the fault fires (see :data:`FAULT_SITES`).
+    target:
+        Site-local index: chunk index (pool), rank (rank/comm, matched
+        against the *receiving* rank for comm faults), block id (gpu).
+    at_call:
+        Which arg-max call (greedy iteration) the fault fires on;
+        ``None`` matches any call.
+    count:
+        How many times the fault fires before it is spent.  ``1``
+        (default) models a transient fault, ``-1`` a persistent one
+        (a dead node stays dead — retry cannot help, only
+        rescheduling or a checkpoint can).
+    delay_s:
+        Sleep injected for ``hang`` / ``straggler`` / ``recv_delay``.
+    slowdown:
+        Cycle multiplier for a ``gpu``-site straggler.
+    """
+
+    kind: str
+    site: str
+    target: int = 0
+    at_call: "int | None" = None
+    count: int = 1
+    delay_s: float = 0.05
+    slowdown: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.site not in FAULT_SITES:
+            raise ValueError(f"unknown fault site {self.site!r}")
+        if self.count == 0:
+            raise ValueError("count must be positive or -1 (persistent)")
+
+
+@dataclass
+class FaultPlan:
+    """An ordered set of planned faults with one-shot matching.
+
+    ``take(site, target, call)`` returns the first matching live spec
+    and decrements its remaining count; a spent spec never fires again,
+    so a retried or rescheduled unit of work sees a clean execution.
+    Matching is thread-safe (SPMD ranks run on threads).
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+    _remaining: dict = field(default_factory=dict, init=False, repr=False, compare=False)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        self.specs = tuple(self.specs)
+        self._remaining = {i: s.count for i, s in enumerate(self.specs)}
+
+    def take(self, site: str, target: int, call: "int | None" = None) -> "FaultSpec | None":
+        """Consume and return the first live fault matching the site event."""
+        with self._lock:
+            for i, spec in enumerate(self.specs):
+                if spec.site != site or spec.target != target:
+                    continue
+                if spec.at_call is not None and call is not None and spec.at_call != call:
+                    continue
+                left = self._remaining[i]
+                if left == 0:
+                    continue
+                if left > 0:
+                    self._remaining[i] = left - 1
+                return spec
+        return None
+
+    def peek(self, site: str, target: int, call: "int | None" = None) -> "FaultSpec | None":
+        """Like :meth:`take` but without consuming the fault."""
+        with self._lock:
+            for i, spec in enumerate(self.specs):
+                if spec.site != site or spec.target != target:
+                    continue
+                if spec.at_call is not None and call is not None and spec.at_call != call:
+                    continue
+                if self._remaining[i] != 0:
+                    return spec
+        return None
+
+    @property
+    def n_pending(self) -> int:
+        """Faults that have not fully fired yet (persistent count as 1)."""
+        with self._lock:
+            return sum(1 for left in self._remaining.values() if left != 0)
+
+    def reset(self) -> None:
+        """Re-arm every spec (for replaying the identical scenario)."""
+        with self._lock:
+            self._remaining = {i: s.count for i, s in enumerate(self.specs)}
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        n_faults: int = 3,
+        sites: tuple[str, ...] = ("pool", "rank"),
+        kinds: tuple[str, ...] = ("crash", "hang", "straggler"),
+        max_target: int = 4,
+        max_call: int = 3,
+        delay_s: float = 0.05,
+    ) -> "FaultPlan":
+        """Derive a reproducible plan from a seed (same seed, same plan)."""
+        import random as _random
+
+        rng = _random.Random(seed)
+        specs = tuple(
+            FaultSpec(
+                kind=rng.choice(kinds),
+                site=rng.choice(sites),
+                target=rng.randrange(max_target),
+                at_call=rng.randrange(max_call),
+                delay_s=delay_s,
+            )
+            for _ in range(n_faults)
+        )
+        return cls(specs=specs)
+
+    def describe(self) -> str:
+        lines = [f"FaultPlan: {len(self.specs)} planned faults"]
+        with self._lock:
+            for i, s in enumerate(self.specs):
+                left = self._remaining[i]
+                state = "persistent" if left < 0 else f"{left} left"
+                at = "any call" if s.at_call is None else f"call {s.at_call}"
+                lines.append(
+                    f"  {s.kind:10s} @ {s.site}/{s.target} ({at}) [{state}]"
+                )
+        return "\n".join(lines)

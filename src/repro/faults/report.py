@@ -1,0 +1,128 @@
+"""Per-run accounting of detected faults and recovery actions.
+
+A :class:`FaultReport` is what an operator reads after a degraded run:
+every detected fault (what, where, which arg-max call), every retry, and
+every λ-range that was re-cut from a dead rank onto survivors.  The
+engines append to it as they recover; the solver attaches it to the
+:class:`repro.core.solver.MultiHitResult` so degradation is visible in
+the output, not just in a warning that scrolled by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["FaultEvent", "FaultReport", "RescheduledRange"]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One detected fault and the action taken on it.
+
+    ``action`` is one of ``"resubmitted"`` (retried on the original
+    executor), ``"inline-retry"`` (recovered in the parent),
+    ``"rescheduled"`` (range re-cut across survivors), ``"restarted"``
+    (SPMD world relaunched on survivors), or ``"observed"`` (detected
+    but the result was kept, e.g. a straggler that finished)."""
+
+    kind: str
+    site: str
+    target: int
+    call: int
+    action: str
+    attempt: int = 1
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class RescheduledRange:
+    """A dead rank's λ sub-range handed to a survivor."""
+
+    dead_rank: int
+    survivor: int
+    lam_start: int
+    lam_end: int
+    call: int = 0
+
+
+@dataclass
+class FaultReport:
+    """Accumulated fault/recovery record for one run."""
+
+    events: list[FaultEvent] = field(default_factory=list)
+    rescheduled: list[RescheduledRange] = field(default_factory=list)
+
+    def record(
+        self,
+        kind: str,
+        site: str,
+        target: int,
+        call: int,
+        action: str,
+        attempt: int = 1,
+        detail: str = "",
+    ) -> None:
+        self.events.append(
+            FaultEvent(
+                kind=kind,
+                site=site,
+                target=target,
+                call=call,
+                action=action,
+                attempt=attempt,
+                detail=detail,
+            )
+        )
+
+    def record_reschedule(
+        self, dead_rank: int, survivor: int, lam_start: int, lam_end: int, call: int = 0
+    ) -> None:
+        self.rescheduled.append(
+            RescheduledRange(
+                dead_rank=dead_rank,
+                survivor=survivor,
+                lam_start=lam_start,
+                lam_end=lam_end,
+                call=call,
+            )
+        )
+
+    def merge(self, other: "FaultReport") -> None:
+        self.events.extend(other.events)
+        self.rescheduled.extend(other.rescheduled)
+
+    @property
+    def n_detected(self) -> int:
+        return len(self.events)
+
+    @property
+    def n_retries(self) -> int:
+        return sum(
+            1 for e in self.events if e.action in ("resubmitted", "inline-retry")
+        )
+
+    @property
+    def n_rescheduled(self) -> int:
+        return len(self.rescheduled)
+
+    @property
+    def dead_ranks(self) -> tuple[int, ...]:
+        return tuple(sorted({r.dead_rank for r in self.rescheduled}))
+
+    def describe(self) -> str:
+        lines = [
+            f"FaultReport: {self.n_detected} detected "
+            f"({self.n_retries} retried, {self.n_rescheduled} ranges rescheduled)"
+        ]
+        for e in self.events:
+            detail = f"  [{e.detail}]" if e.detail else ""
+            lines.append(
+                f"  call {e.call}: {e.kind} @ {e.site}/{e.target} -> "
+                f"{e.action} (attempt {e.attempt}){detail}"
+            )
+        for r in self.rescheduled:
+            lines.append(
+                f"  call {r.call}: rank {r.dead_rank} range "
+                f"[{r.lam_start}, {r.lam_end}) -> survivor {r.survivor}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Survivor rescheduling: re-cut a dead rank's λ-range equi-area.
+
+When a rank is declared dead, its partitions' thread ranges still have
+to be searched — by someone — before the iteration's reduction can
+complete.  The re-cut uses the same O(G) equi-area level walk as the
+original schedule (:func:`repro.scheduling.equiarea.equiarea_range_boundaries`),
+so the extra work lands on survivors in equal-work shares; because every
+engine reduces candidates under the library-wide total order, searching
+the same grid in different pieces yields a bit-identical winner.
+"""
+
+from __future__ import annotations
+
+from repro.scheduling.equiarea import equiarea_range_boundaries
+from repro.scheduling.schedule import Schedule
+
+__all__ = ["reschedule_ranges", "rank_partitions"]
+
+
+def rank_partitions(schedule: Schedule, rank: int, gpus_per_rank: int) -> list[int]:
+    """The partition ids owned by ``rank`` (same mapping as rank_best_combo)."""
+    return [
+        rank * gpus_per_rank + local
+        for local in range(gpus_per_rank)
+        if rank * gpus_per_rank + local < schedule.n_parts
+    ]
+
+
+def reschedule_ranges(
+    schedule: Schedule,
+    dead_parts: "list[int]",
+    n_survivors: int,
+) -> "list[list[tuple[int, int, int]]]":
+    """Equi-area shares of the dead partitions, one list per survivor.
+
+    Each dead partition's ``[lo, hi)`` range is cut into ``n_survivors``
+    equal-work pieces; survivor ``j`` receives ``(part, lo_j, hi_j)``
+    triples (the origin partition travels along so reports can attribute
+    rescheduled work to the rank that lost it).  Piece assignment
+    rotates with the partition index so consecutive dead partitions do
+    not all hand their first piece to survivor 0.  Empty pieces are
+    dropped.
+    """
+    if n_survivors < 1:
+        raise ValueError("need at least one survivor")
+    shares: "list[list[tuple[int, int, int]]]" = [[] for _ in range(n_survivors)]
+    for k, part in enumerate(sorted(dead_parts)):
+        lo, hi = schedule.thread_range(part)
+        if hi <= lo:
+            continue
+        bounds = equiarea_range_boundaries(
+            schedule.scheme, schedule.g, lo, hi, n_survivors
+        )
+        for j in range(n_survivors):
+            a, b = bounds[j], bounds[j + 1]
+            if b > a:
+                shares[(j + k) % n_survivors].append((part, a, b))
+    return shares

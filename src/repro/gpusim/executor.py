@@ -24,7 +24,7 @@ teaching, not production solving.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -34,6 +34,7 @@ from repro.core.combination import MultiHitCombination, better
 from repro.core.fscore import FScoreParams
 from repro.core.memopt import MemoryConfig
 from repro.core.reduction import DEFAULT_BLOCK_SIZE, multi_stage_reduce
+from repro.faults.plan import FaultInjected
 from repro.gpusim.timing import TimingTuning
 from repro.scheduling.schemes import Scheme
 from repro.scheduling.workload import total_threads
@@ -84,12 +85,23 @@ class KernelLaunchResult:
 
 @dataclass
 class BlockKernelExecutor:
-    """Executes the scoring kernel block by block on the simulated device."""
+    """Executes the scoring kernel block by block on the simulated device.
+
+    ``fault_plan`` (site ``"gpu"``, target = block id, call = launch
+    number) injects deterministic device faults: a ``straggler`` scales
+    the block's cycle account by ``spec.slowdown`` (a slow GPU changes
+    the busy profile, never the winner); a ``crash`` raises
+    :class:`FaultInjected` mid-launch (a dead device — the caller's
+    recovery layer reschedules the range)."""
 
     scheme: Scheme
     block_size: int = DEFAULT_BLOCK_SIZE
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     tuning: TimingTuning = field(default_factory=TimingTuning)
+    fault_plan: "object | None" = None
+    report: "object | None" = None  # repro.faults.FaultReport
+
+    _launches: int = field(default=0, init=False, repr=False, compare=False)
 
     def launch(
         self,
@@ -108,11 +120,31 @@ class BlockKernelExecutor:
         if lam_end <= lam_start:
             return KernelLaunchResult(blocks=[], winner=None)
 
+        call = self._launches
+        self._launches += 1
         blocks: list[BlockResult] = []
         block_id = 0
         for first in range(lam_start, lam_end, self.block_size):
             last = min(first + self.block_size, lam_end)
-            blocks.append(self._run_block(block_id, first, last, tumor, normal, params, g))
+            result = self._run_block(block_id, first, last, tumor, normal, params, g)
+            spec = (
+                self.fault_plan.take("gpu", block_id, call)
+                if self.fault_plan is not None
+                else None
+            )
+            if spec is not None:
+                if spec.kind == "crash":
+                    raise FaultInjected(
+                        f"injected device crash in block {block_id}"
+                    )
+                if spec.kind == "straggler":
+                    result = replace(result, cycles=result.cycles * spec.slowdown)
+                    if self.report is not None:
+                        self.report.record(
+                            "straggler", "gpu", block_id, call, "observed",
+                            detail=f"x{spec.slowdown:g} cycles",
+                        )
+            blocks.append(result)
             block_id += 1
 
         # Stage 2: parallelReduceMax over the per-block records.

@@ -139,3 +139,76 @@ class TestPersistence:
         assert signature(result) == signature(full)
         # Final checkpoint reflects the completed run.
         assert load_state(path).n_found == len(full.combinations)
+
+
+class TestAtomicity:
+    def test_save_leaves_no_temp_file(self, instance, tmp_path):
+        t, n = instance
+        states = []
+        MultiHitSolver(hits=2, max_iterations=1).solve(t, n, on_iteration=states.append)
+        path = tmp_path / "ckpt.json"
+        save_state(states[-1], path)
+        assert path.exists()
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_crash_mid_write_preserves_previous_checkpoint(
+        self, instance, tmp_path, monkeypatch
+    ):
+        """A kill during the write (simulated at fsync) must leave the
+        previous complete snapshot in place, with no torn file."""
+        import os as _os
+
+        t, n = instance
+        states = []
+        MultiHitSolver(hits=2, max_iterations=2).solve(t, n, on_iteration=states.append)
+        path = tmp_path / "ckpt.json"
+        save_state(states[0], path)
+        before = path.read_bytes()
+
+        def dying_fsync(fd):
+            raise OSError("simulated power loss")
+
+        monkeypatch.setattr(_os, "fsync", dying_fsync)
+        with pytest.raises(OSError, match="simulated"):
+            save_state(states[1], path)
+        monkeypatch.undo()
+        assert path.read_bytes() == before  # old snapshot intact
+        assert not (tmp_path / "ckpt.json.tmp").exists()
+        assert load_state(path).n_found == states[0].n_found
+
+
+class TestCadence:
+    def test_every_n_write_count(self, instance, tmp_path, monkeypatch):
+        import repro.core.checkpoint as ckpt_module
+
+        t, n = instance
+        path = tmp_path / "run.json"
+        writes = []
+        real_save = ckpt_module.save_state
+        monkeypatch.setattr(
+            ckpt_module,
+            "save_state",
+            lambda state, p: (writes.append(state.n_found), real_save(state, p)),
+        )
+        solve_with_checkpoints(MultiHitSolver(hits=2, max_iterations=5), t, n, path, every=2)
+        # Iterations 2 and 4 hit the cadence; iteration 5 is the final
+        # guaranteed save.
+        assert writes == [2, 4, 5]
+        assert load_state(path).n_found == 5
+
+    def test_every_n_resumes_bit_exact(self, instance, tmp_path):
+        t, n = instance
+        full = MultiHitSolver(hits=2).solve(t, n)
+        path = tmp_path / "run.json"
+        solve_with_checkpoints(
+            MultiHitSolver(hits=2, max_iterations=3), t, n, path, every=3
+        )
+        result = solve_with_checkpoints(MultiHitSolver(hits=2), t, n, path, every=3)
+        assert signature(result) == signature(full)
+
+    def test_every_validation(self, instance, tmp_path):
+        t, n = instance
+        with pytest.raises(ValueError, match="every"):
+            solve_with_checkpoints(
+                MultiHitSolver(hits=2), t, n, tmp_path / "x.json", every=0
+            )

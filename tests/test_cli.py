@@ -42,6 +42,42 @@ class TestCommands:
         )
         assert code == 0
 
+    def test_solve_checkpoint_roundtrip(self, capsys, tmp_path):
+        """Interrupted run + relaunch through --checkpoint reproduces the
+        uninterrupted run's combination listing exactly."""
+        base = [
+            "solve", "--genes", "22", "--tumor", "50", "--normal", "50",
+            "--hits", "2", "--seed", "3",
+        ]
+        assert main(base) == 0
+        clean = capsys.readouterr().out
+
+        ckpt = tmp_path / "run.ckpt"
+        flags = ["--checkpoint", str(ckpt), "--checkpoint-every", "2"]
+        # First pass writes the checkpoint (complete run, file persisted)...
+        assert main(base + flags) == 0
+        first = capsys.readouterr().out
+        assert "resuming" not in first
+        assert ckpt.exists()
+        # ...second pass resumes from it and lands on the same answer.
+        assert main(base + flags) == 0
+        second = capsys.readouterr().out
+        assert f"resuming from checkpoint {ckpt}" in second
+
+        def combos(text):
+            return [ln for ln in text.splitlines() if ln.lstrip().startswith("F=")]
+
+        assert combos(first) == combos(clean)
+        assert combos(second) == combos(clean)
+
+    def test_solve_checkpoint_every_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="every"):
+            main(
+                ["solve", "--genes", "20", "--tumor", "40", "--normal", "40",
+                 "--hits", "2", "--checkpoint", str(tmp_path / "c.json"),
+                 "--checkpoint-every", "0"]
+            )
+
     def test_experiment_list(self, capsys):
         assert main(["experiment", "list"]) == 0
         out = capsys.readouterr().out

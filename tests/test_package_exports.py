@@ -10,6 +10,7 @@ SUBPACKAGES = [
     "repro.scheduling",
     "repro.core",
     "repro.cluster",
+    "repro.faults",
     "repro.gpusim",
     "repro.perfmodel",
     "repro.data",

@@ -294,3 +294,69 @@ class TestGracefulDegradation:
                 got = eng.best_combo(tumor, normal, params)
         assert got == ref
         assert [w for w in caught if issubclass(w.category, PoolDegradedWarning)]
+
+    def test_warn_once_survives_pool_rebuild(self, instance, monkeypatch):
+        """A second degraded call after the rebuild must not warn again."""
+        tumor, normal, params = instance
+        scheme = scheme_for(3, 2)
+        ref = SingleGpuEngine(scheme=scheme).best_combo(tumor, normal, params)
+        monkeypatch.setattr(pool_module, "_search_chunk", _crash_chunk)
+        with PoolEngine(scheme=scheme, n_workers=2) as eng:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                first = eng.best_combo(tumor, normal, params)
+                second = eng.best_combo(tumor, normal, params)
+            assert first == ref and second == ref
+            degraded = [
+                w for w in caught if issubclass(w.category, PoolDegradedWarning)
+            ]
+            assert len(degraded) == 1
+
+    def test_inline_retry_stats_survive_pool_rebuild(self, instance, monkeypatch):
+        """Chunk records from a degraded call stay intact after the rebuilt
+        pool serves a later, healthy call into the same PoolStats."""
+        tumor, normal, params = instance
+        scheme = scheme_for(3, 2)
+        monkeypatch.setattr(pool_module, "_search_chunk", _crash_chunk)
+        stats = PoolStats()
+        with PoolEngine(scheme=scheme, n_workers=2) as eng:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", PoolDegradedWarning)
+                eng.best_combo(tumor, normal, params, stats=stats)
+            degraded_chunks = len(stats.chunks)
+            assert stats.n_inline_retries == degraded_chunks > 0
+            monkeypatch.undo()
+            eng.best_combo(tumor, normal, params, stats=stats)
+        assert len(stats.chunks) == 2 * degraded_chunks
+        # The degraded call's records are untouched; the healthy call's
+        # chunks went to real workers.
+        assert stats.n_inline_retries == degraded_chunks
+        healthy = stats.chunks[degraded_chunks:]
+        assert all(not c.inline_retry for c in healthy)
+        assert all(c.worker_pid != os.getpid() for c in healthy)
+
+    def test_timed_out_chunk_range_is_bit_exact(self, instance, monkeypatch):
+        """The inline retry of a timed-out chunk searches exactly the chunk's
+        [lam_start, lam_end) range — merged result identical to single-GPU."""
+        tumor, normal, params = instance
+        scheme = scheme_for(2, 1)
+        ref_counters = KernelCounters()
+        ref = SingleGpuEngine(scheme=scheme).best_combo(
+            tumor, normal, params, counters=ref_counters
+        )
+        monkeypatch.setattr(pool_module, "_search_chunk", _slow_chunk)
+        stats = PoolStats()
+        counters = KernelCounters()
+        with PoolEngine(scheme=scheme, n_workers=2, timeout=0.2) as eng:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", PoolDegradedWarning)
+                got = eng.best_combo(
+                    tumor, normal, params, counters=counters, stats=stats
+                )
+        assert got == ref
+        assert _counter_tuple(counters) == _counter_tuple(ref_counters)
+        retried = [c for c in stats.chunks if c.inline_retry]
+        assert retried
+        for c in retried:
+            assert c.lam_start < c.lam_end
+            assert c.worker_pid == os.getpid()
