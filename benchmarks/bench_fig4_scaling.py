@@ -7,10 +7,12 @@ nodes, 84.18% at 1000); weak scaling ~90% at 500 nodes (avg 94.6%).
 import numpy as np
 
 from repro.experiments import fig4_scaling
+from repro.telemetry import telemetry_session
 
 
-def test_fig4_scaling_full_sweep(benchmark, show):
-    result = benchmark.pedantic(fig4_scaling.run, rounds=1, iterations=1)
+def test_fig4_scaling_full_sweep(benchmark, show, bench_summary):
+    with telemetry_session() as telemetry:
+        result = benchmark.pedantic(fig4_scaling.run, rounds=1, iterations=1)
     effs = [p.efficiency for p in result.strong]
     nodes = [p.n_nodes for p in result.strong]
     assert nodes[0] == 100 and nodes[-1] == 1000
@@ -33,6 +35,19 @@ def test_fig4_scaling_full_sweep(benchmark, show):
     assert all(0.85 <= e <= 1.001 for e in weak_effs)
     assert weak_effs == sorted(weak_effs, reverse=True)
 
+    bench_summary(
+        "fig4",
+        values={
+            "strong_nodes": nodes,
+            "strong_efficiency": effs,
+            "strong_runtime_s": runtimes,
+            "strong_at_max_nodes": result.strong_at_max_nodes,
+            "strong_avg_efficiency": result.strong_avg_efficiency,
+            "weak_nodes": [p.n_nodes for p in result.weak],
+            "weak_efficiency": weak_effs,
+        },
+        telemetry=telemetry,
+    )
     show(fig4_scaling.report(result))
 
 

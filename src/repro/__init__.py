@@ -53,6 +53,13 @@ from repro.analysis import MultiHitClassifier, sensitivity_specificity
 from repro.cluster import SimComm, SimCommWorld, SPMDRunner, VirtualCluster
 from repro.faults import FaultPlan, FaultReport, FaultSpec, RetryPolicy
 from repro.perfmodel import JobModel, WorkloadSpec
+from repro.telemetry import (
+    Telemetry,
+    get_telemetry,
+    telemetry_session,
+    write_chrome_trace,
+    write_summary,
+)
 
 __version__ = "1.0.0"
 
@@ -92,5 +99,10 @@ __all__ = [
     "RetryPolicy",
     "JobModel",
     "WorkloadSpec",
+    "Telemetry",
+    "get_telemetry",
+    "telemetry_session",
+    "write_chrome_trace",
+    "write_summary",
     "__version__",
 ]

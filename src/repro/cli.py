@@ -51,6 +51,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint-every", type=int, default=1, metavar="N",
         help="persist the checkpoint every N greedy iterations (default 1)",
     )
+    p_solve.add_argument(
+        "--trace-out", type=str, default=None, metavar="PATH",
+        help="write a Chrome trace_event JSON (open in Perfetto); "
+             "'.jsonl' suffix writes the JSONL event log instead",
+    )
+    p_solve.add_argument(
+        "--metrics-out", type=str, default=None, metavar="PATH",
+        help="write the run's metrics summary JSON",
+    )
+    p_solve.add_argument(
+        "--no-telemetry", action="store_true",
+        help="disable tracing/metrics collection entirely",
+    )
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p_exp.add_argument("name", help="experiment id ('list' to enumerate, 'all' to run every one)")
@@ -87,6 +100,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.telemetry import telemetry_session
+
+    with telemetry_session(enabled=not args.no_telemetry) as telemetry:
+        code = _run_solve(args, telemetry)
+        if not args.no_telemetry:
+            _export_telemetry(args, telemetry)
+    return code
+
+
+def _run_solve(args: argparse.Namespace, telemetry) -> int:
     from repro.core.solver import MultiHitSolver
     from repro.data.synthesis import CohortConfig, generate_cohort
 
@@ -141,6 +164,25 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         save_result(result, args.output)
         print(f"result written to {args.output}")
     return 0
+
+
+def _export_telemetry(args: argparse.Namespace, telemetry) -> None:
+    from repro.telemetry import write_chrome_trace, write_jsonl, write_summary
+
+    if args.trace_out:
+        if args.trace_out.endswith(".jsonl"):
+            write_jsonl(args.trace_out, telemetry)
+        else:
+            write_chrome_trace(args.trace_out, telemetry)
+        print(f"trace written to {args.trace_out}")
+    if args.metrics_out:
+        write_summary(
+            args.metrics_out,
+            name=f"solve-{args.backend}",
+            telemetry=telemetry,
+            extra={"backend": args.backend, "seed": args.seed},
+        )
+        print(f"metrics summary written to {args.metrics_out}")
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:

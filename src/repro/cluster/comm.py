@@ -18,6 +18,8 @@ import threading
 import time
 from typing import Any, Callable
 
+from repro.telemetry.session import get_telemetry
+
 __all__ = ["CommAbortedError", "SimCommWorld", "SimComm"]
 
 _DEFAULT_TAG = 0
@@ -123,7 +125,12 @@ class SimComm:
         if not 0 <= dest < self.world.n_ranks:
             raise ValueError(f"dest {dest} out of range")
         self.heartbeat()
-        self.world._box(self.rank, dest, tag).put(obj)
+        telemetry = get_telemetry()
+        with telemetry.span(
+            "comm.send", cat="comm", rank=self.rank, dest=dest, tag=tag
+        ):
+            self.world._box(self.rank, dest, tag).put(obj)
+        telemetry.count("comm.sends")
 
     def recv(self, source: int, tag: int = _DEFAULT_TAG, timeout: "float | None" = None) -> Any:
         """Blocking receive; abort-aware and deadline-bounded.
@@ -139,29 +146,37 @@ class SimComm:
         if timeout is None:
             timeout = world.recv_timeout_s
         self.heartbeat()
+        telemetry = get_telemetry()
         box = world._box(source, self.rank, tag)
         deadline = time.monotonic() + timeout
-        while True:
-            if world.aborted:
-                raise CommAbortedError(world.abort_reason or "world aborted")
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                raise TimeoutError(
-                    f"rank {self.rank}: recv from rank {source} "
-                    f"(tag {tag}) timed out after {timeout}s"
-                )
-            try:
-                obj = box.get(timeout=min(world.abort_poll_s, remaining))
-            except queue.Empty:
-                continue
-            self.heartbeat()
-            if world.fault_plan is not None:
-                spec = world.fault_plan.take("comm", self.rank)
-                if spec is not None and spec.kind == "recv_drop":
-                    continue  # the transfer was lost on the wire
-                if spec is not None and spec.kind == "recv_delay":
-                    time.sleep(spec.delay_s)
-            return obj
+        # The span covers the whole blocking wait (including abort/
+        # timeout exits), so recv spans show where ranks sat idle.
+        with telemetry.span(
+            "comm.recv", cat="comm", rank=self.rank, source=source, tag=tag
+        ):
+            while True:
+                if world.aborted:
+                    raise CommAbortedError(world.abort_reason or "world aborted")
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"rank {self.rank}: recv from rank {source} "
+                        f"(tag {tag}) timed out after {timeout}s"
+                    )
+                try:
+                    obj = box.get(timeout=min(world.abort_poll_s, remaining))
+                except queue.Empty:
+                    continue
+                self.heartbeat()
+                if world.fault_plan is not None:
+                    spec = world.fault_plan.take("comm", self.rank)
+                    if spec is not None and spec.kind == "recv_drop":
+                        telemetry.count("comm.recv_drops")
+                        continue  # the transfer was lost on the wire
+                    if spec is not None and spec.kind == "recv_delay":
+                        time.sleep(spec.delay_s)
+                telemetry.count("comm.recvs")
+                return obj
 
     # -- collectives ------------------------------------------------------
 

@@ -29,13 +29,35 @@ from repro.core.combination import MultiHitCombination, better
 from repro.core.distributed import rank_best_combo
 from repro.core.engine import best_in_thread_range
 from repro.core.fscore import FScoreParams
+from repro.core.kernels import KernelCounters
 from repro.faults.plan import FaultInjected, FaultPlan
 from repro.faults.policy import RetryPolicy
 from repro.faults.report import FaultReport
 from repro.faults.reschedule import rank_partitions, reschedule_ranges
 from repro.scheduling.schedule import Schedule
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.session import get_telemetry
 
 __all__ = ["rank_program", "spmd_best_combo"]
+
+# Tag reserved for the telemetry gather so it can never collide with the
+# reduce/bcast tags of the winner protocol (0 and 1).
+_TELEMETRY_TAG = 7771
+
+
+def _merge_rank_telemetry(comm: SimComm, registry: MetricsRegistry) -> None:
+    """Gather every rank's metrics registry to rank 0 and merge there.
+
+    Runs only when telemetry is enabled; all ranks reach it (the enabled
+    flag is process-global, so the collective cannot half-fire).  Rank 0
+    folds the per-rank registries into the session registry in rank
+    order — deterministic, like every other collective here.
+    """
+    telemetry = get_telemetry()
+    states = comm.gather(registry.to_dict(), root=0, tag=_TELEMETRY_TAG)
+    if states is not None:
+        for state in states:
+            telemetry.metrics.merge_dict(state)
 
 
 def rank_program(
@@ -47,11 +69,22 @@ def rank_program(
     params: FScoreParams,
 ) -> "MultiHitCombination | None":
     """One MPI rank's greedy-iteration body; every rank returns the winner."""
-    local = rank_best_combo(
-        schedule, comm.Get_rank(), gpus_per_rank, tumor, normal, params
-    )
+    telemetry = get_telemetry()
+    rank = comm.Get_rank()
+    rank_counters = KernelCounters() if telemetry.enabled else None
+    with telemetry.span("rank.search", cat="spmd", rank=rank):
+        local = rank_best_combo(
+            schedule, rank, gpus_per_rank, tumor, normal, params,
+            counters=rank_counters,
+        )
     winner = comm.reduce(local, op=better, root=0)
-    return comm.bcast(winner, root=0)
+    winner = comm.bcast(winner, root=0)
+    if telemetry.enabled:
+        registry = MetricsRegistry()
+        registry.inc("spmd.rank_searches")
+        registry.absorb_kernel_counters(rank_counters, prefix="kernel")
+        _merge_rank_telemetry(comm, registry)
+    return winner
 
 
 def _ft_rank_program(
@@ -73,6 +106,7 @@ def _ft_rank_program(
     dead ranks.  Identical to :func:`rank_program` when nothing has
     failed (all ranks live, no extra ranges).
     """
+    telemetry = get_telemetry()
     orig = live_ranks[comm.Get_rank()]
     if fault_plan is not None:
         spec = fault_plan.take("rank", orig, call)
@@ -83,18 +117,30 @@ def _ft_rank_program(
                 # A hang trips the heartbeat/recv deadline; a straggler
                 # merely finishes late.
                 time.sleep(spec.delay_s)
-    local = rank_best_combo(
-        schedule, orig, gpus_per_rank, tumor, normal, params
-    )
-    for lo, hi in extra.get(orig, ()):
-        local = better(
-            local,
-            best_in_thread_range(
-                schedule.scheme, schedule.g, tumor, normal, params, lo, hi
-            ),
+    rank_counters = KernelCounters() if telemetry.enabled else None
+    extra_ranges = extra.get(orig, ())
+    with telemetry.span("rank.search", cat="spmd", rank=orig, call=call):
+        local = rank_best_combo(
+            schedule, orig, gpus_per_rank, tumor, normal, params,
+            counters=rank_counters,
         )
+        for lo, hi in extra_ranges:
+            local = better(
+                local,
+                best_in_thread_range(
+                    schedule.scheme, schedule.g, tumor, normal, params, lo, hi,
+                    counters=rank_counters,
+                ),
+            )
     winner = comm.reduce(local, op=better, root=0)
-    return comm.bcast(winner, root=0)
+    winner = comm.bcast(winner, root=0)
+    if telemetry.enabled:
+        registry = MetricsRegistry()
+        registry.inc("spmd.rank_searches")
+        registry.inc("spmd.extra_ranges", len(extra_ranges))
+        registry.absorb_kernel_counters(rank_counters, prefix="kernel")
+        _merge_rank_telemetry(comm, registry)
+    return winner
 
 
 def _check_agreement(results: "list") -> "MultiHitCombination | None":

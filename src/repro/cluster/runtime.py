@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.cluster.comm import CommAbortedError, SimComm, SimCommWorld
+from repro.telemetry.session import get_telemetry
 
 __all__ = ["RankFailedError", "SPMDRunner"]
 
@@ -75,11 +76,18 @@ class SPMDRunner:
         aborted_peers: list[tuple[int, BaseException]] = []
         lock = threading.Lock()
 
+        telemetry = get_telemetry()
+
         def worker(rank: int) -> None:
             comm = SimComm(world, rank)
             comm.heartbeat()
             try:
-                results[rank] = fn(comm, *args, **kwargs)
+                # Top-level per-rank span: every comm/search span the
+                # rank opens nests under it (and inherits its rank tag).
+                # A rank abandoned mid-abort never closes its span, so
+                # only completed rank lifetimes are recorded.
+                with telemetry.span("spmd.rank", cat="spmd", rank=rank):
+                    results[rank] = fn(comm, *args, **kwargs)
             except CommAbortedError as exc:
                 # Collateral of someone else's failure, not a root cause.
                 with lock:
@@ -95,9 +103,19 @@ class SPMDRunner:
             )
             for r in range(self.n_ranks)
         ]
-        for t in threads:
-            t.start()
+        with telemetry.span("spmd.world", cat="spmd", n_ranks=self.n_ranks):
+            for t in threads:
+                t.start()
+            self._supervise(world, threads, failures, lock)
 
+        primary = failures or aborted_peers
+        if primary:
+            err = RankFailedError(primary)
+            raise err from primary[0][1]
+        return results
+
+    def _supervise(self, world, threads, failures, lock) -> None:
+        """Poll threads until completion, abort, or heartbeat deadline."""
         while any(t.is_alive() for t in threads):
             if world.aborted:
                 # Give survivors a bounded window to observe the abort
@@ -125,9 +143,3 @@ class SPMDRunner:
                         world.abort(f"rank {r} hung: {exc}")
                         break
             time.sleep(self.poll_s)
-
-        primary = failures or aborted_peers
-        if primary:
-            err = RankFailedError(primary)
-            raise err from primary[0][1]
-        return results

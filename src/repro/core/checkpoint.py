@@ -22,6 +22,7 @@ import numpy as np
 from repro.bitmatrix.matrix import BitMatrix
 from repro.core.combination import MultiHitCombination
 from repro.core.fscore import FScoreParams
+from repro.telemetry.session import get_telemetry
 
 __all__ = ["SolverState", "save_state", "load_state", "solve_with_checkpoints"]
 
@@ -108,14 +109,23 @@ def save_state(state: SolverState, path: "str | Path") -> None:
     }
     path = Path(path)
     tmp = path.with_name(path.name + ".tmp")
-    try:
-        with open(tmp, "w") as fh:
-            fh.write(json.dumps(payload) + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
-    finally:
-        tmp.unlink(missing_ok=True)
+    telemetry = get_telemetry()
+    encoded = json.dumps(payload) + "\n"
+    with telemetry.span(
+        "checkpoint", cat="checkpoint",
+        iterations=len(state.combinations), bytes=len(encoded),
+    ):
+        try:
+            with open(tmp, "w") as fh:
+                fh.write(encoded)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+    if telemetry.enabled:
+        telemetry.count("checkpoint.writes")
+        telemetry.count("checkpoint.bytes", len(encoded))
 
 
 def load_state(path: "str | Path") -> SolverState:

@@ -27,6 +27,7 @@ from repro.faults.reschedule import rank_partitions, reschedule_ranges
 from repro.scheduling.equiarea import equiarea_schedule
 from repro.scheduling.schedule import Schedule
 from repro.scheduling.schemes import Scheme
+from repro.telemetry.session import get_telemetry
 
 __all__ = ["DistributedEngine", "rank_best_combo"]
 
@@ -136,13 +137,16 @@ class DistributedEngine:
 
     def build_schedule(self, g: int) -> Schedule:
         n_parts = self.n_nodes * self.gpus_per_node
-        if self.scheduler == "equiarea":
-            return equiarea_schedule(self.scheme, g, n_parts)
-        if self.scheduler == "equidistance":
-            from repro.scheduling.equidistance import equidistance_schedule
+        with get_telemetry().span(
+            "schedule", cat="distributed", scheduler=self.scheduler, n_parts=n_parts
+        ):
+            if self.scheduler == "equiarea":
+                return equiarea_schedule(self.scheme, g, n_parts)
+            if self.scheduler == "equidistance":
+                from repro.scheduling.equidistance import equidistance_schedule
 
-            return equidistance_schedule(self.scheme, g, n_parts)
-        raise ValueError(f"unknown scheduler {self.scheduler!r}")
+                return equidistance_schedule(self.scheme, g, n_parts)
+            raise ValueError(f"unknown scheduler {self.scheduler!r}")
 
     def best_combo(
         self,
@@ -185,7 +189,10 @@ class DistributedEngine:
                         schedule, dead, call, tumor, normal, params, counters
                     )
                 )
-            return multi_stage_reduce(rank_winners, stats=reduction_stats)
+            with get_telemetry().span(
+                "reduce", cat="distributed", candidates=len(rank_winners)
+            ):
+                return multi_stage_reduce(rank_winners, stats=reduction_stats)
         finally:
             if pool is not None:
                 pool.close()
@@ -201,11 +208,15 @@ class DistributedEngine:
         after exhausting ``retry_policy.resubmits`` — its range is then
         rescheduled by the caller.
         """
+        tel = get_telemetry()
         policy = self.retry_policy
         last_kind = None
         for attempt in range(1, policy.max_attempts + 1):
             if attempt > 1:
-                policy.sleep_before(attempt - 1)
+                with tel.span(
+                    "fault.retry", cat="distributed", rank=rank, attempt=attempt
+                ):
+                    policy.sleep_before(attempt - 1)
             spec = (
                 self.fault_plan.take("rank", rank, call)
                 if self.fault_plan is not None
@@ -220,22 +231,27 @@ class DistributedEngine:
                     detail="deadline exceeded" if spec.kind == "hang" else "",
                 )
                 continue
-            t0 = time.perf_counter()
-            if spec is not None and spec.kind == "straggler":
-                time.sleep(spec.delay_s)
-            winner = rank_best_combo(
-                schedule,
-                rank,
-                self.gpus_per_node,
-                tumor,
-                normal,
-                params,
-                memory=self.memory,
-                counters=counters,
-                n_workers=self.n_workers,
-                pool=pool,
-            )
-            wall = time.perf_counter() - t0
+            # Span-as-stopwatch: the straggler detector reads the same
+            # wall clock the trace records.
+            with tel.timed_span(
+                "rank.search", cat="distributed", rank=rank,
+                call=call, attempt=attempt,
+            ) as span:
+                if spec is not None and spec.kind == "straggler":
+                    time.sleep(spec.delay_s)
+                winner = rank_best_combo(
+                    schedule,
+                    rank,
+                    self.gpus_per_node,
+                    tumor,
+                    normal,
+                    params,
+                    memory=self.memory,
+                    counters=counters,
+                    n_workers=self.n_workers,
+                    pool=pool,
+                )
+            wall = span.duration_s
             if policy.is_straggler(wall) or (
                 spec is not None and spec.kind == "straggler"
             ):
@@ -259,6 +275,7 @@ class DistributedEngine:
         pieces feed the same reduction as regular rank winners, so the
         result cannot depend on which ranks died.
         """
+        tel = get_telemetry()
         survivors = [r for r in range(self.n_nodes) if r not in dead]
         dead_parts = [
             p
@@ -278,17 +295,22 @@ class DistributedEngine:
                     lam_end=hi,
                     call=call,
                 )
-                winners.append(
-                    best_in_thread_range(
-                        schedule.scheme,
-                        schedule.g,
-                        tumor,
-                        normal,
-                        params,
-                        lo,
-                        hi,
-                        counters=counters,
-                        memory=self.memory,
+                with tel.span(
+                    "fault.reschedule", cat="distributed", rank=survivor,
+                    dead_rank=part // self.gpus_per_node,
+                    lam_start=lo, lam_end=hi,
+                ):
+                    winners.append(
+                        best_in_thread_range(
+                            schedule.scheme,
+                            schedule.g,
+                            tumor,
+                            normal,
+                            params,
+                            lo,
+                            hi,
+                            counters=counters,
+                            memory=self.memory,
+                        )
                     )
-                )
         return winners

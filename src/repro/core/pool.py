@@ -57,6 +57,7 @@ from repro.faults.policy import RetryPolicy
 from repro.faults.report import FaultReport
 from repro.scheduling.equiarea import equiarea_range_boundaries
 from repro.scheduling.schemes import Scheme
+from repro.telemetry.session import Telemetry, get_telemetry
 from repro.scheduling.workload import (
     cumulative_work_before,
     total_threads,
@@ -93,6 +94,7 @@ class _ChunkTask:
     lam_end: int
     memory: "MemoryConfig | None"
     fault: "FaultSpec | None" = None
+    trace: bool = False  # worker records spans/metrics and ships them back
 
 
 # Per-worker cache: segment name -> (SharedMemory handle, word-array view).
@@ -131,30 +133,45 @@ def _apply_worker_fault(spec: FaultSpec) -> None:
 
 
 def _search_chunk(task: _ChunkTask):
-    """Worker-side: attach, search the λ range, return (winner, counters)."""
-    t0 = time.perf_counter()
-    if task.fault is not None:
-        _apply_worker_fault(task.fault)
-    _evict_stale({task.tumor_name, task.normal_name})
-    tumor = BitMatrix(
-        _attach(task.tumor_name, task.tumor_shape), task.tumor_samples
-    )
-    normal = BitMatrix(
-        _attach(task.normal_name, task.normal_shape), task.normal_samples
-    )
-    counters = KernelCounters()
-    best = best_in_thread_range(
-        task.scheme,
-        task.g,
-        tumor,
-        normal,
-        task.params,
-        task.lam_start,
-        task.lam_end,
-        counters=counters,
-        memory=task.memory,
-    )
-    return best, counters, os.getpid(), time.perf_counter() - t0
+    """Worker-side: attach, search the λ range, return winner + accounting.
+
+    Returns ``(winner, counters, pid, wall_s, telemetry_state)``.  When
+    ``task.trace`` is set the worker records a ``scan_chunk`` span (and
+    chunk metrics) in a *fresh local* session — never the fork-inherited
+    global one — and ships the exported state back over this result
+    channel for the parent to merge.
+    """
+    telemetry = Telemetry(enabled=task.trace)
+    with telemetry.timed_span(
+        "scan_chunk", cat="pool", lam_start=task.lam_start, lam_end=task.lam_end
+    ) as span:
+        if task.fault is not None:
+            _apply_worker_fault(task.fault)
+        _evict_stale({task.tumor_name, task.normal_name})
+        tumor = BitMatrix(
+            _attach(task.tumor_name, task.tumor_shape), task.tumor_samples
+        )
+        normal = BitMatrix(
+            _attach(task.normal_name, task.normal_shape), task.normal_samples
+        )
+        counters = KernelCounters()
+        best = best_in_thread_range(
+            task.scheme,
+            task.g,
+            tumor,
+            normal,
+            task.params,
+            task.lam_start,
+            task.lam_end,
+            counters=counters,
+            memory=task.memory,
+        )
+    state = None
+    if task.trace:
+        telemetry.count("pool.worker_chunks")
+        telemetry.observe("pool.chunk_wall_s", span.duration_s)
+        state = telemetry.export_state()
+    return best, counters, os.getpid(), span.duration_s, state
 
 
 # -- per-run statistics --------------------------------------------------
@@ -313,19 +330,25 @@ class PoolEngine:
             return seg.shm.name
         from multiprocessing import shared_memory
 
-        t0 = time.perf_counter()
-        if seg is not None:
-            seg.shm.close()
-            seg.shm.unlink()
-        shm = shared_memory.SharedMemory(
-            create=True, size=max(1, matrix.words.nbytes)
-        )
-        if matrix.words.nbytes:
-            dst = np.ndarray(matrix.words.shape, dtype=np.uint64, buffer=shm.buf)
-            dst[:] = matrix.words
-        self._segments[slot] = _Segment(matrix, shm)
+        tel = get_telemetry()
+        with tel.timed_span(
+            "comm.shm_publish", cat="pool", slot=slot, bytes=matrix.words.nbytes
+        ) as span:
+            if seg is not None:
+                seg.shm.close()
+                seg.shm.unlink()
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(1, matrix.words.nbytes)
+            )
+            if matrix.words.nbytes:
+                dst = np.ndarray(matrix.words.shape, dtype=np.uint64, buffer=shm.buf)
+                dst[:] = matrix.words
+            self._segments[slot] = _Segment(matrix, shm)
+        if tel.enabled:
+            tel.count("pool.publishes")
+            tel.count("pool.shipped_bytes", matrix.words.nbytes)
         if stats is not None:
-            stats.publish_seconds += time.perf_counter() - t0
+            stats.publish_seconds += span.duration_s
             stats.shipped_bytes += matrix.words.nbytes
             stats.n_publishes += 1
         return shm.name
@@ -369,6 +392,7 @@ class PoolEngine:
 
     def _note_failure(self, exc: BaseException) -> None:
         """Bookkeeping common to every detected chunk loss."""
+        get_telemetry().count("pool.degraded")
         if not self._warned:
             self._warned = True
             warnings.warn(
@@ -395,26 +419,30 @@ class PoolEngine:
             kind, "pool", chunk, call, "detected",
             detail=f"{type(exc).__name__}: {exc}",
         )
+        tel = get_telemetry()
         for attempt in range(1, policy.resubmits + 1):
-            policy.sleep_before(attempt)
-            fault = (
-                self.fault_plan.take("pool", chunk, call)
-                if self.fault_plan is not None
-                else None
-            )
-            retry_task = replace(task, fault=fault)
-            try:
-                out = self._ensure_pool().submit(
-                    _search_chunk, retry_task
-                ).result(timeout=timeout)
-            except (BrokenExecutor, TimeoutError, OSError) as exc2:
-                self._note_failure(exc2)
-                self.report.record(
-                    "hang" if isinstance(exc2, TimeoutError) else "crash",
-                    "pool", chunk, call, "detected", attempt=attempt + 1,
-                    detail=f"{type(exc2).__name__}: {exc2}",
+            with tel.span(
+                "fault.retry", cat="pool", chunk=chunk, call=call, attempt=attempt
+            ):
+                policy.sleep_before(attempt)
+                fault = (
+                    self.fault_plan.take("pool", chunk, call)
+                    if self.fault_plan is not None
+                    else None
                 )
-                continue
+                retry_task = replace(task, fault=fault)
+                try:
+                    out = self._ensure_pool().submit(
+                        _search_chunk, retry_task
+                    ).result(timeout=timeout)
+                except (BrokenExecutor, TimeoutError, OSError) as exc2:
+                    self._note_failure(exc2)
+                    self.report.record(
+                        "hang" if isinstance(exc2, TimeoutError) else "crash",
+                        "pool", chunk, call, "detected", attempt=attempt + 1,
+                        detail=f"{type(exc2).__name__}: {exc2}",
+                    )
+                    continue
             self.report.record(
                 kind, "pool", chunk, call, "resubmitted", attempt=attempt + 1
             )
@@ -428,21 +456,27 @@ class PoolEngine:
         ) + (True,)
 
     def _recover_inline(self, tumor, normal, params, lo, hi):
-        """Re-run a lost chunk in the parent (the guaranteed fallback)."""
-        t0 = time.perf_counter()
+        """Re-run a lost chunk in the parent (the guaranteed fallback).
+
+        The ``scan_chunk`` span lands directly in the parent's session
+        (``inline=True``), so the shipped-state slot is ``None``.
+        """
         counters = KernelCounters()
-        best = best_in_thread_range(
-            self.scheme,
-            tumor.n_genes,
-            tumor,
-            normal,
-            params,
-            lo,
-            hi,
-            counters=counters,
-            memory=self.memory,
-        )
-        return best, counters, os.getpid(), time.perf_counter() - t0
+        with get_telemetry().timed_span(
+            "scan_chunk", cat="pool", lam_start=lo, lam_end=hi, inline=True
+        ) as span:
+            best = best_in_thread_range(
+                self.scheme,
+                tumor.n_genes,
+                tumor,
+                normal,
+                params,
+                lo,
+                hi,
+                counters=counters,
+                memory=self.memory,
+            )
+        return best, counters, os.getpid(), span.duration_s, None
 
     # -- the arg-max ---------------------------------------------------
 
@@ -474,6 +508,7 @@ class PoolEngine:
             return None
         call = self._calls
         self._calls += 1
+        tel = get_telemetry()
         timeout = (
             self.timeout
             if self.timeout is not None
@@ -512,6 +547,7 @@ class PoolEngine:
                     if self.fault_plan is not None
                     else None
                 ),
+                trace=tel.enabled,
             )
             for i, (lo, hi) in enumerate(ranges)
         ]
@@ -541,10 +577,12 @@ class PoolEngine:
 
         prefix = work_prefix_by_level(self.scheme, g)
         winners: list["MultiHitCombination | None"] = []
-        for i, ((lo, hi), (best, chunk_counters, pid, wall, retried)) in enumerate(
-            zip(ranges, results)
-        ):
+        for i, (
+            (lo, hi),
+            (best, chunk_counters, pid, wall, tel_state, retried),
+        ) in enumerate(zip(ranges, results)):
             winners.append(best)
+            tel.absorb_state(tel_state)
             if counters is not None:
                 counters.merge(chunk_counters)
             if not retried and self.retry_policy.is_straggler(wall):
@@ -566,4 +604,8 @@ class PoolEngine:
                         inline_retry=retried,
                     )
                 )
-        return multi_stage_reduce(winners)
+        if tel.enabled:
+            tel.count("pool.chunks", len(ranges))
+            tel.count("pool.calls")
+        with tel.span("reduce", cat="pool", candidates=len(winners)):
+            return multi_stage_reduce(winners)

@@ -11,7 +11,6 @@ is not.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -29,6 +28,7 @@ from repro.faults.plan import FaultPlan
 from repro.faults.policy import RetryPolicy
 from repro.faults.report import FaultReport
 from repro.scheduling.schemes import Scheme, scheme_for
+from repro.telemetry.session import get_telemetry
 
 __all__ = ["IterationRecord", "MultiHitResult", "MultiHitSolver"]
 
@@ -229,15 +229,26 @@ class MultiHitSolver:
                 fault_plan=self.fault_plan,
                 retry_policy=self.retry_policy or RetryPolicy(),
             )
+        tel = get_telemetry()
         try:
-            result = self._greedy_loop(
-                tumor, normal, params, counters, combos, records, work, active,
-                on_iteration, pool, dist,
-            )
+            with tel.span(
+                "solve", cat="solver", backend=self.backend, hits=self.hits
+            ):
+                result = self._greedy_loop(
+                    tumor, normal, params, counters, combos, records, work, active,
+                    on_iteration, pool, dist,
+                )
             if pool is not None:
                 result.fault_report = pool.report
             elif dist is not None:
                 result.fault_report = dist.report
+            if tel.enabled:
+                tel.metrics.absorb_kernel_counters(counters)
+                tel.count("solver.solves")
+                tel.count("solver.iterations", len(result.iterations))
+                tel.count("solver.combinations", len(result.combinations))
+                tel.set_gauge("solver.coverage", result.coverage)
+                tel.set_gauge("solver.uncovered", result.uncovered)
             return result
         finally:
             if pool is not None:
@@ -247,13 +258,22 @@ class MultiHitSolver:
         self, tumor, normal, params, counters, combos, records, work, active,
         on_iteration, pool, dist,
     ) -> MultiHitResult:
+        tel = get_telemetry()
         while active.any():
             if self.max_iterations is not None and len(combos) >= self.max_iterations:
                 break
             remaining_before = int(active.sum())
-            t0 = time.perf_counter()
-            best = self._best(work, normal, params, counters, pool, dist)
-            dt = time.perf_counter() - t0
+            # The span is the timing source: `timed_span` measures wall
+            # time even with telemetry disabled, so `wall_seconds` keeps
+            # its meaning (the arg-max wall clock) on every run.
+            with tel.timed_span(
+                "iteration",
+                cat="solver",
+                iteration=len(combos) + 1,
+                remaining=remaining_before,
+            ) as span:
+                best = self._best(work, normal, params, counters, pool, dist)
+            dt = span.duration_s
             if best is None or best.tp == 0:
                 break
             combos.append(best)

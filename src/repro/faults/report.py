@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.telemetry.session import get_telemetry
+
 __all__ = ["FaultEvent", "FaultReport", "RescheduledRange"]
 
 
@@ -73,6 +75,12 @@ class FaultReport:
                 detail=detail,
             )
         )
+        # Live-route every fault/recovery event into the telemetry
+        # metrics registry so degraded runs show up in exported
+        # summaries, not only in this report object.
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.metrics.record_fault_event(kind, site, action)
 
     def record_reschedule(
         self, dead_rank: int, survivor: int, lam_start: int, lam_end: int, call: int = 0
@@ -86,6 +94,7 @@ class FaultReport:
                 call=call,
             )
         )
+        get_telemetry().count("faults.rescheduled_ranges")
 
     def merge(self, other: "FaultReport") -> None:
         self.events.extend(other.events)

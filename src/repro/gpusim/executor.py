@@ -38,6 +38,7 @@ from repro.faults.plan import FaultInjected
 from repro.gpusim.timing import TimingTuning
 from repro.scheduling.schemes import Scheme
 from repro.scheduling.workload import total_threads
+from repro.telemetry.session import get_telemetry
 
 __all__ = ["BlockResult", "KernelLaunchResult", "BlockKernelExecutor"]
 
@@ -122,33 +123,54 @@ class BlockKernelExecutor:
 
         call = self._launches
         self._launches += 1
+        telemetry = get_telemetry()
         blocks: list[BlockResult] = []
         block_id = 0
-        for first in range(lam_start, lam_end, self.block_size):
-            last = min(first + self.block_size, lam_end)
-            result = self._run_block(block_id, first, last, tumor, normal, params, g)
-            spec = (
-                self.fault_plan.take("gpu", block_id, call)
-                if self.fault_plan is not None
-                else None
-            )
-            if spec is not None:
-                if spec.kind == "crash":
-                    raise FaultInjected(
-                        f"injected device crash in block {block_id}"
-                    )
-                if spec.kind == "straggler":
-                    result = replace(result, cycles=result.cycles * spec.slowdown)
-                    if self.report is not None:
-                        self.report.record(
-                            "straggler", "gpu", block_id, call, "observed",
-                            detail=f"x{spec.slowdown:g} cycles",
+        with telemetry.span(
+            "gpusim.launch", cat="gpusim",
+            call=call, lam_start=lam_start, lam_end=lam_end,
+        ):
+            for first in range(lam_start, lam_end, self.block_size):
+                last = min(first + self.block_size, lam_end)
+                result = self._run_block(
+                    block_id, first, last, tumor, normal, params, g
+                )
+                spec = (
+                    self.fault_plan.take("gpu", block_id, call)
+                    if self.fault_plan is not None
+                    else None
+                )
+                if spec is not None:
+                    if spec.kind == "crash":
+                        raise FaultInjected(
+                            f"injected device crash in block {block_id}"
                         )
-            blocks.append(result)
-            block_id += 1
+                    if spec.kind == "straggler":
+                        result = replace(
+                            result, cycles=result.cycles * spec.slowdown
+                        )
+                        if self.report is not None:
+                            self.report.record(
+                                "straggler", "gpu", block_id, call, "observed",
+                                detail=f"x{spec.slowdown:g} cycles",
+                            )
+                blocks.append(result)
+                block_id += 1
 
-        # Stage 2: parallelReduceMax over the per-block records.
-        winner = multi_stage_reduce([b.winner for b in blocks], block_size=32)
+            # Stage 2: parallelReduceMax over the per-block records.
+            with telemetry.span("reduce", cat="gpusim", candidates=len(blocks)):
+                winner = multi_stage_reduce(
+                    [b.winner for b in blocks], block_size=32
+                )
+        if telemetry.enabled:
+            telemetry.count("gpusim.launches")
+            telemetry.count("gpusim.blocks", len(blocks))
+            telemetry.count(
+                "gpusim.word_reads", sum(b.word_reads for b in blocks)
+            )
+            telemetry.observe(
+                "gpusim.launch_cycles", sum(b.cycles for b in blocks)
+            )
         return KernelLaunchResult(blocks=blocks, winner=winner)
 
     # -- one block ------------------------------------------------------

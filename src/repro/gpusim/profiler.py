@@ -16,6 +16,7 @@ from repro.gpusim.counters import GpuMetrics, metrics_from_timing
 from repro.gpusim.device import V100, DeviceSpec
 from repro.gpusim.kernel import KernelStats
 from repro.gpusim.timing import TimingTuning, kernel_time
+from repro.telemetry.session import get_telemetry
 
 __all__ = ["GpuProfile", "Profiler"]
 
@@ -85,13 +86,20 @@ class Profiler:
     tuning: TimingTuning = field(default_factory=TimingTuning)
 
     def profile(self, launches: list[KernelStats]) -> GpuProfile:
-        timings = [kernel_time(s, self.device, self.tuning) for s in launches]
-        slowest = max((t.busy_s for t in timings), default=0.0)
-        metrics = []
-        for s, t in zip(launches, timings):
-            util = t.busy_s / slowest if slowest > 0 else 0.0
-            dram_bytes = s.bytes_read / self.tuning.cache_reuse
-            metrics.append(
-                metrics_from_timing(s, t, dram_bytes=dram_bytes, utilization=util)
-            )
-        return GpuProfile(metrics)
+        telemetry = get_telemetry()
+        with telemetry.span("gpusim.profile", cat="gpusim", gpus=len(launches)):
+            timings = [kernel_time(s, self.device, self.tuning) for s in launches]
+            slowest = max((t.busy_s for t in timings), default=0.0)
+            metrics = []
+            for s, t in zip(launches, timings):
+                util = t.busy_s / slowest if slowest > 0 else 0.0
+                dram_bytes = s.bytes_read / self.tuning.cache_reuse
+                metrics.append(
+                    metrics_from_timing(s, t, dram_bytes=dram_bytes, utilization=util)
+                )
+        profile = GpuProfile(metrics)
+        # Occupancy/stall counters land in the unified registry under
+        # the gpusim.* namespace (the NVPROF-island merge).
+        if telemetry.enabled:
+            telemetry.metrics.absorb_gpu_profile(profile)
+        return profile

@@ -1,0 +1,59 @@
+"""repro.telemetry — unified tracing, metrics, and benchmark reporting.
+
+The observability substrate shared by every execution backend: a
+:class:`Tracer` of nested thread/rank-aware spans, a
+:class:`MetricsRegistry` of counters/gauges/histograms with
+cross-process merge, and exporters for JSONL event logs, Chrome
+``trace_event`` JSON (Perfetto-loadable), and benchmark summary JSON
+(`BENCH_*.json`).
+
+Telemetry is off by default (:data:`NULL_TELEMETRY`, whose span calls
+return a shared no-op singleton); instrumented code pays two attribute
+loads and a branch per site when disabled.  Enable per run::
+
+    from repro.telemetry import telemetry_session, write_chrome_trace
+
+    with telemetry_session() as tel:
+        result = MultiHitSolver(backend="pool").solve(tumor, normal)
+    write_chrome_trace("trace.json", tel)
+"""
+
+from repro.telemetry.metrics import HistogramStat, MetricsRegistry
+from repro.telemetry.session import (
+    NULL_TELEMETRY,
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+    telemetry_session,
+)
+from repro.telemetry.spans import NOOP_SPAN, Span, Stopwatch, Tracer
+from repro.telemetry.export import (
+    SUMMARY_SCHEMA,
+    chrome_trace,
+    summarize,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+    write_summary,
+)
+
+__all__ = [
+    "HistogramStat",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "NULL_TELEMETRY",
+    "SUMMARY_SCHEMA",
+    "Span",
+    "Stopwatch",
+    "Telemetry",
+    "Tracer",
+    "chrome_trace",
+    "get_telemetry",
+    "set_telemetry",
+    "summarize",
+    "telemetry_session",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_summary",
+]

@@ -1,0 +1,173 @@
+"""Exporters: JSONL event logs, Chrome ``trace_event`` JSON, summary JSON.
+
+Three consumers, three formats:
+
+* :func:`write_jsonl` — one JSON object per line (every span, then one
+  final metrics snapshot); greppable, streamable, diff-friendly.
+* :func:`write_chrome_trace` — the Chrome ``trace_event`` "JSON object
+  format" (complete ``"X"`` events plus process-name metadata), loadable
+  in Perfetto / ``chrome://tracing``.  :func:`validate_chrome_trace`
+  checks the schema; the CI smoke job runs it on a real trace.
+* :func:`write_summary` — a flat machine-readable run summary (counters,
+  gauges, histogram moments, per-span-name aggregates, caller extras).
+  The benchmark harness writes its repo-root ``BENCH_*.json`` perf
+  trajectory through this.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.telemetry.session import Telemetry
+
+__all__ = [
+    "SUMMARY_SCHEMA",
+    "chrome_trace",
+    "summarize",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_summary",
+]
+
+SUMMARY_SCHEMA = "repro.telemetry.summary/v1"
+
+
+# -- JSONL ---------------------------------------------------------------
+
+
+def write_jsonl(path: "str | Path", telemetry: Telemetry) -> Path:
+    """Write every span (one per line) followed by a metrics snapshot."""
+    path = Path(path)
+    with open(path, "w") as fh:
+        for span in telemetry.tracer.export():
+            fh.write(json.dumps({"type": "span", **span}) + "\n")
+        fh.write(
+            json.dumps({"type": "metrics", **telemetry.metrics.to_dict()}) + "\n"
+        )
+    return path
+
+
+# -- Chrome trace_event --------------------------------------------------
+
+
+def chrome_trace(telemetry: Telemetry) -> dict:
+    """Build a Chrome ``trace_event`` JSON object from recorded spans.
+
+    Complete (``"X"``) events with microsecond timestamps; one
+    ``process_name`` metadata event per distinct pid so merged pool
+    workers show up as named tracks in Perfetto.
+    """
+    events: list[dict] = []
+    pids: set[int] = set()
+    root_pid = telemetry.tracer.pid
+    for span in telemetry.tracer.export():
+        pids.add(span["pid"])
+        args = dict(span.get("attrs", {}))
+        if "rank" in span:
+            args["rank"] = span["rank"]
+        events.append(
+            {
+                "name": span["name"],
+                "cat": span["cat"],
+                "ph": "X",
+                "ts": span["start_ns"] / 1e3,
+                "dur": max(0, span["end_ns"] - span["start_ns"]) / 1e3,
+                "pid": span["pid"],
+                "tid": span["tid"],
+                "args": args,
+            }
+        )
+    meta = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {
+                "name": "repro" if pid == root_pid else f"repro-worker-{pid}"
+            },
+        }
+        for pid in sorted(pids)
+    ]
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: "str | Path", telemetry: Telemetry) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(telemetry)) + "\n")
+    return path
+
+
+def validate_chrome_trace(trace: dict) -> int:
+    """Schema-check a Chrome trace object; returns the event count.
+
+    Raises :class:`ValueError` on the first violation.  Used by the
+    tests and the CI telemetry smoke job on real exported traces.
+    """
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        raise ValueError("trace must be an object with a traceEvents list")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {i} is not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                raise ValueError(f"event {i} missing required key {key!r}")
+        phase = event["ph"]
+        if phase not in ("X", "M", "B", "E", "i", "C"):
+            raise ValueError(f"event {i} has unknown phase {phase!r}")
+        if phase == "X":
+            if "ts" not in event or "dur" not in event:
+                raise ValueError(f"complete event {i} missing ts/dur")
+            if event["ts"] < 0 or event["dur"] < 0:
+                raise ValueError(f"event {i} has negative ts/dur")
+    return len(events)
+
+
+# -- summary JSON --------------------------------------------------------
+
+
+def summarize(
+    telemetry: Telemetry,
+    name: str,
+    extra: "dict | None" = None,
+) -> dict:
+    """Aggregate a session into a flat, machine-readable summary."""
+    span_rollup: dict[str, dict] = {}
+    for span in telemetry.tracer.export():
+        row = span_rollup.setdefault(
+            span["name"], {"count": 0, "total_s": 0.0, "max_s": 0.0}
+        )
+        duration = max(0, span["end_ns"] - span["start_ns"]) / 1e9
+        row["count"] += 1
+        row["total_s"] += duration
+        row["max_s"] = max(row["max_s"], duration)
+    metrics = telemetry.metrics.to_dict()
+    return {
+        "schema": SUMMARY_SCHEMA,
+        "name": name,
+        "counters": metrics["counters"],
+        "gauges": metrics["gauges"],
+        "histograms": metrics["histograms"],
+        "spans": span_rollup,
+        "extra": dict(extra or {}),
+    }
+
+
+def write_summary(
+    path: "str | Path",
+    name: str,
+    telemetry: "Telemetry | None" = None,
+    extra: "dict | None" = None,
+) -> Path:
+    """Write a run summary; ``telemetry=None`` writes extras only."""
+    if telemetry is None:
+        telemetry = Telemetry(enabled=False)
+    path = Path(path)
+    payload = summarize(telemetry, name, extra=extra)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,164 @@
+"""Unified counter / gauge / histogram registry with cross-process merge.
+
+One namespace absorbs every accounting stream the repo previously kept
+in islands: the scoring-kernel :class:`~repro.core.kernels.KernelCounters`
+(``kernel.*``), pool chunk statistics (``pool.*``), fault/retry events
+(``faults.*``, routed live from :class:`repro.faults.FaultReport`), comm
+traffic (``comm.*``), gpusim launch accounting and NVPROF-style
+occupancy/stall metrics (``gpusim.*``), and checkpoint I/O
+(``checkpoint.*``).
+
+Registries merge: pool workers ship ``to_dict()`` snapshots back over
+the existing result channel, SPMD ranks gather theirs to rank 0 over the
+communicator, and the parent folds them in with :meth:`merge_dict`.
+Counters add, gauges last-write-wins, histograms combine their
+count/sum/min/max moments.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+__all__ = ["HistogramStat", "MetricsRegistry"]
+
+
+@dataclass
+class HistogramStat:
+    """Moment summary of an observed distribution."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def combine(self, other: "HistogramStat") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe named counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, HistogramStat] = {}
+        self._lock = threading.Lock()
+
+    # -- recording -----------------------------------------------------
+
+    def inc(self, name: str, value: int = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = HistogramStat()
+            hist.observe(float(value))
+
+    # -- absorption of existing accounting streams ---------------------
+
+    def absorb_kernel_counters(self, counters, prefix: str = "kernel") -> None:
+        """Fold a :class:`repro.core.kernels.KernelCounters` in."""
+        self.inc(f"{prefix}.combos_scored", counters.combos_scored)
+        self.inc(f"{prefix}.word_reads", counters.word_reads)
+        self.inc(f"{prefix}.word_ops", counters.word_ops)
+
+    def record_fault_event(self, kind: str, site: str, action: str) -> None:
+        """Live routing target for :meth:`repro.faults.FaultReport.record`."""
+        self.inc("faults.events")
+        self.inc(f"faults.kind.{kind}")
+        self.inc(f"faults.site.{site}")
+        self.inc(f"faults.action.{action}")
+
+    def absorb_pool_stats(self, stats, prefix: str = "pool") -> None:
+        """Fold a :class:`repro.core.pool.PoolStats` in."""
+        self.inc(f"{prefix}.stat_chunks", len(stats.chunks))
+        self.inc(f"{prefix}.stat_inline_retries", stats.n_inline_retries)
+        self.inc(f"{prefix}.stat_shipped_bytes", stats.shipped_bytes)
+        for chunk in stats.chunks:
+            self.observe(f"{prefix}.chunk_wall_s", chunk.wall_seconds)
+
+    def absorb_gpu_profile(self, profile, prefix: str = "gpusim") -> None:
+        """Fold a :class:`repro.gpusim.profiler.GpuProfile` in."""
+        for metric in profile.metrics:
+            self.inc(f"{prefix}.bound.{metric.bound}")
+            self.observe(f"{prefix}.utilization", metric.utilization)
+            self.observe(f"{prefix}.busy_s", metric.busy_s)
+            self.observe(
+                f"{prefix}.stall_memory_dependency", metric.stall_memory_dependency
+            )
+            self.observe(
+                f"{prefix}.stall_memory_throttle", metric.stall_memory_throttle
+            )
+            self.observe(
+                f"{prefix}.stall_execution_dependency",
+                metric.stall_execution_dependency,
+            )
+        transition = profile.memory_to_compute_transition()
+        if transition is not None:
+            self.set_gauge(f"{prefix}.memory_to_compute_transition", transition)
+
+    # -- merge / serialization -----------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        self.merge_dict(other.to_dict())
+
+    def merge_dict(self, state: dict) -> None:
+        with self._lock:
+            for name, value in state.get("counters", {}).items():
+                self.counters[name] = self.counters.get(name, 0) + value
+            for name, value in state.get("gauges", {}).items():
+                self.gauges[name] = value
+            for name, d in state.get("histograms", {}).items():
+                hist = self.histograms.get(name)
+                if hist is None:
+                    hist = self.histograms[name] = HistogramStat()
+                hist.combine(
+                    HistogramStat(
+                        count=d["count"],
+                        total=d["total"],
+                        minimum=d["min"] if d["count"] else float("inf"),
+                        maximum=d["max"] if d["count"] else float("-inf"),
+                    )
+                )
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "gauges": dict(self.gauges),
+                "histograms": {
+                    name: h.to_dict() for name, h in self.histograms.items()
+                },
+            }

@@ -1,0 +1,117 @@
+"""The telemetry session: one tracer + one metrics registry per run.
+
+Instrumented layers (solver, pool, distributed engine, SimComm, SPMD
+runner, gpusim, checkpoints) call :func:`get_telemetry` and talk to
+whatever session is installed.  The default is :data:`NULL_TELEMETRY`, a
+permanently disabled session whose ``span``/``count`` calls are no-ops
+(``span`` returns the shared no-op singleton, so the hot path allocates
+nothing), which is what keeps telemetry-off runs at baseline speed.
+
+Install a live session for the duration of a run with::
+
+    from repro.telemetry import telemetry_session
+
+    with telemetry_session() as tel:
+        result = MultiHitSolver(...).solve(tumor, normal)
+    write_chrome_trace("trace.json", tel)
+
+``timed_span`` is the replacement for hand-rolled ``perf_counter``
+bookkeeping: it *always* measures wall time (so public timing fields
+stay populated with telemetry off) but records a span only when enabled.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import NOOP_SPAN, Stopwatch, Tracer
+
+__all__ = [
+    "NULL_TELEMETRY",
+    "Telemetry",
+    "get_telemetry",
+    "set_telemetry",
+    "telemetry_session",
+]
+
+
+class Telemetry:
+    """A tracer/metrics pair with enabled-aware convenience methods."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+
+    # -- spans ---------------------------------------------------------
+
+    def span(self, name: str, cat: str = "repro", rank: "int | None" = None, **attrs):
+        """A recording span when enabled, the shared no-op otherwise."""
+        if not self.enabled:
+            return NOOP_SPAN
+        return self.tracer.span(name, cat=cat, rank=rank, **attrs)
+
+    def timed_span(
+        self, name: str, cat: str = "repro", rank: "int | None" = None, **attrs
+    ):
+        """A span that always measures ``duration_s``, recorded only when on."""
+        if not self.enabled:
+            return Stopwatch()
+        return self.tracer.span(name, cat=cat, rank=rank, **attrs)
+
+    # -- metrics -------------------------------------------------------
+
+    def count(self, name: str, value: int = 1) -> None:
+        if self.enabled:
+            self.metrics.inc(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.metrics.observe(name, value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.metrics.set_gauge(name, value)
+
+    # -- cross-process state -------------------------------------------
+
+    def export_state(self) -> dict:
+        """Snapshot spans + metrics for shipping to another process."""
+        return {"spans": self.tracer.export(), "metrics": self.metrics.to_dict()}
+
+    def absorb_state(self, state: "dict | None") -> None:
+        """Merge a worker/rank ``export_state`` snapshot into this session."""
+        if not self.enabled or not state:
+            return
+        self.tracer.absorb(state.get("spans", []))
+        self.metrics.merge_dict(state.get("metrics", {}))
+
+
+NULL_TELEMETRY = Telemetry(enabled=False)
+
+_current: Telemetry = NULL_TELEMETRY
+
+
+def get_telemetry() -> Telemetry:
+    """The session instrumented code reports to (never ``None``)."""
+    return _current
+
+
+def set_telemetry(telemetry: "Telemetry | None") -> Telemetry:
+    """Install a session; returns the previous one (for restoration)."""
+    global _current
+    previous = _current
+    _current = telemetry if telemetry is not None else NULL_TELEMETRY
+    return previous
+
+
+@contextmanager
+def telemetry_session(enabled: bool = True):
+    """Install a fresh session for the duration of a ``with`` block."""
+    telemetry = Telemetry(enabled=enabled)
+    previous = set_telemetry(telemetry)
+    try:
+        yield telemetry
+    finally:
+        set_telemetry(previous)

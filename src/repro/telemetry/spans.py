@@ -1,0 +1,221 @@
+"""Nested, thread/rank-aware tracing spans.
+
+A :class:`Tracer` produces :class:`Span` context managers.  Spans nest
+per thread (a per-thread open-span stack supplies the parent id), carry
+the producing process id and thread id, and optionally an SPMD/MPI rank.
+Timestamps are ``time.perf_counter_ns()`` readings — on Linux this is
+``CLOCK_MONOTONIC``, which is shared across processes on one machine, so
+spans shipped from pool workers back to the parent land on the same
+timeline.
+
+The disabled path allocates nothing: a disabled telemetry session hands
+out the shared :data:`NOOP_SPAN` singleton, whose ``__enter__``/
+``__exit__`` are empty.  Code that needs a duration even when tracing is
+off (the solver's public ``wall_seconds`` field) uses
+:class:`Stopwatch` — the same two-clock-read cost the bare
+``time.perf_counter()`` bookkeeping it replaced had.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["NOOP_SPAN", "Span", "Stopwatch", "Tracer"]
+
+
+class _NoopSpan:
+    """Shared do-nothing span: the zero-allocation disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NoopSpan":
+        return self
+
+    @property
+    def duration_s(self) -> float:
+        return 0.0
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Stopwatch:
+    """Duration-only measurement: what a disabled ``timed_span`` returns.
+
+    Costs exactly the two ``perf_counter_ns`` reads the hand-rolled
+    ``t0 = time.perf_counter(); dt = time.perf_counter() - t0`` pattern
+    cost, and records nothing anywhere.
+    """
+
+    __slots__ = ("start_ns", "end_ns")
+
+    def __init__(self) -> None:
+        self.start_ns = 0
+        self.end_ns = 0
+
+    def __enter__(self) -> "Stopwatch":
+        self.start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.end_ns = time.perf_counter_ns()
+        return False
+
+    def set(self, **attrs) -> "Stopwatch":
+        return self
+
+    @property
+    def duration_s(self) -> float:
+        return (self.end_ns - self.start_ns) / 1e9
+
+
+@dataclass
+class Span:
+    """One traced interval; a context manager handed out by a Tracer.
+
+    ``parent_id`` is resolved at ``__enter__`` from the producing
+    thread's open-span stack; ``rank`` is inherited from the enclosing
+    span when not given explicitly.  Span ids are unique within one
+    *process* (drawn from a process-wide counter, so a worker that
+    builds a fresh short-lived tracer per chunk never reuses an id);
+    merged cross-process spans are distinguished by ``(pid, span_id)``.
+    """
+
+    name: str
+    cat: str
+    span_id: int
+    pid: int
+    tid: int = 0
+    parent_id: "int | None" = None
+    rank: "int | None" = None
+    start_ns: int = 0
+    end_ns: int = 0
+    attrs: dict = field(default_factory=dict)
+    _tracer: "Tracer | None" = field(default=None, repr=False, compare=False)
+
+    @property
+    def duration_s(self) -> float:
+        return max(0, self.end_ns - self.start_ns) / 1e9
+
+    def set(self, **attrs) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        stack = tracer._stack()
+        if stack:
+            self.parent_id = stack[-1].span_id
+            if self.rank is None:
+                self.rank = stack[-1].rank
+        self.tid = threading.get_ident()
+        stack.append(self)
+        self.start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.end_ns = time.perf_counter_ns()
+        tracer = self._tracer
+        stack = tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        tracer._record(self)
+        return False
+
+    def to_dict(self) -> dict:
+        d = {
+            "name": self.name,
+            "cat": self.cat,
+            "id": self.span_id,
+            "pid": self.pid,
+            "tid": self.tid,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+        }
+        if self.parent_id is not None:
+            d["parent"] = self.parent_id
+        if self.rank is not None:
+            d["rank"] = self.rank
+        if self.attrs:
+            d["attrs"] = dict(self.attrs)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Span":
+        return cls(
+            name=d["name"],
+            cat=d.get("cat", "repro"),
+            span_id=d["id"],
+            pid=d["pid"],
+            tid=d.get("tid", 0),
+            parent_id=d.get("parent"),
+            rank=d.get("rank"),
+            start_ns=d["start_ns"],
+            end_ns=d["end_ns"],
+            attrs=dict(d.get("attrs", {})),
+        )
+
+
+# Process-wide id source: every tracer in a process draws from the same
+# counter, so (pid, span_id) stays unique even when short-lived tracers
+# come and go (pool workers build one per chunk).
+_SPAN_IDS = itertools.count(1)
+
+
+class Tracer:
+    """Collects finished spans; thread-safe; one per telemetry session."""
+
+    def __init__(self) -> None:
+        self.pid = os.getpid()
+        self.spans: list[Span] = []
+        self._ids = _SPAN_IDS
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self.spans.append(span)
+
+    def span(
+        self, name: str, cat: str = "repro", rank: "int | None" = None, **attrs
+    ) -> Span:
+        """Open a new span (enter it with ``with``)."""
+        return Span(
+            name=name,
+            cat=cat,
+            span_id=next(self._ids),
+            pid=self.pid,
+            rank=rank,
+            attrs=attrs,
+            _tracer=self,
+        )
+
+    def current_span(self) -> "Span | None":
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def absorb(self, span_dicts: "list[dict]") -> None:
+        """Merge spans exported by another process (pool workers)."""
+        with self._lock:
+            for d in span_dicts:
+                self.spans.append(Span.from_dict(d))
+
+    def export(self) -> "list[dict]":
+        with self._lock:
+            return [s.to_dict() for s in self.spans]

@@ -18,6 +18,7 @@ SUBPACKAGES = [
     "repro.mutlevel",
     "repro.experiments",
     "repro.io",
+    "repro.telemetry",
 ]
 
 

@@ -1,0 +1,401 @@
+"""Tests for :mod:`repro.telemetry`: spans, metrics, exporters, parity.
+
+The invariants the subsystem promises:
+
+* spans nest per thread and merge across processes/ranks without id
+  collisions (``(pid, span_id)`` is the identity);
+* the disabled path records nothing and allocates nothing (the shared
+  no-op singleton), while ``timed_span`` still measures wall time;
+* counter totals survive the pool result channel and the SPMD gather;
+* solver results and kernel counters are bit-identical with telemetry
+  on vs off on every backend (the acceptance criterion);
+* exported Chrome traces pass the schema validator.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.core.solver import MultiHitSolver
+from repro.telemetry import (
+    NOOP_SPAN,
+    NULL_TELEMETRY,
+    MetricsRegistry,
+    Stopwatch,
+    Telemetry,
+    chrome_trace,
+    get_telemetry,
+    set_telemetry,
+    summarize,
+    telemetry_session,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+    write_summary,
+)
+from repro.telemetry.export import SUMMARY_SCHEMA
+
+
+class TestSpanNesting:
+    def test_parent_resolved_from_enclosing_span(self):
+        tel = Telemetry()
+        with tel.span("outer", cat="t") as outer:
+            with tel.span("inner", cat="t") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        # Inner closed first: recorded order is innermost-out.
+        assert [s.name for s in tel.tracer.spans] == ["inner", "outer"]
+
+    def test_siblings_share_parent_not_each_other(self):
+        tel = Telemetry()
+        with tel.span("outer") as outer:
+            with tel.span("a") as a:
+                pass
+            with tel.span("b") as b:
+                pass
+        assert a.parent_id == outer.span_id
+        assert b.parent_id == outer.span_id
+        assert a.span_id != b.span_id
+
+    def test_rank_inherited_from_enclosing_span(self):
+        tel = Telemetry()
+        with tel.span("rank-root", rank=3):
+            with tel.span("child") as child:
+                pass
+            with tel.span("override", rank=7) as override:
+                pass
+        assert child.rank == 3
+        assert override.rank == 7
+
+    def test_threads_have_independent_stacks(self):
+        tel = Telemetry()
+        seen = {}
+
+        def worker():
+            with tel.span("thread-span") as s:
+                seen["parent"] = s.parent_id
+                seen["tid"] = s.tid
+
+        with tel.span("main-span"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        # The worker thread's span must not parent under main's open span.
+        assert seen["parent"] is None
+        assert seen["tid"] != threading.get_ident()
+
+    def test_span_ids_unique_per_tracer(self):
+        tel = Telemetry()
+        for _ in range(5):
+            with tel.span("s"):
+                pass
+        ids = [s.span_id for s in tel.tracer.spans]
+        assert len(set(ids)) == len(ids)
+
+
+class TestDisabledPath:
+    def test_disabled_span_is_shared_singleton(self):
+        tel = Telemetry(enabled=False)
+        assert tel.span("anything") is NOOP_SPAN
+        assert tel.span("other", cat="x", rank=1, attr=2) is NOOP_SPAN
+
+    def test_disabled_records_nothing(self):
+        tel = Telemetry(enabled=False)
+        with tel.span("s"):
+            pass
+        tel.count("c")
+        tel.observe("h", 1.0)
+        tel.set_gauge("g", 1.0)
+        assert tel.tracer.spans == []
+        assert tel.metrics.to_dict() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_disabled_timed_span_still_measures(self):
+        tel = Telemetry(enabled=False)
+        with tel.timed_span("iteration") as sw:
+            pass
+        assert isinstance(sw, Stopwatch)
+        assert sw.duration_s >= 0.0
+        assert tel.tracer.spans == []
+
+    def test_enabled_timed_span_records_and_measures(self):
+        tel = Telemetry()
+        with tel.timed_span("iteration") as span:
+            pass
+        assert span.duration_s >= 0.0
+        assert [s.name for s in tel.tracer.spans] == ["iteration"]
+
+
+class TestSessionInstall:
+    def test_default_session_is_null(self):
+        assert get_telemetry() is NULL_TELEMETRY
+        assert not NULL_TELEMETRY.enabled
+
+    def test_context_manager_installs_and_restores(self):
+        before = get_telemetry()
+        with telemetry_session() as tel:
+            assert get_telemetry() is tel
+            assert tel.enabled
+        assert get_telemetry() is before
+
+    def test_set_telemetry_none_restores_null(self):
+        prev = set_telemetry(Telemetry())
+        try:
+            set_telemetry(None)
+            assert get_telemetry() is NULL_TELEMETRY
+        finally:
+            set_telemetry(prev)
+
+
+class TestMetricsRegistry:
+    def test_counters_gauges_histograms(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        reg.inc("c", 4)
+        reg.set_gauge("g", 2.5)
+        for v in (1.0, 3.0, 2.0):
+            reg.observe("h", v)
+        d = reg.to_dict()
+        assert d["counters"]["c"] == 5
+        assert d["gauges"]["g"] == 2.5
+        assert d["histograms"]["h"] == {
+            "count": 3, "total": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0,
+        }
+
+    def test_merge_semantics(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("c", 2)
+        b.inc("c", 3)
+        a.set_gauge("g", 1.0)
+        b.set_gauge("g", 9.0)
+        a.observe("h", 1.0)
+        b.observe("h", 5.0)
+        a.merge(b)
+        d = a.to_dict()
+        assert d["counters"]["c"] == 5  # counters add
+        assert d["gauges"]["g"] == 9.0  # gauges last-write-wins
+        assert d["histograms"]["h"]["count"] == 2  # histograms combine
+        assert d["histograms"]["h"]["min"] == 1.0
+        assert d["histograms"]["h"]["max"] == 5.0
+
+    def test_merge_dict_roundtrips_empty_histogram(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.observe("h", 2.0)
+        state = json.loads(json.dumps(b.to_dict()))  # over-the-wire shape
+        a.merge_dict(state)
+        assert a.to_dict()["histograms"]["h"]["mean"] == 2.0
+
+    def test_fault_event_routing(self):
+        reg = MetricsRegistry()
+        reg.record_fault_event("crash", "pool", "retried")
+        reg.record_fault_event("straggler", "pool", "observed")
+        c = reg.to_dict()["counters"]
+        assert c["faults.events"] == 2
+        assert c["faults.kind.crash"] == 1
+        assert c["faults.site.pool"] == 2
+        assert c["faults.action.retried"] == 1
+
+    def test_live_fault_report_feeds_registry(self):
+        from repro.faults.report import FaultReport
+
+        with telemetry_session() as tel:
+            report = FaultReport()
+            report.record("crash", "worker", 0, 1, "retried")
+            report.record_reschedule(2, 1, 0, 10)
+        c = tel.metrics.to_dict()["counters"]
+        assert c["faults.events"] == 1
+        assert c["faults.kind.crash"] == 1
+        assert c["faults.rescheduled_ranges"] == 1
+
+
+class TestExporters:
+    def _session_with_spans(self):
+        tel = Telemetry()
+        with tel.span("solve", cat="solver", backend="single"):
+            with tel.span("iteration", cat="solver", iteration=1):
+                pass
+        tel.count("solver.solves")
+        return tel
+
+    def test_chrome_trace_validates(self):
+        tel = self._session_with_spans()
+        trace = chrome_trace(tel)
+        n = validate_chrome_trace(trace)
+        assert n == 3  # 2 spans + 1 process_name metadata
+        assert trace["displayTimeUnit"] == "ms"
+        names = {e["args"]["name"] for e in trace["traceEvents"] if e["ph"] == "M"}
+        assert names == {"repro"}
+
+    def test_chrome_trace_roundtrips_through_json(self, tmp_path):
+        tel = self._session_with_spans()
+        path = write_chrome_trace(tmp_path / "trace.json", tel)
+        loaded = json.loads(path.read_text())
+        assert validate_chrome_trace(loaded) == 3
+
+    def test_validator_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"events": []})
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": [{"ph": "X"}]})
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {"traceEvents": [
+                    {"name": "s", "ph": "Z", "pid": 1, "tid": 1}
+                ]}
+            )
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {"traceEvents": [
+                    {"name": "s", "ph": "X", "pid": 1, "tid": 1,
+                     "ts": -1.0, "dur": 0.0}
+                ]}
+            )
+
+    def test_jsonl_has_spans_then_metrics(self, tmp_path):
+        tel = self._session_with_spans()
+        path = write_jsonl(tmp_path / "events.jsonl", tel)
+        lines = [json.loads(x) for x in path.read_text().splitlines()]
+        assert [x["type"] for x in lines] == ["span", "span", "metrics"]
+        assert lines[-1]["counters"]["solver.solves"] == 1
+
+    def test_summary_shape(self, tmp_path):
+        tel = self._session_with_spans()
+        path = write_summary(
+            tmp_path / "summary.json", "unit", telemetry=tel, extra={"k": 1}
+        )
+        summary = json.loads(path.read_text())
+        assert summary["schema"] == SUMMARY_SCHEMA
+        assert summary["name"] == "unit"
+        assert summary["counters"]["solver.solves"] == 1
+        assert summary["extra"] == {"k": 1}
+        assert summary["spans"]["iteration"]["count"] == 1
+        assert summary["spans"]["solve"]["total_s"] >= 0.0
+
+    def test_summary_without_telemetry_is_extras_only(self, tmp_path):
+        path = write_summary(tmp_path / "s.json", "bare", extra={"x": [1, 2]})
+        summary = json.loads(path.read_text())
+        assert summary["extra"] == {"x": [1, 2]}
+        assert summary["counters"] == {} and summary["spans"] == {}
+
+
+def _solve(backend, dense, telemetry_on, **kw):
+    t, n, _params = dense
+    solver = MultiHitSolver(hits=2, backend=backend, **kw)
+    if telemetry_on:
+        with telemetry_session() as tel:
+            return solver.solve(t, n), tel
+    return solver.solve(t, n), None
+
+
+def _fingerprint(res):
+    return (
+        [c.genes for c in res.combinations],
+        [c.f for c in res.combinations],
+        [c.tp for c in res.combinations],
+        res.uncovered,
+        (res.counters.combos_scored, res.counters.word_reads,
+         res.counters.word_ops),
+    )
+
+
+class TestBackendParity:
+    """Telemetry on vs off: bit-identical results and kernel counters."""
+
+    @pytest.mark.parametrize("backend", ["single", "sequential"])
+    def test_inprocess_backends(self, small_matrices, backend):
+        off, _ = _solve(backend, small_matrices, telemetry_on=False)
+        on, tel = _solve(backend, small_matrices, telemetry_on=True)
+        assert _fingerprint(on) == _fingerprint(off)
+        if backend == "single":
+            c = tel.metrics.to_dict()["counters"]
+            assert c["kernel.combos_scored"] == on.counters.combos_scored
+            assert c["kernel.word_reads"] == on.counters.word_reads
+            assert c["solver.iterations"] == len(on.iterations)
+
+    def test_pool_backend(self, small_matrices):
+        off, _ = _solve("pool", small_matrices, telemetry_on=False, n_workers=2)
+        on, tel = _solve("pool", small_matrices, telemetry_on=True, n_workers=2)
+        assert _fingerprint(on) == _fingerprint(off)
+        # Worker spans merged over the result channel: chunk scans carry
+        # worker pids distinct from the parent's.
+        spans = tel.tracer.export()
+        chunk_pids = {s["pid"] for s in spans if s["name"] == "scan_chunk"}
+        assert chunk_pids  # at least one worker reported
+        assert any(pid != tel.tracer.pid for pid in chunk_pids)
+        # Merged spans keep unique (pid, id) identity.
+        keys = [(s["pid"], s["id"]) for s in spans]
+        assert len(set(keys)) == len(keys)
+        # Every pid in the Chrome export gets a named process track.
+        trace = chrome_trace(tel)
+        validate_chrome_trace(trace)
+        meta_pids = {e["pid"] for e in trace["traceEvents"] if e["ph"] == "M"}
+        assert {s["pid"] for s in spans} <= meta_pids
+
+    def test_distributed_backend(self, small_matrices):
+        off, _ = _solve(
+            "distributed", small_matrices, telemetry_on=False, n_nodes=2
+        )
+        on, tel = _solve(
+            "distributed", small_matrices, telemetry_on=True, n_nodes=2
+        )
+        assert _fingerprint(on) == _fingerprint(off)
+        names = {s["name"] for s in tel.tracer.export()}
+        assert {"solve", "iteration", "schedule", "reduce"} <= names
+
+    def test_wall_seconds_populated_without_telemetry(self, small_matrices):
+        res, _ = _solve("single", small_matrices, telemetry_on=False)
+        assert all(r.wall_seconds >= 0.0 for r in res.iterations)
+        assert any(r.wall_seconds > 0.0 for r in res.iterations)
+
+
+class TestSpmdMerge:
+    def test_rank_metrics_gather_to_registry(self, rng):
+        from repro.bitmatrix.matrix import BitMatrix
+        from repro.cluster.mpi_program import spmd_best_combo
+        from repro.core.engine import SingleGpuEngine
+        from repro.core.fscore import FScoreParams
+        from repro.core.kernels import KernelCounters
+        from repro.scheduling.equiarea import equiarea_schedule
+        from repro.scheduling.schemes import SCHEME_3X1
+
+        t = BitMatrix.from_dense(rng.random((16, 40)) < 0.35)
+        n = BitMatrix.from_dense(rng.random((16, 30)) < 0.15)
+        params = FScoreParams(n_tumor=40, n_normal=30)
+        schedule = equiarea_schedule(SCHEME_3X1, 16, 4)
+
+        ref = SingleGpuEngine(scheme=SCHEME_3X1).best_combo(t, n, params)
+        with telemetry_session() as tel:
+            got = spmd_best_combo(2, schedule, t, n, params, gpus_per_rank=2)
+        assert got.genes == ref.genes and got.f == ref.f
+
+        c = tel.metrics.to_dict()["counters"]
+        assert c["spmd.rank_searches"] == 2
+        # Rank-local kernel counters merged at rank 0: scored work is
+        # exactly conserved across the partition; word traffic is only
+        # bounded below (each range re-loads its prefetch rows).
+        full = KernelCounters()
+        SingleGpuEngine(scheme=SCHEME_3X1).best_combo(t, n, params, counters=full)
+        assert c["kernel.combos_scored"] == full.combos_scored
+        assert c["kernel.word_reads"] >= full.word_reads
+        assert c["kernel.word_ops"] >= full.word_ops
+
+    def test_spmd_result_identical_with_telemetry_off(self, rng):
+        from repro.bitmatrix.matrix import BitMatrix
+        from repro.cluster.mpi_program import spmd_best_combo
+        from repro.core.fscore import FScoreParams
+        from repro.scheduling.equiarea import equiarea_schedule
+        from repro.scheduling.schemes import SCHEME_3X1
+
+        t = BitMatrix.from_dense(rng.random((14, 30)) < 0.4)
+        n = BitMatrix.from_dense(rng.random((14, 30)) < 0.1)
+        params = FScoreParams(n_tumor=30, n_normal=30)
+        schedule = equiarea_schedule(SCHEME_3X1, 14, 4)
+        off = spmd_best_combo(2, schedule, t, n, params, gpus_per_rank=2)
+        with telemetry_session():
+            on = spmd_best_combo(2, schedule, t, n, params, gpus_per_rank=2)
+        assert on == off
