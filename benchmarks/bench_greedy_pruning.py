@@ -1,0 +1,93 @@
+"""Lazy-greedy pruning bench: pruned vs unpruned per-iteration trajectory.
+
+Runs the same planted cohort through the single-GPU greedy loop with and
+without the bound-table engine and writes ``BENCH_greedy.json`` — the
+per-iteration combos-scored / word-reads / wall-time series plus the
+headline aggregate reduction (the PR-over-PR tracked number).  Asserts
+the acceptance bar: bit-identical solutions and >= 2x fewer combinations
+scored from iteration 2 onward.
+"""
+
+from repro.core.solver import MultiHitSolver
+from repro.data.synthesis import CohortConfig, generate_cohort
+from repro.telemetry import telemetry_session
+
+
+def _run(prune: bool):
+    cohort = generate_cohort(
+        CohortConfig(n_genes=40, n_tumor=120, n_normal=120, hits=3, seed=0)
+    )
+    solver = MultiHitSolver(hits=3, prune=prune)
+    return solver.solve(cohort.tumor.values, cohort.normal.values)
+
+
+def _trajectory(result):
+    return [
+        {
+            "iteration": r.iteration,
+            "combos_scored": r.combos_scored,
+            "combos_pruned": r.combos_pruned,
+            "word_reads": r.word_reads,
+            "wall_seconds": r.wall_seconds,
+        }
+        for r in result.iterations
+    ]
+
+
+def test_greedy_pruning_trajectory(benchmark, show, bench_summary):
+    base = _run(prune=False)
+
+    with telemetry_session() as telemetry:
+        pruned = benchmark.pedantic(_run, args=(True,), rounds=1, iterations=1)
+
+        # Soundness first: pruning must never change the answer.
+        assert [c.genes for c in pruned.combinations] == [
+            c.genes for c in base.combinations
+        ]
+        assert [(c.f, c.tp, c.tn) for c in pruned.combinations] == [
+            (c.f, c.tp, c.tn) for c in base.combinations
+        ]
+
+        base_tail = sum(r.combos_scored for r in base.iterations[1:])
+        pruned_tail = sum(r.combos_scored for r in pruned.iterations[1:])
+        reads_base = sum(r.word_reads for r in base.iterations[1:])
+        reads_pruned = sum(r.word_reads for r in pruned.iterations[1:])
+        reduction = base_tail / max(1, pruned_tail)
+        assert reduction >= 2.0, f"only {reduction:.2f}x from iteration 2 on"
+
+        bench_summary(
+            "greedy",
+            values={
+                "iterations": len(base.iterations),
+                "combos_scored_unpruned": base_tail,
+                "combos_scored_pruned": pruned_tail,
+                "combos_reduction_from_iter2": round(reduction, 3),
+                "word_reads_unpruned": reads_base,
+                "word_reads_pruned": reads_pruned,
+                "word_reads_reduction_from_iter2": round(
+                    reads_base / max(1, reads_pruned), 3
+                ),
+                "wall_seconds_unpruned": sum(
+                    r.wall_seconds for r in base.iterations
+                ),
+                "wall_seconds_pruned": sum(
+                    r.wall_seconds for r in pruned.iterations
+                ),
+                "trajectory_unpruned": _trajectory(base),
+                "trajectory_pruned": _trajectory(pruned),
+            },
+            telemetry=telemetry,
+        )
+
+    lines = [
+        "Lazy-greedy pruning (40 genes, 3-hit, single backend)",
+        f"  combos scored iters>=2: {base_tail} -> {pruned_tail} "
+        f"({reduction:.1f}x)",
+        "  iter | unpruned | pruned | pruned-away",
+    ]
+    for rb, rp in zip(base.iterations, pruned.iterations):
+        lines.append(
+            f"  {rb.iteration:4d} | {rb.combos_scored:8d} | "
+            f"{rp.combos_scored:6d} | {rp.combos_pruned:11d}"
+        )
+    show("\n".join(lines))

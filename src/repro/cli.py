@@ -42,6 +42,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument(
         "--workers", type=int, default=2, help="pool backend: worker processes"
     )
+    p_solve.add_argument(
+        "--prune", action="store_true",
+        help="lazy-greedy pruned iteration engine (bit-identical results, "
+             "fewer combinations scored from iteration 2 on)",
+    )
+    p_solve.add_argument(
+        "--prune-blocks", type=int, default=64, metavar="N",
+        help="target λ-block count for the pruning bound table (default 64)",
+    )
     p_solve.add_argument("--output", type=str, default=None, help="save result JSON")
     p_solve.add_argument(
         "--checkpoint", type=str, default=None, metavar="PATH",
@@ -130,7 +139,8 @@ def _run_solve(args: argparse.Namespace, telemetry) -> int:
         )
         hits = args.hits
     solver = MultiHitSolver(
-        hits=hits, backend=args.backend, n_nodes=args.nodes, n_workers=args.workers
+        hits=hits, backend=args.backend, n_nodes=args.nodes, n_workers=args.workers,
+        prune=args.prune, prune_blocks=args.prune_blocks,
     )
     if args.checkpoint:
         from pathlib import Path

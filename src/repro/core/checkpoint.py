@@ -31,12 +31,21 @@ _FORMAT_VERSION = 1
 
 @dataclass(frozen=True)
 class SolverState:
-    """Resumable snapshot of the greedy loop between iterations."""
+    """Resumable snapshot of the greedy loop between iterations.
+
+    ``bound_table`` is the lazy-greedy engine's per-λ-block bound cache
+    (:meth:`repro.core.bounds.BoundTable.to_payload`).  It is strictly
+    optional: bounds are exact upper bounds derived from earlier
+    iterations, so a resumed run that drops the table (older checkpoint,
+    different backend geometry, pruning disabled) rescans a few blocks
+    but produces bit-identical iterations.
+    """
 
     hits: int
     alpha: float
     combinations: tuple[MultiHitCombination, ...]
     active: np.ndarray  # uncovered tumor samples (vs original columns)
+    bound_table: "dict | None" = None
 
     @classmethod
     def capture(
@@ -45,12 +54,14 @@ class SolverState:
         alpha: float,
         combos: list[MultiHitCombination],
         active: np.ndarray,
+        bound_table: "dict | None" = None,
     ) -> "SolverState":
         return cls(
             hits=hits,
             alpha=alpha,
             combinations=tuple(combos),
             active=active.copy(),
+            bound_table=bound_table,
         )
 
     def restore(
@@ -107,6 +118,8 @@ def save_state(state: SolverState, path: "str | Path") -> None:
         "active": [int(i) for i in np.flatnonzero(state.active)],
         "n_samples": int(state.active.shape[0]),
     }
+    if state.bound_table is not None:
+        payload["bound_table"] = state.bound_table
     path = Path(path)
     tmp = path.with_name(path.name + ".tmp")
     telemetry = get_telemetry()
@@ -140,7 +153,11 @@ def load_state(path: "str | Path") -> SolverState:
         for c in raw["combinations"]
     )
     return SolverState(
-        hits=raw["hits"], alpha=raw["alpha"], combinations=combos, active=active
+        hits=raw["hits"],
+        alpha=raw["alpha"],
+        combinations=combos,
+        active=active,
+        bound_table=raw.get("bound_table"),
     )
 
 

@@ -45,6 +45,8 @@ def rank_best_combo(
     counters: "KernelCounters | None" = None,
     n_workers: int = 1,
     pool: "object | None" = None,
+    bounds: "object | None" = None,
+    iteration: int = 0,
 ) -> "MultiHitCombination | None":
     """Search the ``gpus_per_rank`` partitions owned by one MPI rank.
 
@@ -62,6 +64,12 @@ def rank_best_combo(
     partition's thread range on that process pool instead — each
     simulated GPU's range is itself cut equi-area across the workers.
     Partitions are walked serially, so counters stay supported.
+
+    ``bounds`` (a :class:`repro.core.bounds.BoundTable`) enables
+    lazy-greedy pruning, but only on the serial path: the table is a
+    plain mutable structure, so partitions searched concurrently
+    (``n_workers > 1``) or through an inner process pool run unpruned.
+    A partition whose range is not block-aligned also runs unpruned.
     """
     parts = [
         rank * gpus_per_rank + local
@@ -75,6 +83,11 @@ def rank_best_combo(
             return pool.best_combo(
                 tumor, normal, params, lam_start=lo, lam_end=hi, counters=counters
             )
+        part_bounds = (
+            bounds
+            if bounds is not None and n_workers == 1 and bounds.aligned(lo, hi)
+            else None
+        )
         return best_in_thread_range(
             schedule.scheme,
             schedule.g,
@@ -85,6 +98,8 @@ def rank_best_combo(
             hi,
             counters=counters if n_workers == 1 else None,
             memory=memory,
+            bounds=part_bounds,
+            iteration=iteration,
         )
 
     if pool is not None:
@@ -148,6 +163,10 @@ class DistributedEngine:
                 return equidistance_schedule(self.scheme, g, n_parts)
             raise ValueError(f"unknown scheduler {self.scheduler!r}")
 
+    def chunk_cuts(self, g: int) -> tuple[int, ...]:
+        """The schedule's partition boundaries (for bound-table alignment)."""
+        return tuple(self.build_schedule(g).boundaries)
+
     def best_combo(
         self,
         tumor: BitMatrix,
@@ -155,6 +174,8 @@ class DistributedEngine:
         params: FScoreParams,
         counters: "KernelCounters | None" = None,
         reduction_stats: "ReductionStats | None" = None,
+        bounds: "object | None" = None,
+        iteration: int = 0,
     ) -> "MultiHitCombination | None":
         """Full distributed arg-max: all ranks' results reduced at root.
 
@@ -177,7 +198,8 @@ class DistributedEngine:
             dead: list[int] = []
             for rank in range(self.n_nodes):
                 winner, alive = self._run_rank(
-                    schedule, rank, call, tumor, normal, params, counters, pool
+                    schedule, rank, call, tumor, normal, params, counters, pool,
+                    bounds, iteration,
                 )
                 if alive:
                     rank_winners.append(winner)
@@ -200,7 +222,8 @@ class DistributedEngine:
     # -- fault-tolerant rank execution ---------------------------------
 
     def _run_rank(
-        self, schedule, rank, call, tumor, normal, params, counters, pool
+        self, schedule, rank, call, tumor, normal, params, counters, pool,
+        bounds=None, iteration=0,
     ) -> "tuple[MultiHitCombination | None, bool]":
         """One rank's search under the retry policy.
 
@@ -250,6 +273,8 @@ class DistributedEngine:
                     counters=counters,
                     n_workers=self.n_workers,
                     pool=pool,
+                    bounds=bounds,
+                    iteration=iteration,
                 )
             wall = span.duration_s
             if policy.is_straggler(wall) or (
@@ -273,7 +298,10 @@ class DistributedEngine:
 
         The equi-area re-cut keeps the recovered work balanced; the
         pieces feed the same reduction as regular rank winners, so the
-        result cannot depend on which ranks died.
+        result cannot depend on which ranks died.  Rescheduled pieces
+        never align with the bound table's blocks, so they always run
+        unpruned — the stale bounds remain valid upper bounds for the
+        next iteration regardless.
         """
         tel = get_telemetry()
         survivors = [r for r in range(self.n_nodes) if r not in dead]

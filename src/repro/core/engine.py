@@ -6,11 +6,21 @@ share the same inner-loop extent), with each thread's fixed-gene rows
 AND-reduced once (the MemOpt prefetch) and broadcast against a table of
 inner-combination AND rows.  Scores are bit-exact with the sequential
 reference; ties resolve to the lexicographically smallest gene tuple.
+
+When a :class:`repro.core.bounds.BoundTable` is supplied the engine takes
+the lazy-greedy fast path instead: blocks are visited in descending
+stale-bound order, blocks whose stored bound cannot beat (or tie) the
+incumbent are skipped outright, and every block actually scored has its
+bound refreshed.  Because skipping requires the bound to be *strictly*
+below the incumbent F, and the incumbent is maintained with the
+tuple-comparing :func:`repro.core.combination.better`, the winner — F,
+TP, TN, and the lexicographic tie rule — is bit-identical to the
+unpruned scan regardless of visitation order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -30,8 +40,12 @@ _CHUNK_ELEMENTS = 1 << 22
 
 
 def _and_reduce_rows(matrix: BitMatrix, combos: np.ndarray) -> np.ndarray:
-    """AND-reduce matrix rows for each combination row; shape (B, W)."""
-    out = matrix.words[combos[:, 0]].copy()
+    """AND-reduce matrix rows for each combination row; shape (B, W).
+
+    The fancy-indexed gather already materializes a fresh array, so the
+    in-place ANDs below never touch the matrix rows themselves.
+    """
+    out = matrix.words[combos[:, 0]]
     for c in range(1, combos.shape[1]):
         np.bitwise_and(out, matrix.words[combos[:, c]], out=out)
     return out
@@ -43,7 +57,7 @@ def _lexmin_rows(rows: np.ndarray) -> np.ndarray:
     return rows[order[0]]
 
 
-def best_in_thread_range(
+def _scan_range(
     scheme: Scheme,
     g: int,
     tumor: BitMatrix,
@@ -51,39 +65,36 @@ def best_in_thread_range(
     params: FScoreParams,
     lam_start: int,
     lam_end: int,
-    counters: "KernelCounters | None" = None,
-    memory: "MemoryConfig | None" = None,
-) -> "MultiHitCombination | None":
-    """Best combination among those owned by threads ``[lam_start, lam_end)``.
+    best: "MultiHitCombination | None" = None,
+    inner_cache: "dict | None" = None,
+) -> tuple["MultiHitCombination | None", int, float]:
+    """Exhaustively score threads ``[lam_start, lam_end)``.
 
-    A thread owns every ``hits``-combination formed by its decoded
-    ``flattened``-tuple plus ``inner`` further genes above its top index.
+    Returns ``(best, scored, max_f)`` where ``best`` folds the supplied
+    incumbent in via the tuple-comparing tie rule (so callers may chain
+    scans over blocks in any order) and ``max_f`` is the exact maximum F
+    over the scanned range alone — the quantity a bound table stores.
+    ``inner_cache`` memoizes per-level inner AND tables across the blocks
+    of one call (the matrices are fixed within a call).
     """
-    if tumor.n_genes != g or normal.n_genes != g:
-        raise ValueError("matrix gene count must match g")
-    lam_end = min(lam_end, total_threads(scheme, g))
-    if lam_end <= lam_start:
-        return None
     f_ord = scheme.flattened
     d = scheme.inner
-
-    best: "MultiHitCombination | None" = None
-    scored = 0  # combinations scored by this call (traffic epilogue input)
+    scored = 0
+    max_f = float("-inf")
 
     if d == 0:
         # Threads == combinations: decode and score directly.  Traffic is
-        # metered once in the shared epilogue below, so the kernel's own
-        # word_reads metering is disabled here (passing ``counters`` would
-        # count the same reads a second time).
+        # metered by the caller, so the kernel's own word_reads metering
+        # is disabled here (passing counters would double-count).
         for start in range(lam_start, lam_end, _CHUNK_ELEMENTS):
             end = min(start + _CHUNK_ELEMENTS, lam_end)
             combos = combos_from_linear(np.arange(start, end), f_ord)
             fvals, tp, tn = score_combos(tumor, normal, combos, params, None)
             scored += int(fvals.size)
+            if fvals.size:
+                max_f = max(max_f, float(fvals.max()))
             best = better(best, best_of(combos, fvals, tp, tn))
-        return _metered(
-            best, scored, scheme, g, tumor, normal, lam_start, lam_end, counters, memory
-        )
+        return best, scored, max_f
 
     lo_top = int(top_index_array(np.asarray([lam_start]), f_ord)[0])
     hi_top = int(top_index_array(np.asarray([lam_end - 1]), f_ord)[0])
@@ -97,11 +108,17 @@ def best_in_thread_range(
         if n_inner_genes < d:
             continue  # threads at this level have empty inner loops
         # Inner-combination AND tables over genes (m+1 .. g-1).
-        inner = combos_from_linear(
-            np.arange(_n_combos(n_inner_genes, d)), d
-        ) + (m + 1)
-        inner_t = _and_reduce_rows(tumor, inner)
-        inner_n = _and_reduce_rows(normal, inner)
+        cached = inner_cache.get(m) if inner_cache is not None else None
+        if cached is None:
+            inner = combos_from_linear(
+                np.arange(_n_combos(n_inner_genes, d)), d
+            ) + (m + 1)
+            inner_t = _and_reduce_rows(tumor, inner)
+            inner_n = _and_reduce_rows(normal, inner)
+            if inner_cache is not None:
+                inner_cache[m] = (inner, inner_t, inner_n)
+        else:
+            inner, inner_t, inner_n = cached
         n_l = inner.shape[0]
         w = tumor.n_words + normal.n_words
         chunk = max(1, _CHUNK_ELEMENTS // max(1, n_l * max(w, 1)))
@@ -125,6 +142,7 @@ def best_in_thread_range(
             fvals = fscore(tp, tn, params)
             fmax = fvals.max()
             scored += int(fvals.size)
+            max_f = max(max_f, float(fmax))
             cand: "MultiHitCombination | None" = None
             if best is None or fmax >= best.f:
                 ties = np.argwhere(fvals == fmax)
@@ -146,9 +164,101 @@ def best_in_thread_range(
                 )
             best = better(best, cand)
 
+    return best, scored, max_f
+
+
+def best_in_thread_range(
+    scheme: Scheme,
+    g: int,
+    tumor: BitMatrix,
+    normal: BitMatrix,
+    params: FScoreParams,
+    lam_start: int,
+    lam_end: int,
+    counters: "KernelCounters | None" = None,
+    memory: "MemoryConfig | None" = None,
+    bounds: "object | None" = None,
+    iteration: int = 0,
+) -> "MultiHitCombination | None":
+    """Best combination among those owned by threads ``[lam_start, lam_end)``.
+
+    A thread owns every ``hits``-combination formed by its decoded
+    ``flattened``-tuple plus ``inner`` further genes above its top index.
+
+    ``bounds`` (a :class:`repro.core.bounds.BoundTable` whose block
+    boundaries align with this range) switches on the lazy-greedy pruned
+    path; the table is mutated in place — scored blocks are refreshed and
+    stamped with ``iteration``.  The winner is bit-identical either way;
+    only the work counters differ.
+    """
+    if tumor.n_genes != g or normal.n_genes != g:
+        raise ValueError("matrix gene count must match g")
+    lam_end = min(lam_end, total_threads(scheme, g))
+    if lam_end <= lam_start:
+        return None
+
+    if bounds is not None:
+        return _best_pruned(
+            scheme, g, tumor, normal, params, lam_start, lam_end,
+            bounds, iteration, counters, memory,
+        )
+
+    best, scored, _ = _scan_range(
+        scheme, g, tumor, normal, params, lam_start, lam_end
+    )
     return _metered(
         best, scored, scheme, g, tumor, normal, lam_start, lam_end, counters, memory
     )
+
+
+def _best_pruned(
+    scheme: Scheme,
+    g: int,
+    tumor: BitMatrix,
+    normal: BitMatrix,
+    params: FScoreParams,
+    lam_start: int,
+    lam_end: int,
+    bounds,
+    iteration: int,
+    counters: "KernelCounters | None",
+    memory: "MemoryConfig | None",
+) -> "MultiHitCombination | None":
+    """CELF-style block visitation: score high-bound blocks first, skip
+    the rest once the incumbent provably dominates them.
+
+    Soundness: a skipped block's stored bound is the exact maximum F it
+    achieved at some earlier iteration, F is non-increasing across
+    iterations (TP shrinks, TN is fixed, float rounding is monotone), and
+    skipping demands ``bound < incumbent.f`` *strictly* — so a skipped
+    block holds neither the winner nor an equal-F tie.
+    """
+    i0, i1 = bounds.block_slice(lam_start, lam_end)
+    w = tumor.n_words + normal.n_words
+    best: "MultiHitCombination | None" = None
+    inner_cache: dict = {}
+    for b in bounds.visit_order(i0, i1):
+        if best is not None and bounds.can_skip(b, best.f):
+            if counters is not None:
+                counters.blocks_skipped += 1
+                counters.combos_pruned += bounds.block_work(b)
+            continue
+        lo, hi = bounds.block_range(b)
+        best, scored, max_f = _scan_range(
+            scheme, g, tumor, normal, params, lo, hi, best, inner_cache
+        )
+        bounds.refresh(b, max_f, iteration)
+        if counters is not None:
+            counters.blocks_scanned += 1
+            counters.combos_scored += scored
+            counters.word_ops += scored * (scheme.hits - 1) * w
+            if memory is not None:
+                counters.word_reads += global_word_reads(
+                    scheme, g, w, lo, hi, memory
+                )
+            else:
+                counters.word_reads += scored * scheme.hits * w
+    return best
 
 
 def _metered(
@@ -202,7 +312,7 @@ class SingleGpuEngine:
     """
 
     scheme: Scheme
-    memory: MemoryConfig = MemoryConfig()
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
 
     def best_combo(
         self,
@@ -212,6 +322,8 @@ class SingleGpuEngine:
         lam_start: int = 0,
         lam_end: "int | None" = None,
         counters: "KernelCounters | None" = None,
+        bounds: "object | None" = None,
+        iteration: int = 0,
     ) -> "MultiHitCombination | None":
         g = tumor.n_genes
         if lam_end is None:
@@ -226,4 +338,6 @@ class SingleGpuEngine:
             lam_end,
             counters=counters,
             memory=self.memory,
+            bounds=bounds,
+            iteration=iteration,
         )

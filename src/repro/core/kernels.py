@@ -26,16 +26,28 @@ __all__ = ["KernelCounters", "score_combos", "best_of"]
 
 @dataclass
 class KernelCounters:
-    """Accumulated work / traffic counters for one kernel invocation chain."""
+    """Accumulated work / traffic counters for one kernel invocation chain.
+
+    The ``combos_pruned`` / ``blocks_*`` fields are populated only by the
+    lazy-greedy pruned engine path (:mod:`repro.core.bounds`); they ride
+    the same merge path as the scoring counters so pool workers and
+    distributed ranks report pruning effectiveness for free.
+    """
 
     combos_scored: int = 0
     word_reads: int = 0
     word_ops: int = 0
+    combos_pruned: int = 0
+    blocks_scanned: int = 0
+    blocks_skipped: int = 0
 
     def merge(self, other: "KernelCounters") -> None:
         self.combos_scored += other.combos_scored
         self.word_reads += other.word_reads
         self.word_ops += other.word_ops
+        self.combos_pruned += other.combos_pruned
+        self.blocks_scanned += other.blocks_scanned
+        self.blocks_skipped += other.blocks_skipped
 
 
 def score_combos(
@@ -59,11 +71,10 @@ def score_combos(
         empty = np.empty(0)
         return empty, empty.astype(np.int64), empty.astype(np.int64)
 
+    # The fancy-indexed gather already materializes fresh arrays, so the
+    # in-place ANDs below never clobber the matrix rows.
     t_and = tumor.words[combos[:, 0]]
     n_and = normal.words[combos[:, 0]]
-    # Copy before in-place AND so the matrix rows are never clobbered.
-    t_and = t_and.copy()
-    n_and = n_and.copy()
     for c in range(1, h):
         np.bitwise_and(t_and, tumor.words[combos[:, c]], out=t_and)
         np.bitwise_and(n_and, normal.words[combos[:, c]], out=n_and)

@@ -46,6 +46,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.bitmatrix.matrix import BitMatrix
+from repro.core.bounds import BoundTable
 from repro.core.combination import MultiHitCombination
 from repro.core.engine import best_in_thread_range
 from repro.core.fscore import FScoreParams
@@ -95,6 +96,12 @@ class _ChunkTask:
     memory: "MemoryConfig | None"
     fault: "FaultSpec | None" = None
     trace: bool = False  # worker records spans/metrics and ships them back
+    # Lazy-greedy pruning: the parent table's slice covering this chunk
+    # (BoundTable.slice_payload) and the greedy iteration stamp.  The
+    # worker prunes against the slice and ships refreshed bounds back as
+    # deltas in the result tuple.
+    bounds: "dict | None" = None
+    iteration: int = 0
 
 
 # Per-worker cache: segment name -> (SharedMemory handle, word-array view).
@@ -135,11 +142,12 @@ def _apply_worker_fault(spec: FaultSpec) -> None:
 def _search_chunk(task: _ChunkTask):
     """Worker-side: attach, search the λ range, return winner + accounting.
 
-    Returns ``(winner, counters, pid, wall_s, telemetry_state)``.  When
-    ``task.trace`` is set the worker records a ``scan_chunk`` span (and
-    chunk metrics) in a *fresh local* session — never the fork-inherited
-    global one — and ships the exported state back over this result
-    channel for the parent to merge.
+    Returns ``(winner, counters, pid, wall_s, telemetry_state, deltas)``
+    where ``deltas`` are the bound-table entries this chunk refreshed
+    (``None`` when pruning is off).  When ``task.trace`` is set the
+    worker records a ``scan_chunk`` span (and chunk metrics) in a *fresh
+    local* session — never the fork-inherited global one — and ships the
+    exported state back over this result channel for the parent to merge.
     """
     telemetry = Telemetry(enabled=task.trace)
     with telemetry.timed_span(
@@ -155,6 +163,9 @@ def _search_chunk(task: _ChunkTask):
             _attach(task.normal_name, task.normal_shape), task.normal_samples
         )
         counters = KernelCounters()
+        local_bounds = (
+            BoundTable.from_payload(task.bounds) if task.bounds is not None else None
+        )
         best = best_in_thread_range(
             task.scheme,
             task.g,
@@ -165,13 +176,18 @@ def _search_chunk(task: _ChunkTask):
             task.lam_end,
             counters=counters,
             memory=task.memory,
+            bounds=local_bounds,
+            iteration=task.iteration,
         )
+    deltas = (
+        local_bounds.deltas(task.iteration) if local_bounds is not None else None
+    )
     state = None
     if task.trace:
         telemetry.count("pool.worker_chunks")
         telemetry.observe("pool.chunk_wall_s", span.duration_s)
         state = telemetry.export_state()
-    return best, counters, os.getpid(), span.duration_s, state
+    return best, counters, os.getpid(), span.duration_s, state, deltas
 
 
 # -- per-run statistics --------------------------------------------------
@@ -451,17 +467,22 @@ class PoolEngine:
             kind, "pool", chunk, call, "inline-retry",
             attempt=policy.resubmits + 2,
         )
-        return self._recover_inline(
-            tumor, normal, params, task.lam_start, task.lam_end
-        ) + (True,)
+        return self._recover_inline(tumor, normal, params, task) + (True,)
 
-    def _recover_inline(self, tumor, normal, params, lo, hi):
+    def _recover_inline(self, tumor, normal, params, task: _ChunkTask):
         """Re-run a lost chunk in the parent (the guaranteed fallback).
 
         The ``scan_chunk`` span lands directly in the parent's session
-        (``inline=True``), so the shipped-state slot is ``None``.
+        (``inline=True``), so the shipped-state slot is ``None``.  The
+        chunk's bound slice is rebuilt from the task payload, exactly as
+        a worker would, so pruning (and the deltas shipped back) are
+        identical to the lost attempt's.
         """
+        lo, hi = task.lam_start, task.lam_end
         counters = KernelCounters()
+        local_bounds = (
+            BoundTable.from_payload(task.bounds) if task.bounds is not None else None
+        )
         with get_telemetry().timed_span(
             "scan_chunk", cat="pool", lam_start=lo, lam_end=hi, inline=True
         ) as span:
@@ -475,10 +496,28 @@ class PoolEngine:
                 hi,
                 counters=counters,
                 memory=self.memory,
+                bounds=local_bounds,
+                iteration=task.iteration,
             )
-        return best, counters, os.getpid(), span.duration_s, None
+        deltas = (
+            local_bounds.deltas(task.iteration)
+            if local_bounds is not None
+            else None
+        )
+        return best, counters, os.getpid(), span.duration_s, None, deltas
 
     # -- the arg-max ---------------------------------------------------
+
+    def chunk_cuts(self, g: int) -> tuple[int, ...]:
+        """The deterministic equi-area chunk boundaries of a full-grid call.
+
+        The solver merges these into its bound table's block boundaries
+        so every worker chunk is a whole number of λ-blocks.
+        """
+        total = total_threads(self.scheme, g)
+        return equiarea_range_boundaries(
+            self.scheme, g, 0, total, self.n_workers * self.chunks_per_worker
+        )
 
     def best_combo(
         self,
@@ -489,12 +528,20 @@ class PoolEngine:
         lam_end: "int | None" = None,
         counters: "KernelCounters | None" = None,
         stats: "PoolStats | None" = None,
+        bounds: "BoundTable | None" = None,
+        iteration: int = 0,
     ) -> "MultiHitCombination | None":
         """Pooled arg-max over ``[lam_start, lam_end)``.
 
         Bit-exact with :class:`SingleGpuEngine` over the same range: the
         per-chunk winners are reduced with the library-wide tie rule, so
         worker count and chunk boundaries never change the result.
+
+        ``bounds`` enables lazy-greedy pruning: each chunk task carries
+        the parent table's slice for its λ-range, workers prune against
+        it, and refreshed bounds come back as per-chunk deltas that are
+        folded into the parent table here.  A chunk whose range does not
+        align with the table's blocks simply runs unpruned.
         """
         g = tumor.n_genes
         if normal.n_genes != g:
@@ -517,13 +564,13 @@ class PoolEngine:
         if stats is not None:
             stats.n_workers = self.n_workers
 
-        bounds = equiarea_range_boundaries(
+        cuts = equiarea_range_boundaries(
             self.scheme, g, lam_start, lam_end, self.n_workers * self.chunks_per_worker
         )
         ranges = [
-            (bounds[i], bounds[i + 1])
-            for i in range(len(bounds) - 1)
-            if bounds[i + 1] > bounds[i]
+            (cuts[i], cuts[i + 1])
+            for i in range(len(cuts) - 1)
+            if cuts[i + 1] > cuts[i]
         ]
 
         t_name = self._publish("tumor", tumor, stats)
@@ -548,6 +595,12 @@ class PoolEngine:
                     else None
                 ),
                 trace=tel.enabled,
+                bounds=(
+                    bounds.slice_payload(lo, hi)
+                    if bounds is not None and bounds.aligned(lo, hi)
+                    else None
+                ),
+                iteration=iteration,
             )
             for i, (lo, hi) in enumerate(ranges)
         ]
@@ -579,10 +632,12 @@ class PoolEngine:
         winners: list["MultiHitCombination | None"] = []
         for i, (
             (lo, hi),
-            (best, chunk_counters, pid, wall, tel_state, retried),
+            (best, chunk_counters, pid, wall, tel_state, deltas, retried),
         ) in enumerate(zip(ranges, results)):
             winners.append(best)
             tel.absorb_state(tel_state)
+            if bounds is not None and deltas:
+                bounds.apply_deltas(deltas, iteration)
             if counters is not None:
                 counters.merge(chunk_counters)
             if not retried and self.retry_policy.is_straggler(wall):

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.bitmatrix.matrix import BitMatrix
 from repro.bitmatrix.splicing import splice_columns
+from repro.core.bounds import BoundTable
 from repro.core.combination import MultiHitCombination
 from repro.core.distributed import DistributedEngine
 from repro.core.engine import SingleGpuEngine
@@ -35,7 +36,12 @@ __all__ = ["IterationRecord", "MultiHitResult", "MultiHitSolver"]
 
 @dataclass(frozen=True)
 class IterationRecord:
-    """What one greedy iteration saw and chose."""
+    """What one greedy iteration saw and chose.
+
+    ``combos_scored`` / ``combos_pruned`` / ``word_reads`` are this
+    iteration's deltas of the run counters — the per-iteration pruning
+    trajectory the ``BENCH_greedy`` report plots.
+    """
 
     iteration: int
     combination: MultiHitCombination
@@ -44,6 +50,9 @@ class IterationRecord:
     remaining_after: int
     tumor_words: int
     wall_seconds: float
+    combos_scored: int = 0
+    combos_pruned: int = 0
+    word_reads: int = 0
 
 
 @dataclass
@@ -105,6 +114,18 @@ class MultiHitSolver:
         Fault-tolerance knobs forwarded to the pool / distributed
         engine; detected faults and recovery actions come back on
         ``result.fault_report``.
+    prune:
+        Switch on the lazy-greedy pruned iteration engine: a persistent
+        per-λ-block :class:`repro.core.bounds.BoundTable` lets every
+        iteration after the first skip blocks whose previous best F
+        cannot beat (or tie) the incumbent, and the scoring scan runs on
+        a column-compacted tumor matrix.  Results are bit-identical to
+        the unpruned engine on every backend; only the work counters
+        (and wall time) change.  Ignored by the ``"sequential"`` oracle.
+    prune_blocks:
+        Target λ-block count for the bound table (finer blocks prune
+        more combinations at slightly more bookkeeping); the backend's
+        chunk/partition cuts are merged in on top.
     """
 
     hits: int = 4
@@ -118,6 +139,8 @@ class MultiHitSolver:
     max_iterations: "int | None" = None
     fault_plan: "FaultPlan | None" = None
     retry_policy: "RetryPolicy | None" = None
+    prune: bool = False
+    prune_blocks: int = 64
 
     def __post_init__(self) -> None:
         if self.hits < 2:
@@ -132,6 +155,8 @@ class MultiHitSolver:
             raise ValueError(f"unknown backend {self.backend!r}")
         if self.n_workers < 1:
             raise ValueError("n_workers must be >= 1")
+        if self.prune_blocks < 1:
+            raise ValueError("prune_blocks must be >= 1")
 
     # -- per-iteration arg-max ----------------------------------------
 
@@ -143,6 +168,8 @@ class MultiHitSolver:
         counters: KernelCounters,
         pool: "object | None" = None,
         dist: "DistributedEngine | None" = None,
+        bounds: "BoundTable | None" = None,
+        iteration: int = 0,
     ) -> "MultiHitCombination | None":
         if tumor.n_samples == 0:
             return None
@@ -151,11 +178,20 @@ class MultiHitSolver:
                 tumor.to_dense(), normal.to_dense(), self.hits, params
             )
         if self.backend == "pool":
-            return pool.best_combo(tumor, normal, params, counters=counters)
+            return pool.best_combo(
+                tumor, normal, params, counters=counters,
+                bounds=bounds, iteration=iteration,
+            )
         if self.backend == "single":
             engine = SingleGpuEngine(scheme=self.scheme, memory=self.memory)
-            return engine.best_combo(tumor, normal, params, counters=counters)
-        return dist.best_combo(tumor, normal, params, counters=counters)
+            return engine.best_combo(
+                tumor, normal, params, counters=counters,
+                bounds=bounds, iteration=iteration,
+            )
+        return dist.best_combo(
+            tumor, normal, params, counters=counters,
+            bounds=bounds, iteration=iteration,
+        )
 
     # -- greedy loop ---------------------------------------------------
 
@@ -196,11 +232,7 @@ class MultiHitSolver:
 
         if resume is not None:
             combos, active = resume.restore(tumor, self.hits, params)
-            if self.memory.bitsplice:
-                work = splice_columns(tumor, active)
-            else:
-                mask = tumor.sample_mask_to_words(active)
-                work = BitMatrix(tumor.words & mask[None, :], tumor.n_samples)
+            work = self._compact(tumor, active)
 
         pool = None
         dist = None
@@ -231,12 +263,14 @@ class MultiHitSolver:
             )
         tel = get_telemetry()
         try:
+            table = self._build_bound_table(tumor.n_genes, pool, dist, resume)
             with tel.span(
-                "solve", cat="solver", backend=self.backend, hits=self.hits
+                "solve", cat="solver", backend=self.backend, hits=self.hits,
+                prune=self.prune,
             ):
                 result = self._greedy_loop(
                     tumor, normal, params, counters, combos, records, work, active,
-                    on_iteration, pool, dist,
+                    on_iteration, pool, dist, table,
                 )
             if pool is not None:
                 result.fault_report = pool.report
@@ -249,20 +283,76 @@ class MultiHitSolver:
                 tel.count("solver.combinations", len(result.combinations))
                 tel.set_gauge("solver.coverage", result.coverage)
                 tel.set_gauge("solver.uncovered", result.uncovered)
+                if self.prune:
+                    examined = counters.combos_scored + counters.combos_pruned
+                    tel.set_gauge(
+                        "prune.hit_rate",
+                        counters.combos_pruned / examined if examined else 0.0,
+                    )
             return result
         finally:
             if pool is not None:
                 pool.close()
 
+    # -- lazy-greedy machinery -----------------------------------------
+
+    def _build_bound_table(
+        self, g: int, pool, dist, resume
+    ) -> "BoundTable | None":
+        """Create (or adopt from a checkpoint) the run's bound table.
+
+        The backend's chunk/partition cuts are merged into the block
+        boundaries so every range a backend searches is a whole number
+        of blocks.  A persisted table is adopted only when it describes
+        the identical grid and blocks; otherwise it is silently dropped
+        — the table is a cache, and starting stale merely costs rescans.
+        """
+        if not self.prune or self.backend == "sequential":
+            return None
+        cuts = None
+        if pool is not None:
+            cuts = pool.chunk_cuts(g)
+        elif dist is not None:
+            cuts = dist.chunk_cuts(g)
+        with get_telemetry().span(
+            "prune.table_build", cat="solver", n_blocks=self.prune_blocks
+        ):
+            table = BoundTable.build(
+                self.scheme, g, cuts=cuts, n_blocks=self.prune_blocks
+            )
+        persisted = getattr(resume, "bound_table", None)
+        if persisted is not None:
+            restored = BoundTable.from_payload(persisted)
+            if restored.matches(table):
+                table = restored
+        return table
+
+    def _compact(self, tumor: BitMatrix, active: np.ndarray) -> BitMatrix:
+        """The scoring matrix for the current ``active`` set.
+
+        Pruned runs always repack the uncovered columns into a narrower
+        matrix (less word traffic, narrower popcounts); unpruned runs
+        honor the splice-vs-mask ablation knob.
+        """
+        if self.prune or self.memory.bitsplice:
+            return splice_columns(tumor, active)
+        mask = tumor.sample_mask_to_words(active)
+        return BitMatrix(tumor.words & mask[None, :], tumor.n_samples)
+
+    # -- greedy loop ---------------------------------------------------
+
     def _greedy_loop(
         self, tumor, normal, params, counters, combos, records, work, active,
-        on_iteration, pool, dist,
+        on_iteration, pool, dist, table,
     ) -> MultiHitResult:
         tel = get_telemetry()
         while active.any():
             if self.max_iterations is not None and len(combos) >= self.max_iterations:
                 break
             remaining_before = int(active.sum())
+            scored_0 = counters.combos_scored
+            pruned_0 = counters.combos_pruned
+            reads_0 = counters.word_reads
             # The span is the timing source: `timed_span` measures wall
             # time even with telemetry disabled, so `wall_seconds` keeps
             # its meaning (the arg-max wall clock) on every run.
@@ -272,14 +362,22 @@ class MultiHitSolver:
                 iteration=len(combos) + 1,
                 remaining=remaining_before,
             ) as span:
-                best = self._best(work, normal, params, counters, pool, dist)
+                best = self._best(
+                    work, normal, params, counters, pool, dist,
+                    bounds=table, iteration=len(combos),
+                )
             dt = span.duration_s
             if best is None or best.tp == 0:
                 break
             combos.append(best)
             covered_now = tumor.samples_with_all(best.genes) & active
             active &= ~covered_now
-            if self.memory.bitsplice:
+            if self.prune:
+                with tel.span(
+                    "prune.compact", cat="solver", width_before=work.n_words
+                ):
+                    work = self._compact(tumor, active)
+            elif self.memory.bitsplice:
                 covered_local = work.samples_with_all(best.genes)
                 work = splice_columns(work, ~covered_local)
             else:
@@ -297,13 +395,21 @@ class MultiHitSolver:
                     remaining_after=int(active.sum()),
                     tumor_words=work.n_words,
                     wall_seconds=dt,
+                    combos_scored=counters.combos_scored - scored_0,
+                    combos_pruned=counters.combos_pruned - pruned_0,
+                    word_reads=counters.word_reads - reads_0,
                 )
             )
             if on_iteration is not None:
                 from repro.core.checkpoint import SolverState
 
                 on_iteration(
-                    SolverState.capture(self.hits, self.alpha, combos, active)
+                    SolverState.capture(
+                        self.hits, self.alpha, combos, active,
+                        bound_table=(
+                            table.to_payload() if table is not None else None
+                        ),
+                    )
                 )
         return MultiHitResult(
             combinations=combos,

@@ -32,6 +32,9 @@ def result_to_dict(result: MultiHitResult) -> dict:
             "combos_scored": result.counters.combos_scored,
             "word_reads": result.counters.word_reads,
             "word_ops": result.counters.word_ops,
+            "combos_pruned": result.counters.combos_pruned,
+            "blocks_scanned": result.counters.blocks_scanned,
+            "blocks_skipped": result.counters.blocks_skipped,
         },
         "combinations": [
             {"genes": list(c.genes), "f": c.f, "tp": c.tp, "tn": c.tn}
@@ -46,6 +49,9 @@ def result_to_dict(result: MultiHitResult) -> dict:
                 "remaining_after": r.remaining_after,
                 "tumor_words": r.tumor_words,
                 "wall_seconds": r.wall_seconds,
+                "combos_scored": r.combos_scored,
+                "combos_pruned": r.combos_pruned,
+                "word_reads": r.word_reads,
             }
             for r in result.iterations
         ],
@@ -76,6 +82,9 @@ def load_result(path: "str | Path") -> MultiHitResult:
             remaining_after=r["remaining_after"],
             tumor_words=r["tumor_words"],
             wall_seconds=r["wall_seconds"],
+            combos_scored=r.get("combos_scored", 0),
+            combos_pruned=r.get("combos_pruned", 0),
+            word_reads=r.get("word_reads", 0),
         )
         for r in raw["iterations"]
     ]

@@ -89,10 +89,19 @@ class MetricsRegistry:
     # -- absorption of existing accounting streams ---------------------
 
     def absorb_kernel_counters(self, counters, prefix: str = "kernel") -> None:
-        """Fold a :class:`repro.core.kernels.KernelCounters` in."""
+        """Fold a :class:`repro.core.kernels.KernelCounters` in.
+
+        The pruning fields land under ``prune.*`` (not ``{prefix}.*``):
+        they describe the lazy-greedy engine's behavior, not kernel
+        traffic, and are only emitted when the pruned path actually ran.
+        """
         self.inc(f"{prefix}.combos_scored", counters.combos_scored)
         self.inc(f"{prefix}.word_reads", counters.word_reads)
         self.inc(f"{prefix}.word_ops", counters.word_ops)
+        if counters.blocks_scanned or counters.blocks_skipped:
+            self.inc("prune.combos_pruned", counters.combos_pruned)
+            self.inc("prune.blocks_skipped", counters.blocks_skipped)
+            self.inc("prune.blocks_scanned", counters.blocks_scanned)
 
     def record_fault_event(self, kind: str, site: str, action: str) -> None:
         """Live routing target for :meth:`repro.faults.FaultReport.record`."""
