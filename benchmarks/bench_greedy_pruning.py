@@ -73,6 +73,13 @@ def test_greedy_pruning_trajectory(benchmark, show, bench_summary):
                 "wall_seconds_pruned": sum(
                     r.wall_seconds for r in pruned.iterations
                 ),
+                # Kernel-counter run totals, including the final probe
+                # iteration that breaks the loop without a record: must
+                # equal the summary's ``prune`` rollup (fed from the
+                # solver's per-iteration histogram observations) — the
+                # cross-check tests hold these two accountings equal.
+                "combos_scored_total_pruned": pruned.counters.combos_scored,
+                "combos_pruned_total": pruned.counters.combos_pruned,
                 "trajectory_unpruned": _trajectory(base),
                 "trajectory_pruned": _trajectory(pruned),
             },

@@ -73,6 +73,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-telemetry", action="store_true",
         help="disable tracing/metrics collection entirely",
     )
+    p_solve.add_argument(
+        "--flight-recorder", type=str, default=None, metavar="DIR",
+        help="attach the flight recorder; post-mortem black-box JSON dumps "
+             "land in DIR on rank/worker failure or solver crash",
+    )
+    p_solve.add_argument(
+        "--prom-port", type=int, default=None, metavar="PORT",
+        help="serve Prometheus /metrics and /healthz on 127.0.0.1:PORT "
+             "for the duration of the solve (0 picks a free port)",
+    )
+    p_solve.add_argument(
+        "--progress", action="store_true",
+        help="live single-line progress/ETA status on stderr",
+    )
+    p_solve.add_argument(
+        "--quiet", action="store_true",
+        help="suppress informational messages; the machine-readable result "
+             "listing on stdout is unchanged",
+    )
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p_exp.add_argument("name", help="experiment id ('list' to enumerate, 'all' to run every one)")
@@ -108,10 +127,45 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_solve(args: argparse.Namespace) -> int:
-    from repro.telemetry import telemetry_session
+def _note(args: argparse.Namespace, message: str) -> None:
+    """Informational output: stderr, silenced by ``--quiet``.
 
-    with telemetry_session(enabled=not args.no_telemetry) as telemetry:
+    The machine-readable result listing stays on stdout so piping
+    ``multihit solve`` into a parser keeps working regardless of these.
+    """
+    if not getattr(args, "quiet", False):
+        print(message, file=sys.stderr)
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from contextlib import ExitStack
+
+    from repro.telemetry import (
+        FlightRecorder,
+        MetricsServer,
+        ProgressMonitor,
+        telemetry_session,
+    )
+
+    with ExitStack() as stack:
+        telemetry = stack.enter_context(
+            telemetry_session(enabled=not args.no_telemetry)
+        )
+        if args.flight_recorder:
+            telemetry.attach_flight(FlightRecorder(out_dir=args.flight_recorder))
+            _note(args, f"flight recorder armed: {args.flight_recorder}")
+        if args.prom_port is not None:
+            server = stack.enter_context(
+                MetricsServer(telemetry=telemetry, port=args.prom_port)
+            )
+            _note(args, f"metrics: {server.url}/metrics")
+        if args.progress and not args.no_telemetry:
+            stack.enter_context(
+                ProgressMonitor(
+                    telemetry=telemetry,
+                    stream=None if args.quiet else sys.stderr,
+                )
+            )
         code = _run_solve(args, telemetry)
         if not args.no_telemetry:
             _export_telemetry(args, telemetry)
@@ -148,7 +202,7 @@ def _run_solve(args: argparse.Namespace, telemetry) -> int:
         from repro.core.checkpoint import solve_with_checkpoints
 
         if Path(args.checkpoint).exists():
-            print(f"resuming from checkpoint {args.checkpoint}")
+            _note(args, f"resuming from checkpoint {args.checkpoint}")
         result = solve_with_checkpoints(
             solver,
             cohort.tumor.values,
@@ -172,7 +226,7 @@ def _run_solve(args: argparse.Namespace, telemetry) -> int:
         from repro.io.results import save_result
 
         save_result(result, args.output)
-        print(f"result written to {args.output}")
+        _note(args, f"result written to {args.output}")
     return 0
 
 
@@ -184,7 +238,7 @@ def _export_telemetry(args: argparse.Namespace, telemetry) -> None:
             write_jsonl(args.trace_out, telemetry)
         else:
             write_chrome_trace(args.trace_out, telemetry)
-        print(f"trace written to {args.trace_out}")
+        _note(args, f"trace written to {args.trace_out}")
     if args.metrics_out:
         write_summary(
             args.metrics_out,
@@ -192,7 +246,7 @@ def _export_telemetry(args: argparse.Namespace, telemetry) -> None:
             telemetry=telemetry,
             extra={"backend": args.backend, "seed": args.seed},
         )
-        print(f"metrics summary written to {args.metrics_out}")
+        _note(args, f"metrics summary written to {args.metrics_out}")
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:

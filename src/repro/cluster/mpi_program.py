@@ -255,5 +255,28 @@ def spmd_best_combo(
                     attempt=restarts,
                     detail=f"world restarted on {len(survivors)} survivors",
                 )
+            telemetry = get_telemetry()
+            if telemetry.flight is not None:
+                # Post-reschedule black box: the assignments section now
+                # names each survivor's inherited λ-ranges, so the dump
+                # answers "who picked up the dead ranks' work".
+                telemetry.flight.set_assignments(
+                    "spmd",
+                    [
+                        {
+                            "survivor": r,
+                            "extra_ranges": [
+                                {"lam_start": lo, "lam_end": hi}
+                                for lo, hi in new_extra[r]
+                            ],
+                            "call": call,
+                        }
+                        for r in survivors
+                    ],
+                )
+                telemetry.flight.dump(
+                    "rank-restart", exc=err, telemetry=telemetry,
+                    fault_report=report,
+                )
             live = survivors
             extra = new_extra

@@ -111,11 +111,19 @@ class SPMDRunner:
         primary = failures or aborted_peers
         if primary:
             err = RankFailedError(primary)
+            # Dump the black box before the exception leaves the runner:
+            # the failed ranks' final spans are already on the ring (a
+            # span is recorded on __exit__ even when its body raised).
+            if telemetry.flight is not None:
+                telemetry.flight.dump(
+                    "rank-failed", exc=err, telemetry=telemetry
+                )
             raise err from primary[0][1]
         return results
 
     def _supervise(self, world, threads, failures, lock) -> None:
         """Poll threads until completion, abort, or heartbeat deadline."""
+        telemetry = get_telemetry()
         while any(t.is_alive() for t in threads):
             if world.aborted:
                 # Give survivors a bounded window to observe the abort
@@ -129,6 +137,21 @@ class SPMDRunner:
                 break
             if self.heartbeat_timeout_s is not None:
                 now = time.monotonic()
+                if telemetry.enabled:
+                    # Liveness gauges at the detector's own poll cadence:
+                    # the progress monitor reads the max to flag a world
+                    # whose ranks have gone quiet before the deadline
+                    # actually trips.
+                    stalest = 0.0
+                    for r, t in enumerate(threads):
+                        if not t.is_alive():
+                            continue
+                        stale = now - world.heartbeats[r]
+                        stalest = max(stalest, stale)
+                        telemetry.set_gauge(
+                            f"spmd.heartbeat_stale_s.rank{r}", stale
+                        )
+                    telemetry.set_gauge("spmd.heartbeat_stale_s.max", stalest)
                 for r, t in enumerate(threads):
                     if (
                         t.is_alive()

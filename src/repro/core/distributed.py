@@ -186,6 +186,28 @@ class DistributedEngine:
         call = self._calls
         self._calls += 1
         schedule = self.build_schedule(tumor.n_genes)
+        tel = get_telemetry()
+        if tel.flight is not None:
+            tel.flight.set_assignments(
+                "distributed",
+                [
+                    {
+                        "rank": rank,
+                        "partitions": [
+                            {
+                                "part": p,
+                                "lam_start": schedule.thread_range(p)[0],
+                                "lam_end": schedule.thread_range(p)[1],
+                            }
+                            for p in rank_partitions(
+                                schedule, rank, self.gpus_per_node
+                            )
+                        ],
+                        "call": call,
+                    }
+                    for rank in range(self.n_nodes)
+                ],
+            )
         pool = None
         if self.pool_workers > 0:
             from repro.core.pool import PoolEngine
@@ -211,6 +233,14 @@ class DistributedEngine:
                         schedule, dead, call, tumor, normal, params, counters
                     )
                 )
+                # The black box for a survived failure: dumped *after*
+                # rescheduling so it shows both the dead ranks and the
+                # λ-ranges that were re-cut onto survivors.
+                if tel.flight is not None:
+                    tel.flight.dump(
+                        "rank-rescheduled", telemetry=tel,
+                        fault_report=self.report,
+                    )
             with get_telemetry().span(
                 "reduce", cat="distributed", candidates=len(rank_winners)
             ):

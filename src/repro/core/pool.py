@@ -408,7 +408,8 @@ class PoolEngine:
 
     def _note_failure(self, exc: BaseException) -> None:
         """Bookkeeping common to every detected chunk loss."""
-        get_telemetry().count("pool.degraded")
+        tel = get_telemetry()
+        tel.count("pool.degraded")
         if not self._warned:
             self._warned = True
             warnings.warn(
@@ -417,6 +418,13 @@ class PoolEngine:
                 PoolDegradedWarning,
                 stacklevel=4,
             )
+            # First degradation of the run: snapshot the black box while
+            # the timeline still shows the healthy-to-degraded edge.
+            if tel.flight is not None:
+                tel.flight.dump(
+                    "pool-degraded", exc=exc, telemetry=tel,
+                    fault_report=self.report,
+                )
         if isinstance(exc, TimeoutError):
             self._timed_out = True
         if isinstance(exc, BrokenExecutor) and self._pool is not None:
@@ -505,6 +513,23 @@ class PoolEngine:
             else None
         )
         return best, counters, os.getpid(), span.duration_s, None, deltas
+
+    def _ingest(self, result, tel):
+        """Merge one chunk result into the live session as it arrives.
+
+        Worker spans/metrics are absorbed (and progress counters fed)
+        here — in future-resolution order, not after the whole call —
+        so a concurrent ``/metrics`` scrape or progress monitor sees
+        per-chunk movement mid-iteration.  The later partition-order
+        loop only merges kernel counters and bound deltas, keeping
+        those bit-deterministic.
+        """
+        _, chunk_counters, _, _, tel_state, _, _ = result
+        tel.absorb_state(tel_state)
+        if tel.enabled:
+            tel.count("progress.combos_scored", chunk_counters.combos_scored)
+            tel.count("progress.combos_pruned", chunk_counters.combos_pruned)
+        return result
 
     # -- the arg-max ---------------------------------------------------
 
@@ -605,14 +630,26 @@ class PoolEngine:
             for i, (lo, hi) in enumerate(ranges)
         ]
 
+        if tel.flight is not None:
+            tel.flight.set_assignments(
+                "pool",
+                [
+                    {"chunk": i, "lam_start": lo, "lam_end": hi, "call": call}
+                    for i, (lo, hi) in enumerate(ranges)
+                ],
+            )
+
         pool = self._ensure_pool()
         try:
             futures = [pool.submit(_search_chunk, task) for task in tasks]
         except BrokenExecutor as exc:  # pragma: no cover - submit-time break
             futures = None
             results = [
-                self._recover_chunk(
-                    exc, i, call, task, tumor, normal, params, timeout
+                self._ingest(
+                    self._recover_chunk(
+                        exc, i, call, task, tumor, normal, params, timeout
+                    ),
+                    tel,
                 )
                 for i, task in enumerate(tasks)
             ]
@@ -620,13 +657,12 @@ class PoolEngine:
             results = []
             for i, (fut, task) in enumerate(zip(futures, tasks)):
                 try:
-                    results.append(fut.result(timeout=timeout) + (False,))
+                    result = fut.result(timeout=timeout) + (False,)
                 except (BrokenExecutor, TimeoutError, OSError) as exc:
-                    results.append(
-                        self._recover_chunk(
-                            exc, i, call, task, tumor, normal, params, timeout
-                        )
+                    result = self._recover_chunk(
+                        exc, i, call, task, tumor, normal, params, timeout
                     )
+                results.append(self._ingest(result, tel))
 
         prefix = work_prefix_by_level(self.scheme, g)
         winners: list["MultiHitCombination | None"] = []
@@ -635,7 +671,6 @@ class PoolEngine:
             (best, chunk_counters, pid, wall, tel_state, deltas, retried),
         ) in enumerate(zip(ranges, results)):
             winners.append(best)
-            tel.absorb_state(tel_state)
             if bounds is not None and deltas:
                 bounds.apply_deltas(deltas, iteration)
             if counters is not None:
@@ -662,5 +697,10 @@ class PoolEngine:
         if tel.enabled:
             tel.count("pool.chunks", len(ranges))
             tel.count("pool.calls")
+        if tel.flight is not None:
+            # One registry snapshot per arg-max call: the black box's
+            # metric trail, sampled at the call cadence rather than on a
+            # timer so replay lines up with the span timeline.
+            tel.flight.record_metrics(tel.metrics)
         with tel.span("reduce", cat="pool", candidates=len(winners)):
             return multi_stage_reduce(winners)

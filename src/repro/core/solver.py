@@ -11,6 +11,7 @@ is not.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -263,15 +264,31 @@ class MultiHitSolver:
             )
         tel = get_telemetry()
         try:
-            table = self._build_bound_table(tumor.n_genes, pool, dist, resume)
-            with tel.span(
-                "solve", cat="solver", backend=self.backend, hits=self.hits,
-                prune=self.prune,
-            ):
-                result = self._greedy_loop(
-                    tumor, normal, params, counters, combos, records, work, active,
-                    on_iteration, pool, dist, table,
-                )
+            try:
+                table = self._build_bound_table(tumor.n_genes, pool, dist, resume)
+                with tel.span(
+                    "solve", cat="solver", backend=self.backend, hits=self.hits,
+                    prune=self.prune,
+                ):
+                    result = self._greedy_loop(
+                        tumor, normal, params, counters, combos, records, work,
+                        active, on_iteration, pool, dist, table,
+                    )
+            except Exception as exc:
+                # Post-mortem black box for a run that dies mid-solve:
+                # the recent span timeline, the registry snapshot, the
+                # fault report so far, and the active λ assignments.
+                if tel.flight is not None:
+                    report = None
+                    if pool is not None:
+                        report = pool.report
+                    elif dist is not None:
+                        report = dist.report
+                    tel.flight.dump(
+                        "solver-exception", exc=exc, telemetry=tel,
+                        fault_report=report,
+                    )
+                raise
             if pool is not None:
                 result.fault_report = pool.report
             elif dist is not None:
@@ -346,6 +363,14 @@ class MultiHitSolver:
         on_iteration, pool, dist, table,
     ) -> MultiHitResult:
         tel = get_telemetry()
+        if tel.enabled:
+            # Live-progress plumbing: every iteration scans the same
+            # C(g, hits) grid (scored + pruned partitions it), so the
+            # scheduled gauge plus the running scored/pruned counters
+            # give the monitor an in-iteration completion fraction.
+            tel.set_gauge(
+                "progress.combos_scheduled", math.comb(tumor.n_genes, self.hits)
+            )
         while active.any():
             if self.max_iterations is not None and len(combos) >= self.max_iterations:
                 break
@@ -353,6 +378,14 @@ class MultiHitSolver:
             scored_0 = counters.combos_scored
             pruned_0 = counters.combos_pruned
             reads_0 = counters.word_reads
+            if tel.enabled:
+                tel.set_gauge("progress.iteration", len(combos) + 1)
+                live = tel.metrics.counters
+                tel.set_gauge(
+                    "progress.iteration_base",
+                    live.get("progress.combos_scored", 0)
+                    + live.get("progress.combos_pruned", 0),
+                )
             # The span is the timing source: `timed_span` measures wall
             # time even with telemetry disabled, so `wall_seconds` keeps
             # its meaning (the arg-max wall clock) on every run.
@@ -367,6 +400,18 @@ class MultiHitSolver:
                     bounds=table, iteration=len(combos),
                 )
             dt = span.duration_s
+            iter_scored = counters.combos_scored - scored_0
+            iter_pruned = counters.combos_pruned - pruned_0
+            if tel.enabled:
+                # The pool backend live-feeds progress.* per chunk as
+                # futures resolve; every other backend reports here,
+                # once per iteration, so the totals never double-count.
+                if self.backend != "pool":
+                    tel.count("progress.combos_scored", iter_scored)
+                    tel.count("progress.combos_pruned", iter_pruned)
+                if self.prune:
+                    tel.observe("prune.iteration_combos_scored", iter_scored)
+                    tel.observe("prune.iteration_combos_pruned", iter_pruned)
             if best is None or best.tp == 0:
                 break
             combos.append(best)
@@ -395,8 +440,8 @@ class MultiHitSolver:
                     remaining_after=int(active.sum()),
                     tumor_words=work.n_words,
                     wall_seconds=dt,
-                    combos_scored=counters.combos_scored - scored_0,
-                    combos_pruned=counters.combos_pruned - pruned_0,
+                    combos_scored=iter_scored,
+                    combos_pruned=iter_pruned,
                     word_reads=counters.word_reads - reads_0,
                 )
             )

@@ -76,11 +76,16 @@ class FaultReport:
             )
         )
         # Live-route every fault/recovery event into the telemetry
-        # metrics registry so degraded runs show up in exported
-        # summaries, not only in this report object.
+        # metrics registry (so degraded runs show up in exported
+        # summaries) and onto the flight recorder's ring (so the black
+        # box shows the fault sequence leading up to a dump).
         telemetry = get_telemetry()
         if telemetry.enabled:
             telemetry.metrics.record_fault_event(kind, site, action)
+        if telemetry.flight is not None:
+            telemetry.flight.record_fault(
+                kind, site, target, call, action, detail=detail
+            )
 
     def record_reschedule(
         self, dead_rank: int, survivor: int, lam_start: int, lam_end: int, call: int = 0
@@ -94,7 +99,17 @@ class FaultReport:
                 call=call,
             )
         )
-        get_telemetry().count("faults.rescheduled_ranges")
+        telemetry = get_telemetry()
+        telemetry.count("faults.rescheduled_ranges")
+        if telemetry.flight is not None:
+            telemetry.flight.note(
+                "reschedule",
+                dead_rank=dead_rank,
+                survivor=survivor,
+                lam_start=lam_start,
+                lam_end=lam_end,
+                call=call,
+            )
 
     def merge(self, other: "FaultReport") -> None:
         self.events.extend(other.events)

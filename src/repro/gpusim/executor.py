@@ -142,9 +142,21 @@ class BlockKernelExecutor:
                 )
                 if spec is not None:
                     if spec.kind == "crash":
-                        raise FaultInjected(
+                        exc = FaultInjected(
                             f"injected device crash in block {block_id}"
                         )
+                        # Dead device: dump before unwinding, while the
+                        # ring still holds this launch's block spans.
+                        if telemetry.flight is not None:
+                            telemetry.flight.record_fault(
+                                "crash", "gpu", block_id, call, "raised",
+                                detail=str(exc),
+                            )
+                            telemetry.flight.dump(
+                                "gpu-crash", exc=exc, telemetry=telemetry,
+                                fault_report=self.report,
+                            )
+                        raise exc
                     if spec.kind == "straggler":
                         result = replace(
                             result, cycles=result.cycles * spec.slowdown

@@ -29,6 +29,7 @@ from repro.telemetry.session import (
 from repro.telemetry.spans import NOOP_SPAN, Span, Stopwatch, Tracer
 from repro.telemetry.export import (
     SUMMARY_SCHEMA,
+    atomic_write_text,
     chrome_trace,
     summarize,
     validate_chrome_trace,
@@ -36,23 +37,53 @@ from repro.telemetry.export import (
     write_jsonl,
     write_summary,
 )
+from repro.telemetry.flight import FLIGHT_SCHEMA, FlightRecorder
+from repro.telemetry.prom import (
+    MetricsServer,
+    render_prometheus,
+    validate_prometheus,
+)
+from repro.telemetry.progress import (
+    ProgressMonitor,
+    ProgressSnapshot,
+    eta_seconds,
+    perfmodel_rate,
+)
+from repro.telemetry.regress import (
+    Regression,
+    RegressionCheck,
+    compare_summaries,
+)
 
 __all__ = [
+    "FLIGHT_SCHEMA",
+    "FlightRecorder",
     "HistogramStat",
     "MetricsRegistry",
+    "MetricsServer",
     "NOOP_SPAN",
     "NULL_TELEMETRY",
+    "ProgressMonitor",
+    "ProgressSnapshot",
+    "Regression",
+    "RegressionCheck",
     "SUMMARY_SCHEMA",
     "Span",
     "Stopwatch",
     "Telemetry",
     "Tracer",
+    "atomic_write_text",
     "chrome_trace",
+    "compare_summaries",
+    "eta_seconds",
     "get_telemetry",
+    "perfmodel_rate",
+    "render_prometheus",
     "set_telemetry",
     "summarize",
     "telemetry_session",
     "validate_chrome_trace",
+    "validate_prometheus",
     "write_chrome_trace",
     "write_jsonl",
     "write_summary",

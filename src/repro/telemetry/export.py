@@ -12,17 +12,24 @@ Three consumers, three formats:
   gauges, histogram moments, per-span-name aggregates, caller extras).
   The benchmark harness writes its repo-root ``BENCH_*.json`` perf
   trajectory through this.
+
+Every exporter writes through :func:`atomic_write_text` — parent
+directories created, tmp + fsync + ``os.replace`` — the same atomicity
+discipline as checkpoints, so a crash mid-export (exactly when a trace
+is most wanted) never leaves a torn artifact.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 from repro.telemetry.session import Telemetry
 
 __all__ = [
     "SUMMARY_SCHEMA",
+    "atomic_write_text",
     "chrome_trace",
     "summarize",
     "validate_chrome_trace",
@@ -34,19 +41,40 @@ __all__ = [
 SUMMARY_SCHEMA = "repro.telemetry.summary/v1"
 
 
+def atomic_write_text(path: "str | Path", text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (tmp + fsync + ``os.replace``).
+
+    Same discipline as checkpoint writes (:func:`repro.core.checkpoint.
+    save_state`): a crash mid-export can never leave a torn file behind —
+    ``path`` holds either the previous complete artifact or the new one.
+    Parent directories are created as needed, so exporters can target
+    per-run output trees that do not exist yet.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return path
+
+
 # -- JSONL ---------------------------------------------------------------
 
 
 def write_jsonl(path: "str | Path", telemetry: Telemetry) -> Path:
     """Write every span (one per line) followed by a metrics snapshot."""
-    path = Path(path)
-    with open(path, "w") as fh:
-        for span in telemetry.tracer.export():
-            fh.write(json.dumps({"type": "span", **span}) + "\n")
-        fh.write(
-            json.dumps({"type": "metrics", **telemetry.metrics.to_dict()}) + "\n"
-        )
-    return path
+    lines = [
+        json.dumps({"type": "span", **span})
+        for span in telemetry.tracer.export()
+    ]
+    lines.append(json.dumps({"type": "metrics", **telemetry.metrics.to_dict()}))
+    return atomic_write_text(path, "\n".join(lines) + "\n")
 
 
 # -- Chrome trace_event --------------------------------------------------
@@ -95,9 +123,7 @@ def chrome_trace(telemetry: Telemetry) -> dict:
 
 
 def write_chrome_trace(path: "str | Path", telemetry: Telemetry) -> Path:
-    path = Path(path)
-    path.write_text(json.dumps(chrome_trace(telemetry)) + "\n")
-    return path
+    return atomic_write_text(path, json.dumps(chrome_trace(telemetry)) + "\n")
 
 
 def validate_chrome_trace(trace: dict) -> int:
@@ -147,7 +173,7 @@ def summarize(
         row["total_s"] += duration
         row["max_s"] = max(row["max_s"], duration)
     metrics = telemetry.metrics.to_dict()
-    return {
+    summary = {
         "schema": SUMMARY_SCHEMA,
         "name": name,
         "counters": metrics["counters"],
@@ -156,6 +182,40 @@ def summarize(
         "spans": span_rollup,
         "extra": dict(extra or {}),
     }
+    prune = _prune_rollup(metrics)
+    if prune is not None:
+        summary["prune"] = prune
+    return summary
+
+
+def _prune_rollup(metrics: dict) -> "dict | None":
+    """Derived scored/pruned totals when the lazy-greedy engine ran.
+
+    The solver routes each iteration's counter deltas into the
+    ``prune.iteration_*`` histograms; their ``total`` moments must agree
+    with the run counters (``kernel.combos_scored`` /
+    ``prune.combos_pruned``) and with the sums of the per-iteration
+    ``IterationRecord`` fields the ``BENCH_greedy`` trajectory reports —
+    one number, three views (asserted by the tests).
+    """
+    counters = metrics["counters"]
+    if "prune.blocks_scanned" not in counters and "prune.combos_pruned" not in counters:
+        return None
+    hist = metrics["histograms"]
+    rollup = {
+        "combos_scored": counters.get("kernel.combos_scored", 0),
+        "combos_pruned": counters.get("prune.combos_pruned", 0),
+        "blocks_scanned": counters.get("prune.blocks_scanned", 0),
+        "blocks_skipped": counters.get("prune.blocks_skipped", 0),
+    }
+    for key, name in (
+        ("iteration_combos_scored", "prune.iteration_combos_scored"),
+        ("iteration_combos_pruned", "prune.iteration_combos_pruned"),
+    ):
+        if name in hist:
+            rollup[f"{key}_total"] = hist[name]["total"]
+            rollup["iterations"] = hist[name]["count"]
+    return rollup
 
 
 def write_summary(
@@ -167,7 +227,7 @@ def write_summary(
     """Write a run summary; ``telemetry=None`` writes extras only."""
     if telemetry is None:
         telemetry = Telemetry(enabled=False)
-    path = Path(path)
     payload = summarize(telemetry, name, extra=extra)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    return path
+    return atomic_write_text(
+        path, json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )

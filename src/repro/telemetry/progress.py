@@ -1,0 +1,276 @@
+"""Live progress / ETA monitor for long solves.
+
+``C(G,4)`` grows to ~7e15 combinations at genome scale; a solve that
+runs for hours must answer "how far along is it, and when will it
+finish?" without being killed and post-processed.  The
+:class:`ProgressMonitor` is a sampling daemon thread over the live
+metrics registry:
+
+* **λ-coverage** — the solver publishes ``progress.combos_scheduled``
+  (combinations per greedy iteration) and feeds
+  ``progress.combos_scored`` / ``progress.combos_pruned`` counters
+  (per worker chunk on the pool backend, per iteration elsewhere); the
+  monitor turns them into an in-iteration completion fraction;
+* **rank health** — the SPMD fault detector exports per-rank heartbeat
+  staleness gauges (``spmd.heartbeat_stale_s.*``); the monitor surfaces
+  the worst one next to the fault-event count;
+* **ETA** — measured throughput (combinations examined per second since
+  the monitor started) once data exists, the :mod:`repro.perfmodel`
+  timing-model rate (:func:`perfmodel_rate`) before it does.
+
+Each sample is re-exported as gauges (``progress.fraction``,
+``progress.rate_combos_per_s``, ``progress.eta_s``) so the same numbers
+reach the ``/metrics`` endpoint, and optionally rendered as a
+single-line ``\\r``-rewritten console status (what the CLI's
+``--progress`` shows on stderr).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = ["ProgressMonitor", "ProgressSnapshot", "eta_seconds", "perfmodel_rate"]
+
+
+def eta_seconds(
+    done: float,
+    total: float,
+    elapsed_s: float,
+    model_rate: "float | None" = None,
+) -> "float | None":
+    """Remaining seconds for ``total - done`` units of work.
+
+    Measured throughput (``done / elapsed_s``) wins once any work has
+    completed; before that the caller's model estimate (combinations per
+    second from the perf model) is used.  ``None`` when no rate is
+    available or the work is already complete.
+    """
+    remaining = max(0.0, total - done)
+    if remaining == 0.0:
+        return 0.0
+    rate = done / elapsed_s if done > 0 and elapsed_s > 0 else model_rate
+    if not rate or rate <= 0:
+        return None
+    return remaining / rate
+
+
+def perfmodel_rate(scheme, n_genes: int, words: int, memory=None) -> float:
+    """Timing-model combinations/second for one device (the ETA prior).
+
+    Same arithmetic as :meth:`repro.perfmodel.runtime.JobModel.
+    single_gpu_seconds`, reduced to a rate: combinations per second a
+    V100 sustains on a ``words``-wide packed cohort under ``scheme``.
+    """
+    from repro.core.memopt import MemoryConfig
+    from repro.gpusim.device import V100
+    from repro.gpusim.timing import TimingTuning
+
+    memory = memory if memory is not None else MemoryConfig()
+    tuning = TimingTuning()
+    pre = min(memory.prefetched_rows, scheme.flattened)
+    rows = (scheme.flattened - pre) + scheme.inner
+    combos = math.comb(n_genes, scheme.hits)
+    ops = combos * tuning.ops_per_combo(words, rows)
+    seconds = ops / (V100.peak_int_ops_per_s * tuning.issue_efficiency)
+    return combos / seconds if seconds > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class ProgressSnapshot:
+    """One sample of solve progress (everything the status line shows)."""
+
+    elapsed_s: float
+    iteration: int
+    combos_examined: int  # scored + pruned, cumulative over the run
+    iteration_done: int  # examined within the current iteration
+    iteration_total: int  # scheduled combinations per iteration
+    fraction: float  # iteration_done / iteration_total
+    rate_combos_per_s: "float | None"
+    eta_s: "float | None"
+    heartbeat_stale_s: "float | None"
+    fault_events: int
+
+    def status_line(self) -> str:
+        """The single-line console rendering."""
+        pct = f"{100.0 * self.fraction:5.1f}%" if self.iteration_total else "  n/a"
+        rate = (
+            f"{self.rate_combos_per_s:,.0f}/s"
+            if self.rate_combos_per_s
+            else "--/s"
+        )
+        eta = _fmt_duration(self.eta_s)
+        line = (
+            f"iter {self.iteration or '-'} {pct} "
+            f"({self.iteration_done:,}/{self.iteration_total:,}) "
+            f"| {rate} | eta {eta} | elapsed {_fmt_duration(self.elapsed_s)}"
+        )
+        if self.fault_events:
+            line += f" | faults {self.fault_events}"
+        if self.heartbeat_stale_s is not None:
+            line += f" | hb {self.heartbeat_stale_s:.1f}s"
+        return line
+
+
+def _fmt_duration(seconds: "float | None") -> str:
+    if seconds is None:
+        return "--"
+    seconds = max(0.0, seconds)
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    if seconds < 3600:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds / 3600:.1f}h"
+
+
+class ProgressMonitor:
+    """Samples the live registry on a daemon thread; renders + re-exports.
+
+    Parameters
+    ----------
+    telemetry:
+        Session to watch; ``None`` resolves the installed session at
+        each sample (matches the CLI lifecycle).
+    interval_s:
+        Sampling cadence.
+    stream:
+        Where the single-line status goes (``None`` disables rendering;
+        the monitor still samples and exports gauges).
+    model_rate:
+        Combinations/second prior for the ETA before measurements exist
+        (:func:`perfmodel_rate`).
+    """
+
+    def __init__(
+        self,
+        telemetry=None,
+        interval_s: float = 0.5,
+        stream=None,
+        model_rate: "float | None" = None,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be > 0")
+        self.telemetry = telemetry
+        self.interval_s = interval_s
+        self.stream = stream
+        self.model_rate = model_rate
+        self.samples: list[ProgressSnapshot] = []
+        self._stop = threading.Event()
+        self._thread: "threading.Thread | None" = None
+        self._t0 = 0.0
+        self._examined0 = 0
+
+    # -- session plumbing ----------------------------------------------
+
+    def _session(self):
+        if self.telemetry is not None:
+            return self.telemetry
+        from repro.telemetry.session import get_telemetry
+
+        return get_telemetry()
+
+    # -- sampling ------------------------------------------------------
+
+    def sample(self) -> ProgressSnapshot:
+        """Read the registry, compute a snapshot, re-export the gauges."""
+        telemetry = self._session()
+        state = telemetry.metrics.to_dict()
+        counters, gauges = state["counters"], state["gauges"]
+        now = time.monotonic()
+        if self._t0 == 0.0:
+            self._t0 = now
+        elapsed = now - self._t0
+
+        scored = counters.get("progress.combos_scored", 0)
+        pruned = counters.get("progress.combos_pruned", 0)
+        examined = scored + pruned
+        total = int(gauges.get("progress.combos_scheduled", 0))
+        base = int(gauges.get("progress.iteration_base", 0))
+        iteration = int(gauges.get("progress.iteration", 0))
+        done = max(0, examined - base)
+        fraction = done / total if total else 0.0
+
+        measured = examined - self._examined0
+        rate = measured / elapsed if measured > 0 and elapsed > 0 else None
+        # elapsed_s=0 forces eta_seconds onto the explicit rate: the
+        # measured run rate when there is one, the perf-model prior
+        # otherwise (``done`` alone is in-iteration, not run-elapsed).
+        eta = (
+            eta_seconds(
+                float(done), float(total), 0.0,
+                model_rate=rate or self.model_rate,
+            )
+            if total
+            else None
+        )
+
+        stale = [
+            v for k, v in gauges.items() if k.startswith("spmd.heartbeat_stale_s")
+        ]
+        snapshot = ProgressSnapshot(
+            elapsed_s=elapsed,
+            iteration=iteration,
+            combos_examined=examined,
+            iteration_done=done,
+            iteration_total=total,
+            fraction=min(1.0, fraction),
+            rate_combos_per_s=rate or self.model_rate,
+            eta_s=eta,
+            heartbeat_stale_s=max(stale) if stale else None,
+            fault_events=counters.get("faults.events", 0),
+        )
+        if telemetry.enabled:
+            telemetry.set_gauge("progress.fraction", snapshot.fraction)
+            if snapshot.rate_combos_per_s is not None:
+                telemetry.set_gauge(
+                    "progress.rate_combos_per_s", snapshot.rate_combos_per_s
+                )
+            if snapshot.eta_s is not None:
+                telemetry.set_gauge("progress.eta_s", snapshot.eta_s)
+        self.samples.append(snapshot)
+        return snapshot
+
+    # -- the sampling thread -------------------------------------------
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self._render(self.sample())
+
+    def _render(self, snapshot: ProgressSnapshot) -> None:
+        if self.stream is not None:
+            self.stream.write("\r\x1b[2K" + snapshot.status_line())
+            self.stream.flush()
+
+    def start(self) -> "ProgressMonitor":
+        if self._thread is not None:
+            return self
+        self._t0 = time.monotonic()
+        state = self._session().metrics.to_dict()["counters"]
+        self._examined0 = state.get("progress.combos_scored", 0) + state.get(
+            "progress.combos_pruned", 0
+        )
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-progress-monitor", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        self._render(self.sample())  # final state, not a stale line
+        if self.stream is not None:
+            self.stream.write("\n")
+            self.stream.flush()
+
+    def __enter__(self) -> "ProgressMonitor":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

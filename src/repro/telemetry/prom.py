@@ -1,0 +1,241 @@
+"""Prometheus text exposition + a stdlib ``/metrics`` scrape endpoint.
+
+The PR-3 telemetry layer is post-hoc: spans and metrics are exported
+after ``solve()`` returns, which is useless for watching a multi-hour
+solve *while it runs*.  This module renders the live
+:class:`~repro.telemetry.metrics.MetricsRegistry` in the Prometheus text
+exposition format (version 0.0.4) and serves it from a daemon-thread
+``http.server`` so any scraper (Prometheus, ``curl``, the tests) can
+watch counters move mid-solve.
+
+* counters → ``counter`` samples (names sanitized: ``kernel.combos_scored``
+  becomes ``repro_kernel_combos_scored``);
+* gauges → ``gauge`` samples;
+* histograms → ``summary``-style ``_count`` / ``_sum`` samples plus
+  ``_min`` / ``_max`` gauges (the registry keeps moments, not buckets).
+
+The endpoint reads whatever session is installed at scrape time, so
+pool/SPMD workers feed it through the registry snapshots the engines
+absorb as each chunk/rank result arrives — mid-iteration, not
+end-of-run.  ``/healthz`` answers liveness probes with uptime JSON.
+
+No external dependency: :class:`MetricsServer` is
+``http.server.ThreadingHTTPServer`` on a daemon thread, and
+:func:`validate_prometheus` is a strict format checker the test suite
+runs against real scrapes.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+__all__ = [
+    "MetricsServer",
+    "PROM_CONTENT_TYPE",
+    "prometheus_name",
+    "render_prometheus",
+    "validate_prometheus",
+]
+
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.eE+-]+|NaN|[+-]Inf)$"
+)
+
+
+def prometheus_name(name: str, prefix: str = "repro") -> str:
+    """Sanitize a registry metric name into a legal Prometheus name."""
+    body = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if prefix:
+        body = f"{prefix}_{body}"
+    if not _NAME_OK.match(body):
+        body = f"_{body}"
+    return body
+
+
+def _fmt(value: float) -> str:
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(metrics: "dict | object", prefix: str = "repro") -> str:
+    """Render a registry (or its ``to_dict`` snapshot) as exposition text."""
+    if hasattr(metrics, "to_dict"):
+        metrics = metrics.to_dict()
+    lines: list[str] = []
+    for name in sorted(metrics.get("counters", {})):
+        prom = prometheus_name(name, prefix)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_fmt(metrics['counters'][name])}")
+    for name in sorted(metrics.get("gauges", {})):
+        prom = prometheus_name(name, prefix)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_fmt(metrics['gauges'][name])}")
+    for name in sorted(metrics.get("histograms", {})):
+        h = metrics["histograms"][name]
+        prom = prometheus_name(name, prefix)
+        lines.append(f"# TYPE {prom} summary")
+        lines.append(f"{prom}_count {_fmt(h['count'])}")
+        lines.append(f"{prom}_sum {_fmt(h['total'])}")
+        for stat in ("min", "max"):
+            lines.append(f"# TYPE {prom}_{stat} gauge")
+            lines.append(f"{prom}_{stat} {_fmt(h[stat])}")
+    return "\n".join(lines) + "\n"
+
+
+def validate_prometheus(text: str) -> int:
+    """Strict exposition-format check; returns the sample count.
+
+    Raises :class:`ValueError` on the first violation: unparseable
+    sample line, a sample whose metric was not declared by a preceding
+    ``# TYPE`` line (histogram ``_count``/``_sum`` ride their summary
+    declaration), an unknown type keyword, or a duplicate declaration.
+    """
+    declared: dict[str, str] = {}
+    n_samples = 0
+    for i, line in enumerate(text.splitlines()):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                raise ValueError(f"line {i}: malformed TYPE declaration")
+            _, _, name, kind = parts
+            if kind not in ("counter", "gauge", "summary", "histogram", "untyped"):
+                raise ValueError(f"line {i}: unknown metric type {kind!r}")
+            if not _NAME_OK.match(name):
+                raise ValueError(f"line {i}: illegal metric name {name!r}")
+            if name in declared:
+                raise ValueError(f"line {i}: duplicate declaration of {name}")
+            declared[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # HELP / comments
+        m = _SAMPLE.match(line)
+        if m is None:
+            raise ValueError(f"line {i}: unparseable sample {line!r}")
+        name = m.group(1)
+        base = name
+        for suffix in ("_count", "_sum", "_bucket"):
+            if name.endswith(suffix) and name[: -len(suffix)] in declared:
+                base = name[: -len(suffix)]
+                break
+        if base not in declared:
+            raise ValueError(f"line {i}: sample {name!r} missing TYPE declaration")
+        n_samples += 1
+    return n_samples
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Serves ``/metrics`` and ``/healthz``; everything else is 404."""
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = self.server.render().encode()
+            self._reply(200, PROM_CONTENT_TYPE, body)
+        elif path == "/healthz":
+            payload = {
+                "status": "ok",
+                "uptime_s": round(time.monotonic() - self.server.started_at, 3),
+            }
+            self._reply(200, "application/json", json.dumps(payload).encode())
+        else:
+            self._reply(404, "text/plain; charset=utf-8", b"not found\n")
+
+    def _reply(self, code: int, ctype: str, body: bytes) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args) -> None:  # silence per-request stderr spam
+        pass
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, addr, telemetry, prefix: str):
+        super().__init__(addr, _Handler)
+        self._telemetry = telemetry
+        self._prefix = prefix
+        self.started_at = time.monotonic()
+
+    def render(self) -> str:
+        from repro.telemetry.session import get_telemetry
+
+        telemetry = self._telemetry or get_telemetry()
+        return render_prometheus(telemetry.metrics, prefix=self._prefix)
+
+
+class MetricsServer:
+    """A ``/metrics`` + ``/healthz`` endpoint on a daemon thread.
+
+    ``telemetry=None`` scrapes whatever session is installed at request
+    time (the right default for the CLI); pass a session explicitly to
+    pin the endpoint to one run.  ``port=0`` binds an ephemeral port
+    (read it back from ``.port`` — what the tests do).  Use as a context
+    manager or call :meth:`start` / :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        telemetry=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        prefix: str = "repro",
+    ) -> None:
+        self.telemetry = telemetry
+        self.host = host
+        self.port = port
+        self.prefix = prefix
+        self._server: "_Server | None" = None
+        self._thread: "threading.Thread | None" = None
+
+    def start(self) -> "MetricsServer":
+        if self._server is not None:
+            return self
+        self._server = _Server((self.host, self.port), self.telemetry, self.prefix)
+        self.port = self._server.server_address[1]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -43,6 +43,22 @@ class Telemetry:
         self.enabled = enabled
         self.tracer = Tracer()
         self.metrics = MetricsRegistry()
+        # Live layer (PR-5), attached per run: a FlightRecorder gets the
+        # span-close feed and receives post-mortem dump triggers from
+        # the engines.  None (the default) costs one attribute check at
+        # fault sites and nothing on the span path.
+        self.flight = None
+
+    def attach_flight(self, recorder) -> "Telemetry":
+        """Install a :class:`repro.telemetry.flight.FlightRecorder`.
+
+        The recorder subscribes to span closes (including spans absorbed
+        from pool workers); engines consult ``telemetry.flight`` at
+        their failure-detection sites to dump the black box.
+        """
+        self.flight = recorder
+        self.tracer.listener = None if recorder is None else recorder.record_span
+        return self
 
     # -- spans ---------------------------------------------------------
 

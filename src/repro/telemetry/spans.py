@@ -181,6 +181,10 @@ class Tracer:
         self._ids = _SPAN_IDS
         self._lock = threading.Lock()
         self._local = threading.local()
+        # Optional span-close subscriber (the flight recorder's live
+        # feed).  One attribute load + branch per close when unset; only
+        # enabled sessions record at all, so the no-op path is untouched.
+        self.listener: "Callable[[dict], None] | None" = None
 
     def _stack(self) -> list:
         stack = getattr(self._local, "stack", None)
@@ -191,6 +195,9 @@ class Tracer:
     def _record(self, span: Span) -> None:
         with self._lock:
             self.spans.append(span)
+        listener = self.listener
+        if listener is not None:
+            listener(span.to_dict())
 
     def span(
         self, name: str, cat: str = "repro", rank: "int | None" = None, **attrs
@@ -215,6 +222,10 @@ class Tracer:
         with self._lock:
             for d in span_dicts:
                 self.spans.append(Span.from_dict(d))
+        listener = self.listener
+        if listener is not None:
+            for d in span_dicts:
+                listener(d)
 
     def export(self) -> "list[dict]":
         with self._lock:

@@ -56,13 +56,18 @@ class TestCommands:
         flags = ["--checkpoint", str(ckpt), "--checkpoint-every", "2"]
         # First pass writes the checkpoint (complete run, file persisted)...
         assert main(base + flags) == 0
-        first = capsys.readouterr().out
-        assert "resuming" not in first
+        captured = capsys.readouterr()
+        first = captured.out
+        assert "resuming" not in captured.out + captured.err
         assert ckpt.exists()
         # ...second pass resumes from it and lands on the same answer.
+        # The informational note goes to stderr; stdout stays the
+        # machine-readable combination listing.
         assert main(base + flags) == 0
-        second = capsys.readouterr().out
-        assert f"resuming from checkpoint {ckpt}" in second
+        captured = capsys.readouterr()
+        second = captured.out
+        assert f"resuming from checkpoint {ckpt}" in captured.err
+        assert "resuming" not in second
 
         def combos(text):
             return [ln for ln in text.splitlines() if ln.lstrip().startswith("F=")]

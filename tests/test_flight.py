@@ -1,0 +1,249 @@
+"""Tests for the flight recorder: ring semantics and black-box dumps.
+
+The operational promises:
+
+* the ring is bounded (oldest events evicted) and thread-safe;
+* a rank crash produces a dump carrying the failed rank's final spans,
+  the fault report, and the λ-ranges rescheduled onto survivors;
+* the pool's first degradation and an unhandled solver exception each
+  leave a black box;
+* dumps are atomic, schema-stamped, and capped by ``max_dumps``;
+* a session without a recorder behaves exactly as before (no listener).
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro.core.solver import MultiHitSolver
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.telemetry import FLIGHT_SCHEMA, FlightRecorder, telemetry_session
+
+
+def _plan(site, target=0, at_call=1, kind="crash", **kw):
+    return FaultPlan([FaultSpec(kind=kind, site=site, target=target,
+                                at_call=at_call, **kw)])
+
+
+class TestRing:
+    def test_capacity_evicts_oldest(self, tmp_path):
+        fr = FlightRecorder(out_dir=tmp_path, capacity=3)
+        for i in range(5):
+            fr.note("tick", i=i)
+        timeline = fr.timeline()
+        assert len(timeline) == 3
+        assert [e["i"] for e in timeline] == [2, 3, 4]
+        # seq keeps counting past evictions (a post-mortem can tell how
+        # much history the ring dropped).
+        assert [e["seq"] for e in timeline] == [2, 3, 4]
+
+    def test_span_listener_feeds_ring(self, tmp_path):
+        fr = FlightRecorder(out_dir=tmp_path)
+        with telemetry_session() as tel:
+            tel.attach_flight(fr)
+            with tel.span("work", cat="test"):
+                pass
+        events = [e for e in fr.timeline() if e["type"] == "span"]
+        assert [e["name"] for e in events] == ["work"]
+
+    def test_detach_uninstalls_listener(self, tmp_path):
+        fr = FlightRecorder(out_dir=tmp_path)
+        with telemetry_session() as tel:
+            tel.attach_flight(fr)
+            tel.attach_flight(None)
+            assert tel.tracer.listener is None
+            with tel.span("quiet", cat="test"):
+                pass
+        assert fr.timeline() == []
+
+    def test_dump_cap(self, tmp_path):
+        fr = FlightRecorder(out_dir=tmp_path, max_dumps=2)
+        assert fr.dump("one") is not None
+        assert fr.dump("two") is not None
+        assert fr.dump("three") is None
+        assert len(list(tmp_path.glob("blackbox-*.json"))) == 2
+
+    def test_dump_is_schema_stamped_and_atomic(self, tmp_path):
+        fr = FlightRecorder(out_dir=tmp_path / "deep" / "dir")
+        fr.note("hello", x=1)
+        path = fr.dump("unit test!")
+        assert path is not None and path.exists()
+        assert "unit-test" in path.name  # reason slugged into the name
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == FLIGHT_SCHEMA
+        assert payload["timeline"][-1]["kind"] == "hello"
+        # No tmp litter from the atomic write.
+        assert list(path.parent.glob("*.tmp")) == []
+
+
+class TestRankCrashDump:
+    def test_distributed_reschedule_dump(self, tmp_path, small_matrices):
+        """A dead rank's dump names the rank, its spans, and the re-cut
+        λ-ranges — the ISSUE's acceptance scenario."""
+        t, n, _ = small_matrices
+        fr = FlightRecorder(out_dir=tmp_path)
+        with telemetry_session() as tel:
+            tel.attach_flight(fr)
+            result = MultiHitSolver(
+                hits=2, backend="distributed", n_nodes=2,
+                fault_plan=_plan("rank", target=0, at_call=1),
+            ).solve(t, n)
+        assert result.fault_report.dead_ranks == (0,)
+        dumps = sorted(tmp_path.glob("blackbox-*.json"))
+        assert dumps, "no black box written for a rescheduled rank"
+        payload = json.loads(dumps[0].read_text())
+        assert payload["reason"] == "rank-rescheduled"
+
+        report = payload["fault_report"]
+        assert report["dead_ranks"] == [0]
+        assert report["n_detected"] >= 1
+        # Every rescheduled λ-range is present with a survivor owner.
+        assert report["rescheduled"]
+        for r in report["rescheduled"]:
+            assert r["dead_rank"] == 0
+            assert r["survivor"] != 0
+            assert r["lam_end"] > r["lam_start"]
+
+        # The ring holds the crash detection and the reschedule notes...
+        kinds = {(e["type"], e.get("kind")) for e in payload["timeline"]}
+        assert ("fault", "crash") in kinds
+        assert ("note", "reschedule") in kinds
+        # ...and the assignments say what every rank was searching.
+        ranks = {row["rank"] for row in payload["assignments"]["distributed"]}
+        assert ranks == {0, 1}
+
+    def test_spmd_failed_run_dump_has_failed_rank_spans(self, rng, tmp_path):
+        """A world that dies beyond the restart budget dumps with the
+        failed ranks named and their final spans on the timeline."""
+        from repro.bitmatrix.matrix import BitMatrix
+        from repro.cluster.mpi_program import spmd_best_combo
+        from repro.cluster.runtime import RankFailedError
+        from repro.core.fscore import FScoreParams
+        from repro.faults.policy import RetryPolicy
+        from repro.scheduling.equiarea import equiarea_schedule
+        from repro.scheduling.schemes import SCHEME_3X1
+
+        t = BitMatrix.from_dense(rng.random((14, 30)) < 0.4)
+        n = BitMatrix.from_dense(rng.random((14, 30)) < 0.1)
+        params = FScoreParams(n_tumor=30, n_normal=30)
+        schedule = equiarea_schedule(SCHEME_3X1, 14, 4)
+        # Every rank crashes persistently -> no survivors to restart on,
+        # so the failure escapes and the runner dumps on the way out.
+        plan = FaultPlan(
+            [
+                FaultSpec(kind="crash", site="rank", target=0, count=-1),
+                FaultSpec(kind="crash", site="rank", target=1, count=-1),
+            ]
+        )
+        fr = FlightRecorder(out_dir=tmp_path)
+        with telemetry_session() as tel:
+            tel.attach_flight(fr)
+            with pytest.raises(RankFailedError):
+                spmd_best_combo(
+                    2, schedule, t, n, params, gpus_per_rank=2,
+                    fault_plan=plan,
+                    retry_policy=RetryPolicy(resubmits=0, backoff_s=0.0),
+                )
+        dumps = sorted(tmp_path.glob("blackbox-*.json"))
+        assert dumps
+        payload = json.loads(dumps[0].read_text())
+        assert payload["reason"] == "rank-failed"
+        assert payload["exception"]["type"] == "RankFailedError"
+        failed = payload["exception"]["failed_ranks"]
+        assert failed and set(failed) <= {0, 1}
+        # The failed ranks' lifetime spans made it onto the ring:
+        # Span.__exit__ records even when the body raised.
+        span_ranks = {
+            e.get("rank")
+            for e in payload["timeline"]
+            if e["type"] == "span" and e["name"] == "spmd.rank"
+        }
+        assert set(failed) <= span_ranks
+
+    def test_spmd_restart_dump_carries_rescheduled_ranges(self, rng, tmp_path):
+        """A *survived* failure (restart on survivors) dumps with each
+        survivor's inherited λ-ranges in the assignments block."""
+        from repro.bitmatrix.matrix import BitMatrix
+        from repro.cluster.mpi_program import spmd_best_combo
+        from repro.core.fscore import FScoreParams
+        from repro.faults.report import FaultReport
+        from repro.scheduling.equiarea import equiarea_schedule
+        from repro.scheduling.schemes import SCHEME_3X1
+
+        t = BitMatrix.from_dense(rng.random((14, 30)) < 0.4)
+        n = BitMatrix.from_dense(rng.random((14, 30)) < 0.1)
+        params = FScoreParams(n_tumor=30, n_normal=30)
+        schedule = equiarea_schedule(SCHEME_3X1, 14, 4)
+        report = FaultReport()
+        fr = FlightRecorder(out_dir=tmp_path)
+        with telemetry_session() as tel:
+            tel.attach_flight(fr)
+            clean = spmd_best_combo(2, schedule, t, n, params, gpus_per_rank=2)
+            got = spmd_best_combo(
+                2, schedule, t, n, params, gpus_per_rank=2,
+                fault_plan=_plan("rank", target=0, at_call=0),
+                report=report, call=0,
+            )
+        assert got == clean  # recovery is bit-identical
+        restart = [
+            json.loads(p.read_text())
+            for p in sorted(tmp_path.glob("blackbox-*.json"))
+            if "rank-restart" in p.name
+        ]
+        assert restart, "no rank-restart black box"
+        payload = restart[0]
+        spmd = payload["assignments"]["spmd"]
+        assert [row["survivor"] for row in spmd] == [1]
+        ranges = spmd[0]["extra_ranges"]
+        assert ranges and all(r["lam_end"] > r["lam_start"] for r in ranges)
+        assert payload["fault_report"]["rescheduled"]
+
+
+class TestPoolAndSolverDumps:
+    def test_pool_degraded_dump(self, tmp_path, small_matrices):
+        t, n, _ = small_matrices
+        fr = FlightRecorder(out_dir=tmp_path)
+        with telemetry_session() as tel:
+            tel.attach_flight(fr)
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                MultiHitSolver(
+                    hits=2, backend="pool", n_workers=2,
+                    fault_plan=_plan("pool", target=0, at_call=1),
+                ).solve(t, n)
+        names = [p.name for p in sorted(tmp_path.glob("blackbox-*.json"))]
+        assert any("pool-degraded" in name for name in names)
+
+    def test_solver_exception_dump(self, tmp_path, small_matrices):
+        t, n, _ = small_matrices
+        fr = FlightRecorder(out_dir=tmp_path)
+
+        boom = RuntimeError("mid-solve failure")
+
+        def explode(_state):
+            raise boom
+
+        with telemetry_session() as tel:
+            tel.attach_flight(fr)
+            with pytest.raises(RuntimeError, match="mid-solve"):
+                MultiHitSolver(hits=2).solve(t, n, on_iteration=explode)
+        dumps = sorted(tmp_path.glob("blackbox-*.json"))
+        assert dumps
+        payload = json.loads(dumps[0].read_text())
+        assert payload["reason"] == "solver-exception"
+        assert payload["exception"]["message"] == "mid-solve failure"
+        # The registry snapshot rode along.  ``kernel.*`` is only
+        # absorbed at end of solve (never reached here); the live
+        # ``progress.*`` feed is what a mid-solve post-mortem carries.
+        assert payload["metrics"]["counters"]["progress.combos_scored"] > 0
+
+    def test_no_dump_without_fault(self, tmp_path, small_matrices):
+        t, n, _ = small_matrices
+        fr = FlightRecorder(out_dir=tmp_path)
+        with telemetry_session() as tel:
+            tel.attach_flight(fr)
+            MultiHitSolver(hits=2, backend="pool", n_workers=2).solve(t, n)
+        assert list(tmp_path.glob("blackbox-*.json")) == []
+        # The ring still has the run's history, ready had anything died.
+        assert any(e["type"] == "span" for e in fr.timeline())

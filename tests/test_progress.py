@@ -1,0 +1,136 @@
+"""Tests for the progress/ETA monitor.
+
+* ``eta_seconds`` prefers measured throughput, falls back to the model;
+* ``perfmodel_rate`` matches the perf-model arithmetic and is sane;
+* a sample over a live solve reports the iteration accounting the
+  solver published (scheduled = C(G, h); done <= scheduled);
+* the monitor thread renders and re-exports gauges, and the status
+  line carries fault/heartbeat annotations when they exist.
+"""
+
+import io
+import math
+
+import pytest
+
+from repro.core.solver import MultiHitSolver
+from repro.telemetry import (
+    ProgressMonitor,
+    ProgressSnapshot,
+    eta_seconds,
+    perfmodel_rate,
+    telemetry_session,
+)
+
+
+class TestEta:
+    def test_measured_rate_wins(self):
+        # 100 of 300 done in 10s -> 10/s -> 20s left (model ignored).
+        assert eta_seconds(100, 300, 10.0, model_rate=1.0) == pytest.approx(20.0)
+
+    def test_model_prior_before_data(self):
+        assert eta_seconds(0, 300, 5.0, model_rate=30.0) == pytest.approx(10.0)
+
+    def test_no_rate_no_eta(self):
+        assert eta_seconds(0, 300, 5.0) is None
+
+    def test_complete_is_zero(self):
+        assert eta_seconds(300, 300, 10.0) == 0.0
+        assert eta_seconds(400, 300, 10.0) == 0.0
+
+
+class TestPerfmodelRate:
+    def test_matches_device_throughput(self):
+        """The rate is per-combination device throughput: peak int-ops *
+        issue efficiency / ops-per-combo, so it cancels ``C(G, h)`` and
+        is independent of the gene count."""
+        from repro.core.memopt import MemoryConfig
+        from repro.gpusim.device import V100
+        from repro.gpusim.timing import TimingTuning
+        from repro.scheduling.schemes import SCHEME_3X1
+
+        words = 100
+        tuning, mem = TimingTuning(), MemoryConfig()
+        pre = min(mem.prefetched_rows, SCHEME_3X1.flattened)
+        rows = (SCHEME_3X1.flattened - pre) + SCHEME_3X1.inner
+        expected = (
+            V100.peak_int_ops_per_s
+            * tuning.issue_efficiency
+            / tuning.ops_per_combo(words, rows)
+        )
+        assert perfmodel_rate(SCHEME_3X1, 12000, words) == pytest.approx(expected)
+        assert perfmodel_rate(SCHEME_3X1, 500, words) == pytest.approx(expected)
+
+    def test_rate_positive_and_scales_down_with_width(self):
+        from repro.scheduling.schemes import SCHEME_3X1
+
+        narrow = perfmodel_rate(SCHEME_3X1, 1000, 10)
+        wide = perfmodel_rate(SCHEME_3X1, 1000, 1000)
+        assert narrow > wide > 0
+
+
+class TestStatusLine:
+    def _snap(self, **kw):
+        base = dict(
+            elapsed_s=65.0, iteration=3, combos_examined=5000,
+            iteration_done=500, iteration_total=1000, fraction=0.5,
+            rate_combos_per_s=1234.0, eta_s=30.0,
+            heartbeat_stale_s=None, fault_events=0,
+        )
+        base.update(kw)
+        return ProgressSnapshot(**base)
+
+    def test_core_fields(self):
+        line = self._snap().status_line()
+        assert "iter 3" in line and "50.0%" in line
+        assert "500/1,000" in line and "1,234/s" in line
+        assert "eta 30s" in line and "elapsed 1.1m" in line
+        assert "faults" not in line and "hb" not in line
+
+    def test_fault_and_heartbeat_annotations(self):
+        line = self._snap(fault_events=2, heartbeat_stale_s=3.25).status_line()
+        assert "faults 2" in line and "hb 3.2s" in line
+
+
+class TestLiveSampling:
+    def test_sample_reflects_solver_accounting(self, small_matrices):
+        t, n, _ = small_matrices
+        monitor = ProgressMonitor(interval_s=10.0)  # sample manually
+        with telemetry_session() as tel:
+            monitor.telemetry = tel
+            result = MultiHitSolver(hits=2).solve(t, n)
+            snap = monitor.sample()
+        g = t.shape[0]
+        assert snap.iteration_total == math.comb(g, 2)
+        assert snap.iteration == len(result.iterations) + 1  # final probe
+        assert snap.combos_examined == (
+            result.counters.combos_scored + result.counters.combos_pruned
+        )
+        assert 0.0 <= snap.fraction <= 1.0
+        # The sample re-exported itself as gauges for /metrics.
+        gauges = tel.metrics.to_dict()["gauges"]
+        assert gauges["progress.fraction"] == snap.fraction
+
+    def test_monitor_thread_renders_and_stops(self, small_matrices):
+        t, n, _ = small_matrices
+        stream = io.StringIO()
+        with telemetry_session() as tel:
+            with ProgressMonitor(
+                telemetry=tel, interval_s=0.01, stream=stream
+            ) as monitor:
+                MultiHitSolver(hits=2, backend="pool", n_workers=2).solve(t, n)
+            assert monitor._thread is None  # stopped on exit
+        out = stream.getvalue()
+        assert out.endswith("\n")  # final newline after the last rewrite
+        assert "iter" in out and "elapsed" in out
+        assert monitor.samples  # collected at least the final sample
+
+    def test_monitor_without_telemetry_is_inert(self):
+        monitor = ProgressMonitor(interval_s=0.01, stream=None)
+        snap = monitor.sample()  # NULL_TELEMETRY: all zeros, no crash
+        assert snap.combos_examined == 0 and snap.iteration_total == 0
+        assert snap.eta_s is None
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            ProgressMonitor(interval_s=0.0)

@@ -399,3 +399,149 @@ class TestSpmdMerge:
         with telemetry_session():
             on = spmd_best_combo(2, schedule, t, n, params, gpus_per_rank=2)
         assert on == off
+
+
+class TestAtomicExporters:
+    """Every exporter writes tmp + fsync + rename: parents are created,
+    no ``*.tmp`` litter survives, and a crash mid-write can never leave
+    a truncated artifact where a previous good one stood."""
+
+    def _tel(self):
+        tel = Telemetry()
+        with tel.span("solve", cat="solver"):
+            pass
+        tel.count("solver.solves")
+        return tel
+
+    @pytest.mark.parametrize(
+        "writer, fname",
+        [
+            (write_chrome_trace, "trace.json"),
+            (write_jsonl, "events.jsonl"),
+            (lambda p, t: write_summary(p, "unit", telemetry=t), "summary.json"),
+        ],
+    )
+    def test_creates_parents_and_leaves_no_tmp(self, tmp_path, writer, fname):
+        target = tmp_path / "deep" / "nested" / fname
+        path = writer(target, self._tel())
+        assert path.exists() and path.read_text()
+        assert list(path.parent.glob("*.tmp")) == []
+
+    def test_overwrite_is_all_or_nothing(self, tmp_path):
+        from repro.telemetry.export import atomic_write_text
+
+        target = tmp_path / "out.json"
+        atomic_write_text(target, "old content")
+        atomic_write_text(target, "new content")
+        assert target.read_text() == "new content"
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestPruneSummaryAgreement:
+    """The ``prune`` block of a summary must agree with the solver's own
+    counters — one number, three views (run counters, per-iteration
+    histogram totals, BENCH extras)."""
+
+    def test_summary_prune_block_matches_result_counters(self, small_matrices):
+        t, n, _ = small_matrices
+        with telemetry_session() as tel:
+            result = MultiHitSolver(hits=2, prune=True).solve(t, n)
+            summary = summarize(tel, "prune-agreement")
+        prune = summary["prune"]
+        assert prune["combos_scored"] == result.counters.combos_scored
+        assert prune["combos_pruned"] == result.counters.combos_pruned
+        assert prune["blocks_scanned"] == result.counters.blocks_scanned
+        assert prune["blocks_skipped"] == result.counters.blocks_skipped
+        # Histogram totals close against the run counters even though
+        # the final probe iteration never emits an IterationRecord.
+        assert prune["iteration_combos_scored_total"] == (
+            result.counters.combos_scored
+        )
+        assert prune["iteration_combos_pruned_total"] == (
+            result.counters.combos_pruned
+        )
+        assert prune["iterations"] >= len(result.iterations)
+        record_scored = sum(r.combos_scored for r in result.iterations)
+        assert record_scored <= prune["combos_scored"]
+
+    def test_unpruned_solve_has_no_prune_block(self, small_matrices):
+        t, n, _ = small_matrices
+        with telemetry_session() as tel:
+            MultiHitSolver(hits=2).solve(t, n)
+            summary = summarize(tel, "no-prune")
+        assert "prune" not in summary
+
+    def test_committed_bench_greedy_agrees_with_itself(self):
+        """BENCH_greedy.json is the artifact CI gates; its extras and its
+        prune rollup must be the same numbers."""
+        from pathlib import Path
+
+        bench_path = Path(__file__).resolve().parent.parent / "BENCH_greedy.json"
+        bench = json.loads(bench_path.read_text())
+        prune, extra = bench["prune"], bench["extra"]
+        assert prune["combos_scored"] == extra["combos_scored_total_pruned"]
+        assert prune["combos_pruned"] == extra["combos_pruned_total"]
+        assert prune["iteration_combos_scored_total"] == prune["combos_scored"]
+        assert prune["iteration_combos_pruned_total"] == prune["combos_pruned"]
+
+
+class TestPoolFaultRetryMerge:
+    """A retried chunk must merge its telemetry exactly once: span
+    identity stays unique and the live progress feed equals the kernel
+    total (a double-ingest would overshoot it)."""
+
+    def test_no_double_merge_on_injected_crash(self, small_matrices):
+        import warnings
+
+        from repro.faults.plan import FaultPlan, FaultSpec
+
+        t, n, _ = small_matrices
+        clean, _ = _solve("pool", small_matrices, telemetry_on=False, n_workers=2)
+        plan = FaultPlan(
+            [FaultSpec(kind="crash", site="pool", target=0, at_call=1)]
+        )
+        with telemetry_session() as tel:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                faulted = MultiHitSolver(
+                    hits=2, backend="pool", n_workers=2, fault_plan=plan
+                ).solve(t, n)
+        assert _fingerprint(faulted) == _fingerprint(clean)
+        # (pid, span_id) identity survives the retry without collisions.
+        spans = tel.tracer.export()
+        keys = [(s["pid"], s["id"]) for s in spans]
+        assert len(set(keys)) == len(keys)
+        # Each chunk was ingested exactly once: the per-chunk progress
+        # feed closes against the kernel counter totals.
+        c = tel.metrics.to_dict()["counters"]
+        assert c["progress.combos_scored"] == faulted.counters.combos_scored
+        assert c["progress.combos_scored"] == c["kernel.combos_scored"]
+        assert c["faults.events"] >= 1  # the injected crash was recorded
+
+
+class TestLiveComponentsBitIdentity:
+    """The full live stack (flight recorder + progress monitor + metrics
+    endpoint) attached to a solve changes nothing about the answer."""
+
+    @pytest.mark.parametrize(
+        "backend, kw",
+        [
+            ("single", {}),
+            ("pool", {"n_workers": 2}),
+            ("distributed", {"n_nodes": 2}),
+        ],
+    )
+    def test_bit_identical_with_live_stack(self, small_matrices, tmp_path,
+                                           backend, kw):
+        from repro.telemetry import FlightRecorder, MetricsServer, ProgressMonitor
+
+        t, n, _ = small_matrices
+        off, _ = _solve(backend, small_matrices, telemetry_on=False, **kw)
+        with telemetry_session() as tel:
+            tel.attach_flight(FlightRecorder(out_dir=tmp_path))
+            with MetricsServer(telemetry=tel):
+                with ProgressMonitor(telemetry=tel, interval_s=0.01):
+                    on = MultiHitSolver(hits=2, backend=backend, **kw).solve(t, n)
+        assert _fingerprint(on) == _fingerprint(off)
+        # No fault, no black box — the recorder observed silently.
+        assert list(tmp_path.glob("blackbox-*.json")) == []
