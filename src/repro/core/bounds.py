@@ -18,6 +18,19 @@ matrix word.  Skipped blocks keep their stale bound, which remains a
 valid (if loose) upper bound forever; rescored blocks are refreshed and
 stamped with the iteration that scored them.
 
+The table is *hierarchical*: blocks are grouped into super-blocks of
+``super_size`` λ-adjacent blocks, each carrying a derived aggregate (max
+member bound, all-members-stamped flag, summed work).  CELF visitation
+runs at the super level first — a super-block whose every member is
+stamped and whose max bound is strictly below the incumbent is skipped
+in one step, without touching any per-block metadata — and the
+λ-adjacency of a super's members is what lets the engine scan its
+surviving blocks as one fused multi-block pass (a single λ-decode per
+stride, not per block).  The super layer is derived data, rebuilt from
+the per-block arrays wherever the table travels (payload slices, delta
+fold-backs, checkpoints), so it changes no persistence format and no
+soundness argument.
+
 The table is a cache, never a source of truth: dropping it (or any slice
 of it) only costs rescans, so fault recovery and checkpoint resume are
 free to discard bounds whose provenance is unclear.
@@ -67,6 +80,10 @@ class BoundTable:
     offset:
         Global index of block 0 — nonzero only for worker-side slices,
         so their deltas address the parent table's blocks.
+    super_size:
+        Blocks per super-block (the hierarchy's fan-out).  The super
+        aggregates are derived and rebuilt locally, so slices and
+        checkpoints may regroup freely without invalidating anything.
     """
 
     scheme_key: tuple[int, int, int]
@@ -76,14 +93,33 @@ class BoundTable:
     stamps: np.ndarray
     works: np.ndarray
     offset: int = 0
+    super_size: int = 8
     _index: dict = field(default_factory=dict, repr=False, compare=False)
 
     def __post_init__(self) -> None:
+        if self.super_size < 1:
+            raise ValueError("super_size must be >= 1")
         self.boundaries = np.asarray(self.boundaries, dtype=np.int64)
         self.bounds = np.asarray(self.bounds, dtype=np.float64)
         self.stamps = np.asarray(self.stamps, dtype=np.int64)
         self.works = np.asarray(self.works, dtype=np.int64)
         self._index = {int(b): i for i, b in enumerate(self.boundaries)}
+        self._rebuild_supers()
+
+    def _rebuild_supers(self) -> None:
+        k = self.super_size
+        n_sup = (self.n_blocks + k - 1) // k
+        self._super_bounds = np.empty(n_sup, dtype=np.float64)
+        self._super_stamped = np.empty(n_sup, dtype=bool)
+        self._super_works = np.empty(n_sup, dtype=np.int64)
+        for s in range(n_sup):
+            self._refresh_super(s)
+
+    def _refresh_super(self, s: int) -> None:
+        a, b = self.super_block_range(s)
+        self._super_bounds[s] = self.bounds[a:b].max()
+        self._super_stamped[s] = bool((self.stamps[a:b] >= 0).all())
+        self._super_works[s] = int(self.works[a:b].sum())
 
     # -- construction --------------------------------------------------
 
@@ -94,6 +130,7 @@ class BoundTable:
         g: int,
         cuts: "tuple[int, ...] | list[int] | None" = None,
         n_blocks: int = 64,
+        super_size: int = 8,
     ) -> "BoundTable":
         """Cut ``[0, C(g, f))`` into ~``n_blocks`` equi-area blocks.
 
@@ -123,6 +160,7 @@ class BoundTable:
             bounds=np.full(n, np.inf),
             stamps=np.full(n, -1, dtype=np.int64),
             works=works,
+            super_size=super_size,
         )
 
     # -- block addressing ----------------------------------------------
@@ -136,6 +174,23 @@ class BoundTable:
 
     def block_work(self, b: int) -> int:
         return int(self.works[b])
+
+    # -- super-block addressing ----------------------------------------
+
+    @property
+    def n_supers(self) -> int:
+        return len(self._super_bounds)
+
+    def super_of(self, b: int) -> int:
+        return b // self.super_size
+
+    def super_block_range(self, s: int) -> tuple[int, int]:
+        """Block index range ``[a, b)`` making up super-block ``s``."""
+        a = s * self.super_size
+        return a, min(a + self.super_size, self.n_blocks)
+
+    def super_work(self, s: int) -> int:
+        return int(self._super_works[s])
 
     def aligned(self, lam_start: int, lam_end: int) -> bool:
         """Whether ``[lam_start, lam_end)`` is a whole number of blocks."""
@@ -172,15 +227,44 @@ class BoundTable:
         """
         return bool(self.stamps[b] >= 0 and self.bounds[b] < incumbent_f)
 
+    def super_visit_order(self, i0: int, i1: int) -> np.ndarray:
+        """Super-blocks overlapping ``[i0, i1)`` in descending bound order.
+
+        The same deterministic tie rule as :meth:`visit_order`: equal
+        aggregate bounds resolve to the lower super id, so the visitation
+        sequence — and which supers get skipped — never depends on dict
+        or scheduling order.
+        """
+        s0 = i0 // self.super_size
+        s1 = (i1 + self.super_size - 1) // self.super_size
+        ids = np.arange(s0, s1)
+        return ids[np.lexsort((ids, -self._super_bounds[s0:s1]))]
+
+    def can_skip_super(self, s: int, incumbent_f: float) -> bool:
+        """True when no member block of super ``s`` can hold the winner.
+
+        Sound for the same reason as :meth:`can_skip`: the aggregate is
+        the max of member bounds, each an exact upper bound on its
+        block's best F, and the strict inequality preserves the
+        lexicographic tie rule.  Requires every member stamped — a fresh
+        ``+inf`` member makes the aggregate ``+inf`` anyway, but the flag
+        keeps the check cheap and explicit.
+        """
+        return bool(
+            self._super_stamped[s] and self._super_bounds[s] < incumbent_f
+        )
+
     def refresh(self, b: int, max_f: float, iteration: int) -> None:
         """Record the exact block maximum observed at ``iteration``."""
         self.bounds[b] = max_f
         self.stamps[b] = iteration
+        self._refresh_super(self.super_of(b))
 
     def reset(self) -> None:
         """Forget everything (always sound — the table is a cache)."""
         self.bounds.fill(np.inf)
         self.stamps.fill(-1)
+        self._rebuild_supers()
 
     # -- cross-process slices (pool workers) ---------------------------
 
@@ -198,6 +282,7 @@ class BoundTable:
             ],
             "stamps": [int(x) for x in self.stamps[i0:i1]],
             "works": [int(x) for x in self.works[i0:i1]],
+            "super_size": self.super_size,
         }
 
     @classmethod
@@ -213,6 +298,7 @@ class BoundTable:
             stamps=np.asarray(payload["stamps"], dtype=np.int64),
             works=np.asarray(payload["works"], dtype=np.int64),
             offset=int(payload.get("offset", 0)),
+            super_size=int(payload.get("super_size", 8)),
         )
 
     def deltas(self, iteration: int) -> list[tuple[int, float]]:
@@ -226,9 +312,13 @@ class BoundTable:
         """Fold a worker slice's refreshed bounds back into this table."""
         if not deltas:
             return
+        touched = set()
         for b, v in deltas:
             self.bounds[b - self.offset] = v
             self.stamps[b - self.offset] = iteration
+            touched.add(self.super_of(b - self.offset))
+        for s in touched:
+            self._refresh_super(s)
 
     # -- checkpoint persistence ----------------------------------------
 

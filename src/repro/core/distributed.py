@@ -6,6 +6,13 @@ reduces to a single 20-byte candidate; the rank reduces its six, and rank
 0 reduces across ranks.  The default driver iterates ranks in-process
 (deterministic); :mod:`repro.cluster.runtime` runs the identical rank
 function under the thread-backed SimComm for true SPMD semantics.
+
+Pruned iterations share one two-level bound table whose blocks merge the
+partition boundaries; a GPU partition that covers only part of a
+super-block simply falls back to per-block skip checks (the hierarchical
+fast path requires the whole super inside the searched range), so
+clipping is conservative, never unsound.  Rescheduled dead-rank ranges
+have arbitrary geometry and run unpruned, exactly as before.
 """
 
 from __future__ import annotations

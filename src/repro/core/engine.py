@@ -7,15 +7,25 @@ AND-reduced once (the MemOpt prefetch) and broadcast against a table of
 inner-combination AND rows.  Scores are bit-exact with the sequential
 reference; ties resolve to the lexicographically smallest gene tuple.
 
+The scan is *fused and batched*: :func:`_scan_blocks` scores an entire
+run of λ-adjacent blocks in one pass, decoding each stride of thread ids
+exactly once (``combos_from_linear`` per stride, not per block) and
+folding per-λ maxima into per-block maxima with a segmented reduction.
+The AND → popcount inner product goes through the word-stride fused
+kernels of :mod:`repro.core.kernels`, so no ``(B, L, n_words)``
+intermediate is ever materialized.
+
 When a :class:`repro.core.bounds.BoundTable` is supplied the engine takes
-the lazy-greedy fast path instead: blocks are visited in descending
-stale-bound order, blocks whose stored bound cannot beat (or tie) the
-incumbent are skipped outright, and every block actually scored has its
-bound refreshed.  Because skipping requires the bound to be *strictly*
-below the incumbent F, and the incumbent is maintained with the
-tuple-comparing :func:`repro.core.combination.better`, the winner — F,
-TP, TN, and the lexicographic tie rule — is bit-identical to the
-unpruned scan regardless of visitation order.
+the lazy-greedy fast path instead: super-blocks are visited in descending
+aggregate-bound order, and a super-block whose every member is stamped
+below the incumbent is skipped in one step without touching per-block
+metadata.  Surviving supers fall back to per-block checks, and their
+non-skipped members — λ-adjacent by construction — are scanned as single
+fused multi-block runs.  Because skipping requires the bound to be
+*strictly* below the incumbent F, and the incumbent is maintained with
+the tuple-comparing :func:`repro.core.combination.better`, the winner —
+F, TP, TN, and the lexicographic tie rule — is bit-identical to the
+unpruned scan regardless of visitation order or run batching.
 """
 
 from __future__ import annotations
@@ -28,8 +38,13 @@ from repro.bitmatrix.matrix import BitMatrix
 from repro.combinatorics.decode import combos_from_linear, top_index_array
 from repro.core.combination import MultiHitCombination, better
 from repro.core.fscore import FScoreParams, fscore
-from repro.core.kernels import KernelCounters, best_of, score_combos
-from repro.core.memopt import MemoryConfig, global_word_reads
+from repro.core.kernels import (
+    KernelCounters,
+    best_of,
+    fused_pair_popcount,
+    score_combos,
+)
+from repro.core.memopt import MemoryConfig, fused_word_reads, global_word_reads
 from repro.scheduling.schemes import Scheme
 from repro.scheduling.workload import level_range, total_threads
 
@@ -57,30 +72,55 @@ def _lexmin_rows(rows: np.ndarray) -> np.ndarray:
     return rows[order[0]]
 
 
-def _scan_range(
+def _fold_block_max(
+    block_max: np.ndarray, cut: np.ndarray, start: int, lam_max: np.ndarray
+) -> None:
+    """Fold per-λ maxima for λ in ``[start, start + len)`` into per-block
+    maxima, segmented at the ``cut`` boundaries.
+
+    ``np.maximum.reduceat`` over the in-chunk offsets of the overlapped
+    cut points gives each block's exact maximum even when one decode
+    stride spans several blocks — the reduction that lets the fused scan
+    decode once per stride instead of once per block.
+    """
+    end = start + len(lam_max)
+    k0 = int(np.searchsorted(cut, start, side="right")) - 1
+    k1 = int(np.searchsorted(cut, end - 1, side="right")) - 1
+    offsets = np.maximum(cut[k0 : k1 + 1], start) - start
+    seg_max = np.maximum.reduceat(lam_max, offsets)
+    np.maximum(block_max[k0 : k1 + 1], seg_max, out=block_max[k0 : k1 + 1])
+
+
+def _scan_blocks(
     scheme: Scheme,
     g: int,
     tumor: BitMatrix,
     normal: BitMatrix,
     params: FScoreParams,
-    lam_start: int,
-    lam_end: int,
+    cut_points,
     best: "MultiHitCombination | None" = None,
     inner_cache: "dict | None" = None,
-) -> tuple["MultiHitCombination | None", int, float]:
-    """Exhaustively score threads ``[lam_start, lam_end)``.
+    counters: "KernelCounters | None" = None,
+) -> tuple["MultiHitCombination | None", int, np.ndarray]:
+    """Exhaustively score threads ``[cut_points[0], cut_points[-1])``.
 
-    Returns ``(best, scored, max_f)`` where ``best`` folds the supplied
+    One fused pass over a run of λ-adjacent blocks.  Returns
+    ``(best, scored, block_max)`` where ``best`` folds the supplied
     incumbent in via the tuple-comparing tie rule (so callers may chain
-    scans over blocks in any order) and ``max_f`` is the exact maximum F
-    over the scanned range alone — the quantity a bound table stores.
-    ``inner_cache`` memoizes per-level inner AND tables across the blocks
-    of one call (the matrices are fixed within a call).
+    scans over runs in any order) and ``block_max[k]`` is the exact
+    maximum F over ``[cut_points[k], cut_points[k+1])`` alone — the
+    quantity a bound table stores.  ``inner_cache`` memoizes per-level
+    inner AND tables across the runs of one call (the matrices are fixed
+    within a call).  ``counters`` here meters only the fusion-diagnostic
+    fields (``decode_strides``, ``inner_tables_built``); work and traffic
+    accounting stays with the caller.
     """
+    cut = np.asarray(cut_points, dtype=np.int64)
+    lam_start, lam_end = int(cut[0]), int(cut[-1])
+    block_max = np.full(len(cut) - 1, float("-inf"))
     f_ord = scheme.flattened
     d = scheme.inner
     scored = 0
-    max_f = float("-inf")
 
     if d == 0:
         # Threads == combinations: decode and score directly.  Traffic is
@@ -89,12 +129,14 @@ def _scan_range(
         for start in range(lam_start, lam_end, _CHUNK_ELEMENTS):
             end = min(start + _CHUNK_ELEMENTS, lam_end)
             combos = combos_from_linear(np.arange(start, end), f_ord)
+            if counters is not None:
+                counters.decode_strides += 1
             fvals, tp, tn = score_combos(tumor, normal, combos, params, None)
             scored += int(fvals.size)
             if fvals.size:
-                max_f = max(max_f, float(fvals.max()))
+                _fold_block_max(block_max, cut, start, fvals)
             best = better(best, best_of(combos, fvals, tp, tn))
-        return best, scored, max_f
+        return best, scored, block_max
 
     lo_top = int(top_index_array(np.asarray([lam_start]), f_ord)[0])
     hi_top = int(top_index_array(np.asarray([lam_end - 1]), f_ord)[0])
@@ -115,6 +157,8 @@ def _scan_range(
             ) + (m + 1)
             inner_t = _and_reduce_rows(tumor, inner)
             inner_n = _and_reduce_rows(normal, inner)
+            if counters is not None:
+                counters.inner_tables_built += 1
             if inner_cache is not None:
                 inner_cache[m] = (inner, inner_t, inner_n)
         else:
@@ -125,24 +169,17 @@ def _scan_range(
         for start in range(t_lo, t_hi, chunk):
             end = min(start + chunk, t_hi)
             tuples = combos_from_linear(np.arange(start, end), f_ord)
+            if counters is not None:
+                counters.decode_strides += 1
             base_t = _and_reduce_rows(tumor, tuples)
             base_n = _and_reduce_rows(normal, tuples)
-            # (B, L) popcounts via broadcast AND.
-            tp = (
-                np.bitwise_count(base_t[:, None, :] & inner_t[None, :, :])
-                .sum(axis=2)
-                .astype(np.int64)
-            )
-            cn = (
-                np.bitwise_count(base_n[:, None, :] & inner_n[None, :, :])
-                .sum(axis=2)
-                .astype(np.int64)
-            )
-            tn = params.n_normal - cn
+            # (B, L) popcounts, word-stride fused (no (B, L, W) cube).
+            tp = fused_pair_popcount(base_t, inner_t)
+            tn = params.n_normal - fused_pair_popcount(base_n, inner_n)
             fvals = fscore(tp, tn, params)
             fmax = fvals.max()
             scored += int(fvals.size)
-            max_f = max(max_f, float(fmax))
+            _fold_block_max(block_max, cut, start, fvals.max(axis=1))
             cand: "MultiHitCombination | None" = None
             if best is None or fmax >= best.f:
                 ties = np.argwhere(fvals == fmax)
@@ -164,7 +201,27 @@ def _scan_range(
                 )
             best = better(best, cand)
 
-    return best, scored, max_f
+    return best, scored, block_max
+
+
+def _scan_range(
+    scheme: Scheme,
+    g: int,
+    tumor: BitMatrix,
+    normal: BitMatrix,
+    params: FScoreParams,
+    lam_start: int,
+    lam_end: int,
+    best: "MultiHitCombination | None" = None,
+    inner_cache: "dict | None" = None,
+    counters: "KernelCounters | None" = None,
+) -> tuple["MultiHitCombination | None", int, float]:
+    """Single-range convenience wrapper around :func:`_scan_blocks`."""
+    best, scored, block_max = _scan_blocks(
+        scheme, g, tumor, normal, params, (lam_start, lam_end),
+        best, inner_cache, counters,
+    )
+    return best, scored, float(block_max[0])
 
 
 def best_in_thread_range(
@@ -204,7 +261,8 @@ def best_in_thread_range(
         )
 
     best, scored, _ = _scan_range(
-        scheme, g, tumor, normal, params, lam_start, lam_end
+        scheme, g, tumor, normal, params, lam_start, lam_end,
+        counters=counters,
     )
     return _metered(
         best, scored, scheme, g, tumor, normal, lam_start, lam_end, counters, memory
@@ -224,40 +282,82 @@ def _best_pruned(
     counters: "KernelCounters | None",
     memory: "MemoryConfig | None",
 ) -> "MultiHitCombination | None":
-    """CELF-style block visitation: score high-bound blocks first, skip
-    the rest once the incumbent provably dominates them.
+    """Hierarchical CELF visitation over the fused multi-block scan.
+
+    Super-blocks are visited in descending aggregate-bound order; one
+    whose every member is stamped below the incumbent is skipped in a
+    single check.  Within a surviving super, members are walked in λ
+    order so the non-skipped ones accumulate into contiguous *runs*, each
+    scanned by one :func:`_scan_blocks` call (one decode per stride
+    across the whole run).  While no incumbent exists, runs flush after a
+    single block so the skip checks get a real F to compare against as
+    early as possible.
 
     Soundness: a skipped block's stored bound is the exact maximum F it
     achieved at some earlier iteration, F is non-increasing across
     iterations (TP shrinks, TN is fixed, float rounding is monotone), and
     skipping demands ``bound < incumbent.f`` *strictly* — so a skipped
-    block holds neither the winner nor an equal-F tie.
+    block (or super-block, via the max aggregate) holds neither the
+    winner nor an equal-F tie.
+
+    Traffic on this path is metered with :func:`fused_word_reads` — the
+    fused kernel gathers each thread's fixed rows once and each level's
+    inner AND-table once per call, which subsumes the MemOpt prefetch
+    flags; ``memory.bitsplice`` still matters physically through the
+    matrix word width.
     """
     i0, i1 = bounds.block_slice(lam_start, lam_end)
     w = tumor.n_words + normal.n_words
     best: "MultiHitCombination | None" = None
     inner_cache: dict = {}
-    for b in bounds.visit_order(i0, i1):
-        if best is not None and bounds.can_skip(b, best.f):
-            if counters is not None:
-                counters.blocks_skipped += 1
-                counters.combos_pruned += bounds.block_work(b)
-            continue
-        lo, hi = bounds.block_range(b)
-        best, scored, max_f = _scan_range(
-            scheme, g, tumor, normal, params, lo, hi, best, inner_cache
+    charged_levels: set = set()
+
+    def flush(run: list) -> None:
+        nonlocal best
+        cuts = [bounds.block_range(b)[0] for b in run]
+        cuts.append(bounds.block_range(run[-1])[1])
+        best, scored, block_max = _scan_blocks(
+            scheme, g, tumor, normal, params, cuts,
+            best, inner_cache, counters,
         )
-        bounds.refresh(b, max_f, iteration)
+        for k, b in enumerate(run):
+            bounds.refresh(b, float(block_max[k]), iteration)
         if counters is not None:
-            counters.blocks_scanned += 1
+            counters.blocks_scanned += len(run)
             counters.combos_scored += scored
             counters.word_ops += scored * (scheme.hits - 1) * w
-            if memory is not None:
-                counters.word_reads += global_word_reads(
-                    scheme, g, w, lo, hi, memory
-                )
-            else:
-                counters.word_reads += scored * scheme.hits * w
+            counters.word_reads += fused_word_reads(
+                scheme, g, w, cuts[0], cuts[-1], charged_levels
+            )
+
+    for s in map(int, bounds.super_visit_order(i0, i1)):
+        a, b_hi = bounds.super_block_range(s)
+        lo_b, hi_b = max(a, i0), min(b_hi, i1)
+        if lo_b >= hi_b:
+            continue
+        whole = lo_b == a and hi_b == b_hi
+        if whole and best is not None and bounds.can_skip_super(s, best.f):
+            if counters is not None:
+                counters.supers_skipped += 1
+                counters.blocks_skipped += hi_b - lo_b
+                counters.combos_pruned += bounds.super_work(s)
+            continue
+        run: list = []
+        for b in range(lo_b, hi_b):
+            if best is not None and bounds.can_skip(b, best.f):
+                if run:
+                    flush(run)
+                    run = []
+                if counters is not None:
+                    counters.blocks_skipped += 1
+                    counters.combos_pruned += bounds.block_work(b)
+                continue
+            run.append(b)
+            if best is None:
+                flush(run)
+                run = []
+        if run:
+            flush(run)
     return best
 
 

@@ -6,6 +6,15 @@ TN``), then computes F.  Here a *block* of combinations is scored at once
 with broadcast bitwise ops; results are bit-exact with the sequential
 reference.
 
+The scoring primitives are *word-stride fused*: gather -> AND ->
+popcount runs over slices of at most :data:`WORD_STRIDE` packed words at
+a time, accumulating popcounts into per-combination integer totals, so
+the broadcast working set stays cache-sized instead of materializing a
+full ``(B, L, n_words)`` (or ``(B, n_words)``) intermediate.  Popcounts
+are exact integers, so the fused pass is bit-identical to the
+single-shot reference (kept as :func:`score_combos_reference` and
+enforced by tests).
+
 The kernels also meter their own global-memory traffic (word reads) so
 the memory-optimization experiments can compare access volumes at any
 scale without a hardware profiler.
@@ -21,17 +30,32 @@ from repro.bitmatrix.matrix import BitMatrix
 from repro.core.combination import MultiHitCombination
 from repro.core.fscore import FScoreParams, fscore
 
-__all__ = ["KernelCounters", "score_combos", "best_of"]
+__all__ = [
+    "KernelCounters",
+    "WORD_STRIDE",
+    "fused_pair_popcount",
+    "score_combos",
+    "score_combos_reference",
+    "best_of",
+]
+
+# Packed uint64 words per fused pass (512 B per row slice): with the
+# broadcast chunking in the engine the live working set stays within L1/L2
+# while each word is still touched exactly once.
+WORD_STRIDE = 64
 
 
 @dataclass
 class KernelCounters:
     """Accumulated work / traffic counters for one kernel invocation chain.
 
-    The ``combos_pruned`` / ``blocks_*`` fields are populated only by the
-    lazy-greedy pruned engine path (:mod:`repro.core.bounds`); they ride
+    The ``combos_pruned`` / ``blocks_*`` / ``supers_skipped`` fields are
+    populated only by the lazy-greedy pruned engine path
+    (:mod:`repro.core.bounds`); ``decode_strides`` /
+    ``inner_tables_built`` meter the fused scan (one decode per stride
+    chunk, one inner AND-table build per level per call).  They all ride
     the same merge path as the scoring counters so pool workers and
-    distributed ranks report pruning effectiveness for free.
+    distributed ranks report pruning and fusion effectiveness for free.
     """
 
     combos_scored: int = 0
@@ -40,6 +64,9 @@ class KernelCounters:
     combos_pruned: int = 0
     blocks_scanned: int = 0
     blocks_skipped: int = 0
+    supers_skipped: int = 0
+    decode_strides: int = 0
+    inner_tables_built: int = 0
 
     def merge(self, other: "KernelCounters") -> None:
         self.combos_scored += other.combos_scored
@@ -48,6 +75,48 @@ class KernelCounters:
         self.combos_pruned += other.combos_pruned
         self.blocks_scanned += other.blocks_scanned
         self.blocks_skipped += other.blocks_skipped
+        self.supers_skipped += other.supers_skipped
+        self.decode_strides += other.decode_strides
+        self.inner_tables_built += other.inner_tables_built
+
+
+def _fused_and_popcount(words: np.ndarray, combos: np.ndarray) -> np.ndarray:
+    """Per-combination popcount of the AND of its gene rows, stride-fused.
+
+    Equivalent to ``popcount(AND over h rows)`` summed across the full
+    word width, but never holds more than a ``(B, WORD_STRIDE)`` slice:
+    each stride is gathered, AND-reduced in place, popcounted, and folded
+    into the int64 accumulator before the next stride is touched.
+    """
+    b, h = combos.shape
+    total = np.zeros(b, dtype=np.int64)
+    n_words = words.shape[1]
+    for w0 in range(0, n_words, WORD_STRIDE):
+        sl = slice(w0, min(w0 + WORD_STRIDE, n_words))
+        acc = words[combos[:, 0], sl]
+        for c in range(1, h):
+            np.bitwise_and(acc, words[combos[:, c], sl], out=acc)
+        total += np.bitwise_count(acc).sum(axis=1, dtype=np.int64)
+    return total
+
+
+def fused_pair_popcount(base: np.ndarray, inner: np.ndarray) -> np.ndarray:
+    """``(B, L)`` popcounts of ``base[b] & inner[l]``, stride-fused.
+
+    The engine's nested-scheme hot loop: ``base`` holds each thread's
+    AND-reduced fixed-gene rows, ``inner`` the cached AND-table of inner
+    combinations.  The broadcast AND is evaluated one word stride at a
+    time so the transient cube is ``(B, L, WORD_STRIDE)`` at most, never
+    ``(B, L, n_words)``.
+    """
+    n_words = base.shape[1]
+    out = np.zeros((base.shape[0], inner.shape[0]), dtype=np.int64)
+    for w0 in range(0, n_words, WORD_STRIDE):
+        sl = slice(w0, min(w0 + WORD_STRIDE, n_words))
+        out += np.bitwise_count(base[:, None, sl] & inner[None, :, sl]).sum(
+            axis=2, dtype=np.int64
+        )
+    return out
 
 
 def score_combos(
@@ -71,16 +140,8 @@ def score_combos(
         empty = np.empty(0)
         return empty, empty.astype(np.int64), empty.astype(np.int64)
 
-    # The fancy-indexed gather already materializes fresh arrays, so the
-    # in-place ANDs below never clobber the matrix rows.
-    t_and = tumor.words[combos[:, 0]]
-    n_and = normal.words[combos[:, 0]]
-    for c in range(1, h):
-        np.bitwise_and(t_and, tumor.words[combos[:, c]], out=t_and)
-        np.bitwise_and(n_and, normal.words[combos[:, c]], out=n_and)
-
-    tp = np.bitwise_count(t_and).sum(axis=1).astype(np.int64)
-    tn = params.n_normal - np.bitwise_count(n_and).sum(axis=1).astype(np.int64)
+    tp = _fused_and_popcount(tumor.words, combos)
+    tn = params.n_normal - _fused_and_popcount(normal.words, combos)
     f = fscore(tp, tn, params)
 
     if counters is not None:
@@ -88,6 +149,34 @@ def score_combos(
         counters.word_reads += b * h * (tumor.n_words + normal.n_words)
         counters.word_ops += b * (h - 1) * (tumor.n_words + normal.n_words)
     return f, tp, tn
+
+
+def score_combos_reference(
+    tumor: BitMatrix,
+    normal: BitMatrix,
+    combos: np.ndarray,
+    params: FScoreParams,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Single-shot (non-strided) reference scorer.
+
+    Materializes the full ``(B, n_words)`` AND intermediates the fused
+    kernel avoids; kept as the oracle the fused path must match
+    bit-for-bit.  The fancy-indexed gather already materializes fresh
+    arrays, so the in-place ANDs never clobber the matrix rows.
+    """
+    combos = np.asarray(combos, dtype=np.int64)
+    b, h = combos.shape
+    if b == 0:
+        empty = np.empty(0)
+        return empty, empty.astype(np.int64), empty.astype(np.int64)
+    t_and = tumor.words[combos[:, 0]]
+    n_and = normal.words[combos[:, 0]]
+    for c in range(1, h):
+        np.bitwise_and(t_and, tumor.words[combos[:, c]], out=t_and)
+        np.bitwise_and(n_and, normal.words[combos[:, c]], out=n_and)
+    tp = np.bitwise_count(t_and).sum(axis=1).astype(np.int64)
+    tn = params.n_normal - np.bitwise_count(n_and).sum(axis=1).astype(np.int64)
+    return fscore(tp, tn, params), tp, tn
 
 
 def best_of(

@@ -25,7 +25,7 @@ from repro.combinatorics.decode import top_index_array
 
 import numpy as np
 
-__all__ = ["MemoryConfig", "global_word_reads"]
+__all__ = ["MemoryConfig", "fused_word_reads", "global_word_reads"]
 
 
 @dataclass(frozen=True)
@@ -89,4 +89,59 @@ def global_word_reads(
             continue
         w = level_work(scheme, g, m)
         total += n_threads * (pre + w * per_combo_rows)
+    return total * words
+
+
+def fused_word_reads(
+    scheme: Scheme,
+    g: int,
+    words: int,
+    lam_start: int,
+    lam_end: int,
+    charged_levels: "set[int] | None" = None,
+) -> int:
+    """Global-memory word reads of the *fused* scan over a thread range.
+
+    The fused kernel (the lazy-greedy engine's scoring pass) touches each
+    global word exactly once per logical load: every thread's ``f`` fixed
+    rows are gathered and AND-reduced a single time (full-width prefetch —
+    this subsumes MemOpt1/2, so :class:`MemoryConfig` prefetch flags do
+    not appear here), and each workload level's inner AND-table
+    (``C(g-1-m, d)`` combinations of ``d`` rows) is built once per scan
+    call and reused across every thread and block that touches the level.
+    The word-stride broadcast re-reads hit cache by construction, so only
+    first touches count — the same convention the paper's MemOpt
+    accounting uses for prefetched rows.
+
+    ``charged_levels`` carries first-touch state across the multiple
+    block scans of one engine call (the engine passes the set backing its
+    inner-table cache); each level's table-build cost is charged exactly
+    once per set.  Passing ``None`` charges every intersected level,
+    which is the single-range closed form.
+    """
+    if lam_end <= lam_start:
+        return 0
+    f = scheme.flattened
+    d = scheme.inner
+    total = 0
+    lo_top = int(top_index_array(np.asarray([lam_start]), f)[0])
+    hi_top = int(top_index_array(np.asarray([lam_end - 1]), f)[0])
+    for m in range(lo_top, hi_top + 1):
+        a, b = level_range(scheme, m)
+        n_threads = min(b, lam_end) - max(a, lam_start)
+        if n_threads <= 0:
+            continue
+        if d > 0:
+            inner = level_work(scheme, g, m)
+            if inner == 0:
+                continue  # empty inner loops: the engine never gathers
+            total += n_threads * f
+            if charged_levels is None or m not in charged_levels:
+                total += inner * d
+                if charged_levels is not None:
+                    charged_levels.add(m)
+        else:
+            # Fully flattened: every thread is one combination reading
+            # its h = f rows once.
+            total += n_threads * f
     return total * words

@@ -25,6 +25,15 @@ not re-pickled per chunk: a chunk task carries only segment names,
 shapes and the λ range; workers attach lazily and cache the mapping
 until the segment names change.
 
+Pruned iterations ship each aligned chunk its slice of the two-level
+bound table (:meth:`repro.core.bounds.BoundTable.slice_payload`); the
+worker-side slice rebuilds its derived super-block aggregates locally on
+construction, so the hierarchical skip and the fused multi-block runs
+work identically in-process and cross-process, and the refreshed bounds
+ride back as per-chunk deltas.  The fused-scan counters
+(``decode_strides``, ``inner_tables_built``, ``supers_skipped``) merge
+across workers like every other :class:`KernelCounters` field.
+
 A lost worker never loses a greedy iteration: a crashed or timed-out
 chunk is re-submitted per the engine's :class:`repro.faults.RetryPolicy`
 (with exponential backoff) and finally retried inline in the parent

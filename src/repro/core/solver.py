@@ -117,16 +117,24 @@ class MultiHitSolver:
         ``result.fault_report``.
     prune:
         Switch on the lazy-greedy pruned iteration engine: a persistent
-        per-λ-block :class:`repro.core.bounds.BoundTable` lets every
-        iteration after the first skip blocks whose previous best F
-        cannot beat (or tie) the incumbent, and the scoring scan runs on
-        a column-compacted tumor matrix.  Results are bit-identical to
-        the unpruned engine on every backend; only the work counters
-        (and wall time) change.  Ignored by the ``"sequential"`` oracle.
+        two-level :class:`repro.core.bounds.BoundTable` lets every
+        iteration after the first skip whole super-blocks (and then
+        individual blocks) whose previous best F cannot beat (or tie)
+        the incumbent, surviving blocks are scored by the fused
+        multi-block scan (one λ-decode per stride, word-stride-fused
+        AND/popcount), and the scan runs on a column-compacted tumor
+        matrix.  The fused gather reads each thread's fixed rows exactly
+        once, subsuming the ``memory`` prefetch flags on this path
+        (``memory.bitsplice`` still matters through the compacted word
+        width).  Results are bit-identical to the unpruned engine on
+        every backend; only the work counters (and wall time) change.
+        Ignored by the ``"sequential"`` oracle.
     prune_blocks:
         Target λ-block count for the bound table (finer blocks prune
         more combinations at slightly more bookkeeping); the backend's
-        chunk/partition cuts are merged in on top.
+        chunk/partition cuts are merged in on top, and blocks are
+        grouped into super-blocks of :attr:`BoundTable.super_size` for
+        the hierarchical skip.
     """
 
     hits: int = 4

@@ -98,10 +98,15 @@ class MetricsRegistry:
         self.inc(f"{prefix}.combos_scored", counters.combos_scored)
         self.inc(f"{prefix}.word_reads", counters.word_reads)
         self.inc(f"{prefix}.word_ops", counters.word_ops)
+        if counters.decode_strides:
+            self.inc(f"{prefix}.decode_strides", counters.decode_strides)
+        if counters.inner_tables_built:
+            self.inc(f"{prefix}.inner_tables_built", counters.inner_tables_built)
         if counters.blocks_scanned or counters.blocks_skipped:
             self.inc("prune.combos_pruned", counters.combos_pruned)
             self.inc("prune.blocks_skipped", counters.blocks_skipped)
             self.inc("prune.blocks_scanned", counters.blocks_scanned)
+            self.inc("prune.supers_skipped", counters.supers_skipped)
 
     def record_fault_event(self, kind: str, site: str, action: str) -> None:
         """Live routing target for :meth:`repro.faults.FaultReport.record`."""

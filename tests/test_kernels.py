@@ -6,7 +6,15 @@ import numpy as np
 import pytest
 
 from repro.bitmatrix.matrix import BitMatrix
-from repro.core.kernels import KernelCounters, best_of, score_combos
+from repro.core.fscore import FScoreParams
+from repro.core.kernels import (
+    WORD_STRIDE,
+    KernelCounters,
+    best_of,
+    fused_pair_popcount,
+    score_combos,
+    score_combos_reference,
+)
 
 
 class TestScoreCombos:
@@ -56,6 +64,60 @@ class TestScoreCombos:
         b = KernelCounters(combos_scored=10, word_reads=20, word_ops=30)
         a.merge(b)
         assert (a.combos_scored, a.word_reads, a.word_ops) == (11, 22, 33)
+
+    def test_counters_merge_fusion_fields(self):
+        a = KernelCounters(supers_skipped=1, decode_strides=2, inner_tables_built=3)
+        b = KernelCounters(supers_skipped=10, decode_strides=20, inner_tables_built=30)
+        a.merge(b)
+        assert (a.supers_skipped, a.decode_strides, a.inner_tables_built) == (
+            11,
+            22,
+            33,
+        )
+
+
+class TestFusedKernels:
+    """The word-stride fused paths must be bit-identical to the
+    single-shot reference — popcounts are exact integers, so any drift
+    is a bug, not rounding."""
+
+    def _random_matrices(self, rng, n_genes, n_samples):
+        t = rng.random((n_genes, n_samples)) < 0.35
+        n = rng.random((n_genes, n_samples)) < 0.15
+        tumor = BitMatrix.from_dense(t)
+        normal = BitMatrix.from_dense(n)
+        params = FScoreParams(n_tumor=n_samples, n_normal=n_samples, alpha=0.1)
+        return tumor, normal, params
+
+    @pytest.mark.parametrize("n_samples", [70, 64 * WORD_STRIDE + 130])
+    def test_score_combos_matches_reference(self, n_samples):
+        # The wide case spans multiple word strides (n_words > WORD_STRIDE),
+        # so the fused accumulator actually folds across stride slices.
+        rng = np.random.default_rng(42)
+        tumor, normal, params = self._random_matrices(rng, 30, n_samples)
+        for h in (2, 3, 4):
+            combos = np.sort(
+                rng.choice(30, size=(50, h), replace=True), axis=1
+            )
+            combos = combos[(np.diff(combos, axis=1) > 0).all(axis=1)]
+            f, tp, tn = score_combos(tumor, normal, combos, params)
+            rf, rtp, rtn = score_combos_reference(tumor, normal, combos, params)
+            np.testing.assert_array_equal(tp, rtp)
+            np.testing.assert_array_equal(tn, rtn)
+            np.testing.assert_array_equal(f, rf)
+
+    @pytest.mark.parametrize("n_words", [1, WORD_STRIDE - 1, WORD_STRIDE, WORD_STRIDE + 3])
+    def test_fused_pair_popcount_matches_broadcast(self, n_words):
+        rng = np.random.default_rng(7)
+        base = rng.integers(0, 1 << 63, size=(13, n_words), dtype=np.uint64)
+        inner = rng.integers(0, 1 << 63, size=(9, n_words), dtype=np.uint64)
+        got = fused_pair_popcount(base, inner)
+        want = (
+            np.bitwise_count(base[:, None, :] & inner[None, :, :])
+            .sum(axis=2)
+            .astype(np.int64)
+        )
+        np.testing.assert_array_equal(got, want)
 
 
 class TestBestOf:
