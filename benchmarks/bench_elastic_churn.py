@@ -1,0 +1,141 @@
+"""Elastic churn bench: ±20% mid-solve fleet swap vs the static fleet.
+
+Runs the same planted cohort through the in-process distributed solver
+twice — once on a fixed 5-rank fleet, once on the elastic lease-stealing
+path with a :meth:`FaultPlan.churn` scenario (one rank drains at 20%
+solve progress, a fresh rank joins at 40%) — and writes
+``BENCH_elastic.json``.  The acceptance bar is exact: the churned run's
+selected combinations are bit-identical to the static run and every
+combination is scored exactly once (the lease ledger's counter closure).
+Lease traffic (grants / steals / forfeits) lands in the summary so the
+regression gate can see scheduling-behaviour drift, not just winners.
+"""
+
+import time
+
+from repro.core.solver import MultiHitSolver
+from repro.data.synthesis import CohortConfig, generate_cohort
+from repro.faults.plan import FaultPlan
+from repro.telemetry import telemetry_session
+
+N_NODES = 5
+CHURN = dict(fraction=0.2, leave_at=0.2, join_at=0.4)
+
+
+def _cohort():
+    return generate_cohort(
+        CohortConfig(n_genes=32, n_tumor=100, n_normal=100, hits=3, seed=7)
+    )
+
+
+def _signature(result):
+    return [(c.genes, c.f, c.tp, c.tn) for c in result.combinations]
+
+
+def _solve_elastic(t, n):
+    solver = MultiHitSolver(
+        hits=3,
+        backend="distributed",
+        n_nodes=N_NODES,
+        elastic=True,
+        fault_plan=FaultPlan.churn(N_NODES, **CHURN),
+    )
+    return solver.solve(t, n)
+
+
+def test_elastic_churn_bit_identical(benchmark, show, bench_summary):
+    cohort = _cohort()
+    t, n = cohort.tumor.values, cohort.normal.values
+
+    static = MultiHitSolver(hits=3, backend="distributed", n_nodes=N_NODES).solve(
+        t, n
+    )
+
+    with telemetry_session() as telemetry:
+        t0 = time.perf_counter()
+        elastic = benchmark.pedantic(
+            _solve_elastic, args=(t, n), rounds=1, iterations=1
+        )
+        wall = time.perf_counter() - t0
+
+        # The gate: churn must not change the answer or the accounting.
+        bit_identical = float(_signature(elastic) == _signature(static))
+        assert bit_identical == 1.0
+        scored_static = sum(r.combos_scored for r in static.iterations)
+        scored_elastic = sum(r.combos_scored for r in elastic.iterations)
+        assert scored_elastic == scored_static
+
+        # The churn actually happened: membership events on the report.
+        churn_events = [
+            (e.kind, e.action)
+            for e in elastic.fault_report.events
+            if e.site == "membership"
+        ]
+        assert ("leave", "drained") in churn_events
+        assert ("join", "joined") in churn_events
+
+        counters = telemetry.metrics.counters
+        grants = counters.get("lease.grants", 0)
+        assert grants > 0
+
+        bench_summary(
+            "elastic",
+            values={
+                "n_nodes": N_NODES,
+                "churn_fraction": CHURN["fraction"],
+                "bit_identical": bit_identical,
+                "combos_scored": scored_elastic,
+                "combos_scored_static": scored_static,
+                "iterations": len(elastic.iterations),
+                "lease_grants": grants,
+                "lease_steals": counters.get("lease.steals", 0),
+                "lease_forfeited": counters.get("lease.forfeited", 0),
+                "lease_completed": counters.get("lease.completed", 0),
+                "churn_events": len(churn_events),
+                "wall_seconds_elastic": wall,
+                "wall_seconds_static": sum(
+                    r.wall_seconds for r in static.iterations
+                ),
+            },
+            telemetry=telemetry,
+        )
+    show(
+        "elastic churn vs static: bit_identical="
+        f"{bit_identical:.0f}, combos_scored={scored_elastic} "
+        f"(static {scored_static}), lease_grants={grants}, "
+        f"steals={counters.get('lease.steals', 0)}, "
+        f"forfeits={counters.get('lease.forfeited', 0)}, "
+        f"churn_events={churn_events}"
+    )
+
+
+def test_elastic_steal_recovery_bit_identical(benchmark, show):
+    """A persistently dead rank's leases are stolen; the winner holds."""
+    from repro.bitmatrix.matrix import BitMatrix
+    from repro.core.distributed import DistributedEngine
+    from repro.core.fscore import FScoreParams
+    from repro.faults.plan import FaultSpec
+    from repro.scheduling.schemes import scheme_for
+    import numpy as np
+
+    rng = np.random.default_rng(11)
+    tumor = BitMatrix.from_dense(rng.random((40, 80)) < 0.35)
+    normal = BitMatrix.from_dense(rng.random((40, 70)) < 0.1)
+    params = FScoreParams(n_tumor=80, n_normal=70)
+    scheme = scheme_for(3, 2)
+
+    clean = DistributedEngine(scheme=scheme, n_nodes=4).best_combo(
+        tumor, normal, params
+    )
+    plan = FaultPlan(
+        (FaultSpec(kind="crash", site="rank", target=1, count=-1),)
+    )
+    engine = DistributedEngine(
+        scheme=scheme, n_nodes=4, elastic=True, fault_plan=plan
+    )
+    got = benchmark.pedantic(
+        lambda: engine.best_combo(tumor, normal, params), rounds=1, iterations=1
+    )
+    assert got == clean
+    assert engine.report.n_rescheduled >= 1
+    show(engine.report.describe())

@@ -12,7 +12,11 @@ from repro.telemetry import telemetry_session
 
 def test_fig4_scaling_full_sweep(benchmark, show, bench_summary):
     with telemetry_session() as telemetry:
-        result = benchmark.pedantic(fig4_scaling.run, rounds=1, iterations=1)
+        result = benchmark.pedantic(
+            lambda: fig4_scaling.run(elastic_nodes=[100, 400, 700, 1000]),
+            rounds=1,
+            iterations=1,
+        )
     effs = [p.efficiency for p in result.strong]
     nodes = [p.n_nodes for p in result.strong]
     assert nodes[0] == 100 and nodes[-1] == 1000
@@ -35,6 +39,15 @@ def test_fig4_scaling_full_sweep(benchmark, show, bench_summary):
     assert all(0.85 <= e <= 1.001 for e in weak_effs)
     assert weak_effs == sorted(weak_effs, reverse=True)
 
+    # Elastic strong scaling under ±20% mid-solve churn: the lease-
+    # stealing fleet must hold efficiency at 1000 nodes — fine leases
+    # absorb node jitter, so churn costs at most a modest overhead vs
+    # the static fleet (and typically wins).
+    elastic_effs = [p.efficiency for p in result.elastic]
+    assert result.elastic[-1].n_nodes == 1000
+    assert 0.80 <= result.elastic_at_max_nodes <= 1.05
+    assert result.elastic_overhead_at_max < 0.15
+
     bench_summary(
         "fig4",
         values={
@@ -45,6 +58,11 @@ def test_fig4_scaling_full_sweep(benchmark, show, bench_summary):
             "strong_avg_efficiency": result.strong_avg_efficiency,
             "weak_nodes": [p.n_nodes for p in result.weak],
             "weak_efficiency": weak_effs,
+            "elastic_nodes": [p.n_nodes for p in result.elastic],
+            "elastic_efficiency": elastic_effs,
+            "elastic_runtime_s": [p.runtime_s for p in result.elastic],
+            "elastic_at_max_nodes": result.elastic_at_max_nodes,
+            "elastic_overhead_at_max": result.elastic_overhead_at_max,
         },
         telemetry=telemetry,
     )

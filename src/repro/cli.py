@@ -51,6 +51,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--prune-blocks", type=int, default=64, metavar="N",
         help="target λ-block count for the pruning bound table (default 64)",
     )
+    p_solve.add_argument(
+        "--elastic", action="store_true",
+        help="lease-based work stealing instead of fixed partitions "
+             "(pool/distributed backends; winners stay bit-identical, "
+             "and membership churn — joins, leaves, dead ranks — is "
+             "absorbed by survivors stealing the affected λ-leases)",
+    )
+    p_solve.add_argument(
+        "--lease-blocks", type=int, default=0, metavar="N",
+        help="λ-range leases per arg-max call with --elastic "
+             "(default 0 = four per rank/worker)",
+    )
     p_solve.add_argument("--output", type=str, default=None, help="save result JSON")
     p_solve.add_argument(
         "--checkpoint", type=str, default=None, metavar="PATH",
@@ -195,6 +207,7 @@ def _run_solve(args: argparse.Namespace, telemetry) -> int:
     solver = MultiHitSolver(
         hits=hits, backend=args.backend, n_nodes=args.nodes, n_workers=args.workers,
         prune=args.prune, prune_blocks=args.prune_blocks,
+        elastic=args.elastic, lease_blocks=args.lease_blocks,
     )
     if args.checkpoint:
         from pathlib import Path

@@ -9,7 +9,13 @@ GPUs).  This package substitutes:
   distributed solver as a real SPMD program;
 * :class:`VirtualCluster` — a deterministic virtual-time engine with a
   latency/bandwidth network model, used to reproduce the paper's timing
-  figures at full 1000-node scale without hardware.
+  figures at full 1000-node scale without hardware;
+* :class:`LeaseLedger` / :class:`ElasticSPMDRunner` — λ-range leases and
+  the elastic membership layer: ranks pull leases, renew them off the
+  heartbeat channel, and join/leave mid-solve while survivors steal
+  expired or forfeited ranges (winners stay bit-identical);
+* :class:`AutoscalePolicy` — reactive grow/shrink recommendations from
+  the live ETA and heartbeat-staleness gauges.
 """
 
 from repro.cluster.node import SummitNodeSpec, SUMMIT_NODE
@@ -19,6 +25,9 @@ from repro.cluster.network import NetworkModel, SUMMIT_NETWORK
 from repro.cluster.virtual import RankTimeline, VirtualCluster
 from repro.cluster.mpi_program import rank_program, spmd_best_combo
 from repro.cluster.trace import ClusterTrace, TraceEvent, TracingCluster
+from repro.cluster.leases import Lease, LeaseLedger
+from repro.cluster.elastic import ElasticSPMDRunner, elastic_spmd_best_combo
+from repro.cluster.autoscale import AutoscaleDecision, AutoscalePolicy
 
 __all__ = [
     "ClusterTrace",
@@ -26,6 +35,12 @@ __all__ = [
     "TracingCluster",
     "rank_program",
     "spmd_best_combo",
+    "Lease",
+    "LeaseLedger",
+    "ElasticSPMDRunner",
+    "elastic_spmd_best_combo",
+    "AutoscaleDecision",
+    "AutoscalePolicy",
     "SummitNodeSpec",
     "SUMMIT_NODE",
     "CommAbortedError",

@@ -1,0 +1,153 @@
+"""Reactive autoscaling policy for the elastic scale-out.
+
+Consumes the live signals PR 5 already exports — the progress monitor's
+ETA (``progress.eta_s``) and the SPMD failure detector's per-rank
+heartbeat-staleness gauges (``spmd.heartbeat_stale_s.*``) — and
+recommends a fleet-size change.  The policy only *recommends*:
+callers (the elastic runner's supervisor, or an external operator
+watching ``/metrics``) decide whether to act, so the decision logic
+stays deterministic and unit-testable without threads.
+
+Rules, in priority order:
+
+1. **Shrink on silence** — ranks whose heartbeat staleness exceeds
+   ``stale_after_s`` are effectively gone already; recommending their
+   removal converts a detector signal into a membership decision
+   (their leases are reclaimed by expiry either way).
+2. **Grow on a late ETA** — when the projected finish exceeds
+   ``target_eta_s``, recommend enough ranks to close the gap assuming
+   near-linear scaling (ranks ~ eta / target), capped by
+   ``max_step`` and ``max_ranks``.
+3. **Shrink on an early ETA** — when the solve will finish well inside
+   the target (``eta < shrink_margin * target``), surplus ranks can be
+   released to the facility scheduler.
+4. **Hold** otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.telemetry.session import get_telemetry
+
+__all__ = ["AutoscaleDecision", "AutoscalePolicy"]
+
+
+@dataclass(frozen=True)
+class AutoscaleDecision:
+    """What the policy recommends for the current sample."""
+
+    action: str  # "grow" | "shrink" | "hold"
+    delta: int  # ranks to add (grow) or remove (shrink); 0 on hold
+    reason: str
+    stale_ranks: "tuple[int, ...]" = ()
+
+    @property
+    def is_hold(self) -> bool:
+        return self.action == "hold"
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Deterministic grow/shrink recommendation from live gauges.
+
+    Parameters
+    ----------
+    target_eta_s:
+        The walltime budget the solve should finish within (a Summit
+        allocation's remaining queue time).  ``None`` disables the
+        ETA-driven rules; only the staleness rule fires.
+    stale_after_s:
+        Heartbeat staleness beyond which a rank is presumed lost.
+    shrink_margin:
+        Shrink when ``eta < shrink_margin * target_eta_s`` (the fleet
+        is oversized for the remaining work).
+    min_ranks / max_ranks:
+        Fleet-size clamps for any recommendation.
+    max_step:
+        Largest single grow/shrink step (reactive, not bang-bang).
+    """
+
+    target_eta_s: "float | None" = None
+    stale_after_s: float = 30.0
+    shrink_margin: float = 0.5
+    min_ranks: int = 1
+    max_ranks: int = 1 << 20
+    max_step: int = 64
+
+    def recommend(
+        self,
+        n_ranks: int,
+        eta_s: "float | None" = None,
+        heartbeat_stale_s: "dict[int, float] | None" = None,
+    ) -> AutoscaleDecision:
+        """One recommendation from one sample of the live signals.
+
+        ``heartbeat_stale_s`` maps rank -> staleness seconds (the
+        ``spmd.heartbeat_stale_s.rankN`` gauges); ``eta_s`` is the
+        progress monitor's projected remaining time.
+        """
+        decision = self._decide(n_ranks, eta_s, heartbeat_stale_s or {})
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.set_gauge("autoscale.n_ranks", n_ranks)
+            tel.set_gauge(
+                "autoscale.delta",
+                decision.delta if decision.action == "grow" else -decision.delta,
+            )
+            tel.count(f"autoscale.{decision.action}")
+        return decision
+
+    def _decide(
+        self,
+        n_ranks: int,
+        eta_s: "float | None",
+        stale: "dict[int, float]",
+    ) -> AutoscaleDecision:
+        silent = tuple(
+            sorted(r for r, s in stale.items() if s > self.stale_after_s)
+        )
+        if silent:
+            drop = min(len(silent), self.max_step, n_ranks - self.min_ranks)
+            if drop > 0:
+                return AutoscaleDecision(
+                    action="shrink",
+                    delta=drop,
+                    reason=(
+                        f"{len(silent)} rank(s) silent beyond "
+                        f"{self.stale_after_s:g}s"
+                    ),
+                    stale_ranks=silent[:drop],
+                )
+        if self.target_eta_s is not None and eta_s is not None:
+            if eta_s > self.target_eta_s:
+                # Near-linear scaling: finishing eta/target times sooner
+                # needs roughly that multiple of the current fleet.
+                want = math.ceil(n_ranks * eta_s / self.target_eta_s)
+                grow = min(want - n_ranks, self.max_step, self.max_ranks - n_ranks)
+                if grow > 0:
+                    return AutoscaleDecision(
+                        action="grow",
+                        delta=grow,
+                        reason=(
+                            f"eta {eta_s:.1f}s exceeds target "
+                            f"{self.target_eta_s:.1f}s"
+                        ),
+                    )
+            elif eta_s < self.shrink_margin * self.target_eta_s and n_ranks > self.min_ranks:
+                want = max(
+                    self.min_ranks,
+                    math.ceil(n_ranks * eta_s / self.target_eta_s),
+                )
+                drop = min(n_ranks - want, self.max_step, n_ranks - self.min_ranks)
+                if drop > 0:
+                    return AutoscaleDecision(
+                        action="shrink",
+                        delta=drop,
+                        reason=(
+                            f"eta {eta_s:.1f}s well inside target "
+                            f"{self.target_eta_s:.1f}s"
+                        ),
+                    )
+        return AutoscaleDecision(action="hold", delta=0, reason="within band")

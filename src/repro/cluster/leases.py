@@ -1,0 +1,430 @@
+"""λ-range leases: the work-stealing currency of the elastic scale-out.
+
+The paper's static scale-out cuts the λ thread-grid once, equi-area,
+into exactly one partition per device — correct for a fixed fleet, but
+structurally straggler-prone once pruning makes per-range work
+non-uniform, and helpless when ranks join or leave mid-solve.  The
+elastic path instead cuts each iteration's λ-space into a pool of
+**leases**, finer than one-per-rank, owned by a :class:`LeaseLedger`
+on the driver (rank 0): ranks *pull* leases, renew them through the
+heartbeat channel, and a lease whose holder goes silent (or departs)
+returns to the pool for a survivor to steal.
+
+Determinism argument: a lease's result is a pure function of its
+``[lam_start, lam_end)`` range — never of who computed it or when — and
+:meth:`LeaseLedger.merge` folds the per-lease winners through
+:func:`repro.core.reduction.multi_stage_reduce` in **lease-id order**.
+Steals, duplicate completions (a stolen lease finished by both the
+thief and a resurfacing straggler) and join/leave churn therefore
+cannot change the winner: the merge input is the same ordered list of
+range-winners on every run.  Kernel counters are kept per lease and
+folded in the same order, with duplicates dropped at completion time,
+so work accounting closes exactly like the static path's.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.core.reduction import multi_stage_reduce
+from repro.scheduling.equiarea import equiarea_range_boundaries
+from repro.scheduling.workload import total_threads
+from repro.telemetry.session import get_telemetry
+
+__all__ = ["Lease", "LeaseLedger", "LEASE_STATES"]
+
+#: Lease lifecycle: ``available`` (in the pool) -> ``granted`` (held by a
+#: rank, deadline-armed) -> ``completed`` (result recorded, terminal).
+#: ``granted`` falls back to ``available`` on expiry or forfeiture.
+LEASE_STATES = ("available", "granted", "completed")
+
+
+@dataclass
+class Lease:
+    """One λ-range unit of stealable work.
+
+    ``grants`` counts how many times the lease was handed out; any grant
+    after the first is a steal (the range moved to a new holder after an
+    expiry or forfeiture).  ``previous_holders`` keeps the churn trail
+    for fault attribution.
+    """
+
+    lease_id: int
+    lam_start: int
+    lam_end: int
+    state: str = "available"
+    holder: "int | None" = None
+    deadline: float = float("inf")
+    grants: int = 0
+    previous_holders: list = field(default_factory=list)
+    result: "object | None" = None
+    counters: "object | None" = None
+    completed_by: "int | None" = None
+
+    @property
+    def span(self) -> int:
+        return self.lam_end - self.lam_start
+
+
+class LeaseLedger:
+    """Thread-safe lease pool with heartbeat-driven expiry.
+
+    One ledger per arg-max call.  ``ttl_s`` arms a renewal deadline on
+    every grant: a holder that neither completes nor renews within the
+    TTL loses the lease back to the pool (``ttl_s=None`` disables the
+    clock — correct for the in-process engine, where a grant is followed
+    synchronously by completion or explicit forfeiture).
+    """
+
+    def __init__(
+        self,
+        boundaries: "tuple[int, ...]",
+        ttl_s: "float | None" = None,
+    ) -> None:
+        if len(boundaries) < 2:
+            raise ValueError("need at least one lease range")
+        self.boundaries = tuple(boundaries)
+        self.ttl_s = ttl_s
+        spans = [
+            (lo, hi)
+            for lo, hi in zip(self.boundaries[:-1], self.boundaries[1:])
+            if hi > lo  # duplicate cuts (tiny grids) make empty ranges
+        ]
+        if not spans:
+            raise ValueError("every lease range is empty")
+        self.leases = [
+            Lease(lease_id=i, lam_start=lo, lam_end=hi)
+            for i, (lo, hi) in enumerate(spans)
+        ]
+        self._lock = threading.Lock()
+        self._retired: set = set()
+        self.n_steals = 0
+        self.n_expired = 0
+        self.n_forfeited = 0
+        self.n_duplicates = 0
+        self.n_grants = 0
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        scheme,
+        g: int,
+        n_leases: int,
+        lam_start: int = 0,
+        lam_end: "int | None" = None,
+        ttl_s: "float | None" = None,
+    ) -> "LeaseLedger":
+        """Equi-area lease cuts over ``[lam_start, lam_end)``.
+
+        The same O(G) level walk as every other cut in the repo, so
+        merging :attr:`boundaries` into a :class:`BoundTable` makes
+        every lease a whole number of λ-blocks (pruning stays on).
+        """
+        if lam_end is None:
+            lam_end = total_threads(scheme, g)
+        cuts = equiarea_range_boundaries(
+            scheme, g, lam_start, lam_end, max(1, n_leases)
+        )
+        return cls(cuts, ttl_s=ttl_s)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def acquire(self, holder: int, now: "float | None" = None) -> "Lease | None":
+        """Grant the lowest-id available lease to ``holder``.
+
+        Returns ``None`` when nothing is available (all granted or
+        completed) or the holder has been retired.  A grant after a
+        previous holder lost the lease counts as a steal.
+        """
+        tel = get_telemetry()
+        with self._lock:
+            if holder in self._retired:
+                return None
+            for lease in self.leases:
+                if lease.state != "available":
+                    continue
+                stolen = lease.grants > 0
+                lease.state = "granted"
+                lease.holder = holder
+                lease.grants += 1
+                if now is None:
+                    now = time.monotonic()
+                lease.deadline = (
+                    now + self.ttl_s if self.ttl_s is not None else float("inf")
+                )
+                self.n_grants += 1
+                if stolen:
+                    self.n_steals += 1
+                self._export(tel)
+                if tel.enabled:
+                    tel.count("lease.grants")
+                    if stolen:
+                        tel.count("lease.steals")
+                        if tel.flight is not None:
+                            tel.flight.note(
+                                "lease",
+                                event="steal",
+                                lease=lease.lease_id,
+                                lam_start=lease.lam_start,
+                                lam_end=lease.lam_end,
+                                thief=holder,
+                                previous_holders=list(lease.previous_holders),
+                            )
+                return lease
+        return None
+
+    def renew(self, holder: int, now: "float | None" = None) -> int:
+        """Extend the deadlines of every lease ``holder`` currently holds."""
+        if self.ttl_s is None:
+            return 0
+        if now is None:
+            now = time.monotonic()
+        n = 0
+        with self._lock:
+            for lease in self.leases:
+                if lease.state == "granted" and lease.holder == holder:
+                    lease.deadline = now + self.ttl_s
+                    n += 1
+        return n
+
+    def sync_heartbeats(
+        self, heartbeats: "list[float]", now: "float | None" = None
+    ) -> None:
+        """Re-arm deadlines from the SimComm heartbeat channel.
+
+        ``heartbeats[r]`` is rank ``r``'s last-beat monotonic time (the
+        list every :class:`repro.cluster.comm.SimComm` op updates); a
+        granted lease's deadline becomes ``beat + ttl_s``, so leases are
+        renewed by ordinary communicator traffic, with no extra protocol.
+        """
+        if self.ttl_s is None:
+            return
+        with self._lock:
+            for lease in self.leases:
+                if lease.state != "granted":
+                    continue
+                h = lease.holder
+                if h is not None and 0 <= h < len(heartbeats):
+                    lease.deadline = max(
+                        lease.deadline, heartbeats[h] + self.ttl_s
+                    )
+
+    def expire(self, now: "float | None" = None) -> "list[Lease]":
+        """Reclaim granted leases whose deadline has passed.
+
+        The reclaimed leases return to the pool; the next ``acquire``
+        by any live rank is the steal.
+        """
+        if now is None:
+            now = time.monotonic()
+        tel = get_telemetry()
+        reclaimed: "list[Lease]" = []
+        with self._lock:
+            for lease in self.leases:
+                if lease.state == "granted" and lease.deadline < now:
+                    lease.previous_holders.append(lease.holder)
+                    lease.state = "available"
+                    lease.holder = None
+                    lease.deadline = float("inf")
+                    self.n_expired += 1
+                    reclaimed.append(lease)
+            if reclaimed:
+                self._export(tel)
+        if reclaimed and tel.enabled:
+            tel.count("lease.expired", len(reclaimed))
+            if tel.flight is not None:
+                for lease in reclaimed:
+                    tel.flight.note(
+                        "lease",
+                        event="expired",
+                        lease=lease.lease_id,
+                        lam_start=lease.lam_start,
+                        lam_end=lease.lam_end,
+                        holder=lease.previous_holders[-1],
+                    )
+        return reclaimed
+
+    def forfeit(self, holder: int) -> "list[Lease]":
+        """Return every lease ``holder`` holds to the pool (crash/leave)."""
+        tel = get_telemetry()
+        dropped: "list[Lease]" = []
+        with self._lock:
+            for lease in self.leases:
+                if lease.state == "granted" and lease.holder == holder:
+                    lease.previous_holders.append(holder)
+                    lease.state = "available"
+                    lease.holder = None
+                    lease.deadline = float("inf")
+                    self.n_forfeited += 1
+                    dropped.append(lease)
+            if dropped:
+                self._export(tel)
+        if dropped and tel.enabled:
+            tel.count("lease.forfeited", len(dropped))
+            if tel.flight is not None:
+                for lease in dropped:
+                    tel.flight.note(
+                        "lease",
+                        event="forfeited",
+                        lease=lease.lease_id,
+                        lam_start=lease.lam_start,
+                        lam_end=lease.lam_end,
+                        holder=holder,
+                    )
+        return dropped
+
+    def retire(self, holder: int) -> "list[Lease]":
+        """Permanently bar ``holder`` from new grants and forfeit its leases."""
+        with self._lock:
+            self._retired.add(holder)
+        return self.forfeit(holder)
+
+    def complete(
+        self,
+        lease_id: int,
+        holder: int,
+        result: "object | None",
+        counters: "object | None" = None,
+    ) -> bool:
+        """Record a lease's range-winner; duplicates are dropped.
+
+        A completion is accepted from *any* holder — including one whose
+        grant has since expired and been stolen — because the result is
+        a pure function of the λ-range: whoever finishes first supplies
+        the identical answer.  The second finisher is recorded as a
+        duplicate and contributes nothing (neither result nor counters),
+        so accounting closes exactly once per lease.
+        """
+        tel = get_telemetry()
+        with self._lock:
+            lease = self.leases[lease_id]
+            if lease.state == "completed":
+                self.n_duplicates += 1
+                if tel.enabled:
+                    tel.count("lease.duplicate_results")
+                return False
+            if lease.holder is not None and lease.holder != holder:
+                # Completed by a resurfaced straggler while the steal is
+                # still in flight: same range, same result — accept it.
+                lease.previous_holders.append(lease.holder)
+            lease.state = "completed"
+            lease.holder = None
+            lease.deadline = float("inf")
+            lease.result = result
+            lease.counters = counters
+            lease.completed_by = holder
+            self._export(tel)
+        if tel.enabled:
+            tel.count("lease.completed")
+        return True
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def n_leases(self) -> int:
+        return len(self.leases)
+
+    def _count(self, state: str) -> int:
+        return sum(1 for lease in self.leases if lease.state == state)
+
+    @property
+    def n_available(self) -> int:
+        with self._lock:
+            return self._count("available")
+
+    @property
+    def n_granted(self) -> int:
+        with self._lock:
+            return self._count("granted")
+
+    @property
+    def n_completed(self) -> int:
+        with self._lock:
+            return self._count("completed")
+
+    @property
+    def done(self) -> bool:
+        with self._lock:
+            return all(lease.state == "completed" for lease in self.leases)
+
+    def completed_fraction(self) -> float:
+        with self._lock:
+            return self._count("completed") / len(self.leases)
+
+    def holders(self) -> "set[int]":
+        with self._lock:
+            return {
+                lease.holder
+                for lease in self.leases
+                if lease.state == "granted" and lease.holder is not None
+            }
+
+    def _export(self, tel) -> None:
+        """Gauge snapshot under the ledger lock (cheap; dict stores)."""
+        if not tel.enabled:
+            return
+        tel.set_gauge("lease.available", self._count("available"))
+        tel.set_gauge("lease.granted", self._count("granted"))
+        tel.set_gauge("lease.completed", self._count("completed"))
+
+    # -- deterministic merge -------------------------------------------
+
+    def merge(self, stats=None):
+        """Fold the per-lease winners in lease-id order — the whole
+        determinism story in one line: the reduction input is identical
+        regardless of which rank completed which lease, or in what
+        order, so churn cannot change the winner."""
+        incomplete = [
+            lease.lease_id for lease in self.leases if lease.state != "completed"
+        ]
+        if incomplete:
+            raise RuntimeError(f"leases not completed: {incomplete}")
+        return multi_stage_reduce(
+            [lease.result for lease in self.leases], stats=stats
+        )
+
+    def merge_counters(self, into) -> None:
+        """Fold per-lease kernel counters in lease-id order into ``into``."""
+        for lease in self.leases:
+            if lease.counters is not None:
+                into.merge(lease.counters)
+
+    def assignment_rows(self, call: "int | None" = None) -> "list[dict]":
+        """Flight-recorder assignment table: one row per lease."""
+        with self._lock:
+            return [
+                {
+                    "lease": lease.lease_id,
+                    "lam_start": lease.lam_start,
+                    "lam_end": lease.lam_end,
+                    "state": lease.state,
+                    "holder": lease.holder,
+                    "grants": lease.grants,
+                    "previous_holders": list(lease.previous_holders),
+                    **({"call": call} if call is not None else {}),
+                }
+                for lease in self.leases
+            ]
+
+    def describe(self) -> str:
+        with self._lock:
+            lines = [
+                f"LeaseLedger: {len(self.leases)} leases "
+                f"({self._count('completed')} done, "
+                f"{self._count('granted')} granted, "
+                f"{self._count('available')} available) "
+                f"steals={self.n_steals} expired={self.n_expired} "
+                f"forfeited={self.n_forfeited} duplicates={self.n_duplicates}"
+            ]
+            for lease in self.leases:
+                holder = "-" if lease.holder is None else str(lease.holder)
+                lines.append(
+                    f"  lease {lease.lease_id:3d} [{lease.lam_start}, "
+                    f"{lease.lam_end}) {lease.state:9s} holder={holder} "
+                    f"grants={lease.grants}"
+                )
+        return "\n".join(lines)

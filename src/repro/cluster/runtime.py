@@ -77,6 +77,10 @@ class SPMDRunner:
         lock = threading.Lock()
 
         telemetry = get_telemetry()
+        # Re-key the liveness gauges for this world's membership: a
+        # restart on survivors shrinks (and renumbers) the world, and a
+        # departed rank's stale gauge must not outlive it on /metrics.
+        telemetry.clear_gauges("spmd.heartbeat_stale_s.")
 
         def worker(rank: int) -> None:
             comm = SimComm(world, rank)

@@ -43,6 +43,43 @@ class VirtualCluster:
             raise ValueError("need at least one rank")
         self.clock = np.zeros(self.n_ranks, dtype=np.float64)
         self.timelines = [RankTimeline() for _ in range(self.n_ranks)]
+        self.departed: list[RankTimeline] = []
+
+    # -- elastic membership ----------------------------------------------
+
+    def join(self, n: int = 1) -> None:
+        """Register ``n`` new ranks mid-run.
+
+        A joiner's clock starts at the current global elapsed time (it
+        cannot have done work before it existed), so the next collective
+        treats it like any other rank.
+        """
+        if n < 1:
+            raise ValueError("must join at least one rank")
+        now = self.elapsed_s
+        self.clock = np.concatenate(
+            [self.clock, np.full(n, now, dtype=np.float64)]
+        )
+        self.timelines.extend(RankTimeline() for _ in range(n))
+        self.n_ranks += n
+
+    def leave(self, ranks: "list[int]") -> None:
+        """Remove ``ranks`` from the fleet mid-run.
+
+        Departed timelines move to :attr:`departed` so their accumulated
+        compute/comm time stays in the accounting; subsequent collectives
+        span only the survivors.  Removing every rank is an error.
+        """
+        gone = sorted(set(ranks))
+        if any(r < 0 or r >= self.n_ranks for r in gone):
+            raise ValueError(f"rank out of range in {ranks}")
+        if len(gone) >= self.n_ranks:
+            raise ValueError("cannot remove every rank")
+        keep = [r for r in range(self.n_ranks) if r not in gone]
+        self.departed.extend(self.timelines[r] for r in gone)
+        self.clock = self.clock[keep]
+        self.timelines = [self.timelines[r] for r in keep]
+        self.n_ranks = len(keep)
 
     # -- compute ---------------------------------------------------------
 

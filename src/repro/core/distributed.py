@@ -12,7 +12,19 @@ partition boundaries; a GPU partition that covers only part of a
 super-block simply falls back to per-block skip checks (the hierarchical
 fast path requires the whole super inside the searched range), so
 clipping is conservative, never unsound.  Rescheduled dead-rank ranges
-have arbitrary geometry and run unpruned, exactly as before.
+are re-cut with their interior points snapped to block boundaries
+(:func:`repro.faults.reschedule.reschedule_ranges_aligned`), so
+survivors rebuild their slice of the table and recovery keeps the CELF
+pruning speedup.
+
+``elastic=True`` switches the engine from fixed one-partition-per-GPU
+scheduling to lease-based work stealing: the λ-space is cut into
+``lease_blocks`` equi-area leases on a :class:`repro.cluster.leases.
+LeaseLedger`, ranks pull leases round-robin, a crashed or hung rank's
+leases are forfeited back to the pool for survivors to steal, and
+``membership``-site :class:`FaultSpec` churn (join/leave) resizes the
+roster mid-call.  The merge folds per-lease winners in lease-id order,
+so the winner is bit-identical to the static path's.
 """
 
 from __future__ import annotations
@@ -30,7 +42,11 @@ from repro.core.reduction import ReductionStats, multi_stage_reduce
 from repro.faults.plan import FaultPlan
 from repro.faults.policy import RetryPolicy
 from repro.faults.report import FaultReport
-from repro.faults.reschedule import rank_partitions, reschedule_ranges
+from repro.faults.reschedule import (
+    rank_partitions,
+    reschedule_ranges,
+    reschedule_ranges_aligned,
+)
 from repro.scheduling.equiarea import equiarea_schedule
 from repro.scheduling.schedule import Schedule
 from repro.scheduling.schemes import Scheme
@@ -140,6 +156,13 @@ class DistributedEngine:
     declared lost; one that finishes but exceeds
     ``retry_policy.straggler_after_s`` is recorded as a straggler.
     Everything detected/retried/rescheduled lands in ``report``.
+
+    ``elastic`` replaces the fixed partition-per-GPU schedule with
+    lease-based work stealing (``lease_blocks`` leases; ``0`` auto-sizes
+    to ``4 * n_nodes``): ranks pull leases round-robin, crash/hang
+    faults forfeit a rank's leases for survivors to steal, and
+    membership churn specs grow/shrink the roster mid-call.  Winners
+    stay bit-identical to the static path.
     """
 
     scheme: Scheme
@@ -151,6 +174,8 @@ class DistributedEngine:
     pool_workers: int = 0  # >0: pooled search inside each GPU's range
     fault_plan: "FaultPlan | None" = None
     retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
+    elastic: bool = False
+    lease_blocks: int = 0
     report: FaultReport = field(
         default_factory=FaultReport, repr=False, compare=False
     )
@@ -170,8 +195,30 @@ class DistributedEngine:
                 return equidistance_schedule(self.scheme, g, n_parts)
             raise ValueError(f"unknown scheduler {self.scheduler!r}")
 
+    def lease_cuts(self, g: int) -> tuple[int, ...]:
+        """Equi-area lease boundaries of the elastic path.
+
+        Finer than one-per-rank (default ``4 * n_nodes``) so stealing
+        has grain: losing a rank re-pools a few leases, not a sixth of
+        the grid.
+        """
+        from repro.scheduling.equiarea import equiarea_range_boundaries
+        from repro.scheduling.workload import total_threads
+
+        n = self.lease_blocks if self.lease_blocks > 0 else 4 * self.n_nodes
+        return equiarea_range_boundaries(
+            self.scheme, g, 0, total_threads(self.scheme, g), n
+        )
+
     def chunk_cuts(self, g: int) -> tuple[int, ...]:
-        """The schedule's partition boundaries (for bound-table alignment)."""
+        """The backend's range boundaries (for bound-table alignment).
+
+        Static: the schedule's partition cuts.  Elastic: the lease cuts,
+        so every lease a rank pulls is a whole number of λ-blocks and
+        pruning survives work stealing.
+        """
+        if self.elastic:
+            return self.lease_cuts(g)
         return tuple(self.build_schedule(g).boundaries)
 
     def best_combo(
@@ -192,6 +239,11 @@ class DistributedEngine:
         """
         call = self._calls
         self._calls += 1
+        if self.elastic:
+            return self._best_combo_elastic(
+                tumor, normal, params, call, counters, reduction_stats,
+                bounds, iteration,
+            )
         schedule = self.build_schedule(tumor.n_genes)
         tel = get_telemetry()
         if tel.flight is not None:
@@ -237,7 +289,8 @@ class DistributedEngine:
             if dead:
                 rank_winners.extend(
                     self._reschedule_dead(
-                        schedule, dead, call, tumor, normal, params, counters
+                        schedule, dead, call, tumor, normal, params, counters,
+                        bounds, iteration,
                     )
                 )
                 # The black box for a survived failure: dumped *after*
@@ -255,6 +308,163 @@ class DistributedEngine:
         finally:
             if pool is not None:
                 pool.close()
+
+    # -- elastic lease path --------------------------------------------
+
+    def _best_combo_elastic(
+        self, tumor, normal, params, call, counters, reduction_stats,
+        bounds, iteration,
+    ) -> "MultiHitCombination | None":
+        """Lease-based arg-max with deterministic in-process scheduling.
+
+        Ranks pull leases round-robin in rank order (the in-process
+        stand-in for "whichever rank is free pulls next"); a rank-site
+        crash/hang fault kills the rank — its granted lease is forfeited
+        back to the pool, and whoever pulls it next is the steal.
+        Membership churn fires between grant rounds at its
+        progress-fraction trigger.  The final merge folds per-lease
+        winners in lease-id order, so none of this scheduling detail
+        can reach the result.
+        """
+        from repro.cluster.leases import LeaseLedger
+
+        g = tumor.n_genes
+        tel = get_telemetry()
+        ledger = LeaseLedger(self.lease_cuts(g))
+        if tel.flight is not None:
+            tel.flight.set_assignments("lease", ledger.assignment_rows(call))
+        roster = list(range(self.n_nodes))
+        next_rank = self.n_nodes
+        dead: list[int] = []
+        while not ledger.done:
+            roster, next_rank = self._elastic_churn(
+                ledger, roster, next_rank, call
+            )
+            workers = list(roster) or [-1]  # -1: the driver drains the pool
+            progressed = False
+            for rank in workers:
+                lease = ledger.acquire(rank)
+                if lease is None:
+                    break
+                spec = (
+                    self.fault_plan.take("rank", rank, call)
+                    if self.fault_plan is not None and rank >= 0
+                    else None
+                )
+                if spec is not None and spec.kind in ("crash", "hang"):
+                    # The rank dies holding the lease; forfeiture is the
+                    # first-class fault edge — the range goes back to
+                    # the pool and a survivor's next acquire steals it.
+                    self.report.record(
+                        spec.kind, "rank", rank, call, "lease-forfeit",
+                        detail=(
+                            f"lease {lease.lease_id} "
+                            f"[{lease.lam_start}, {lease.lam_end})"
+                        ),
+                    )
+                    ledger.retire(rank)
+                    roster.remove(rank)
+                    dead.append(rank)
+                    continue
+                self._search_lease(
+                    ledger, lease, rank, spec, call, tumor, normal, params,
+                    counters, bounds, iteration,
+                )
+                progressed = True
+            if not progressed and not ledger.done and ledger.n_available == 0:
+                # In-process, a grant is always followed synchronously by
+                # completion or forfeiture, so this cannot be reached.
+                raise RuntimeError(
+                    "elastic scheduler stalled with granted leases"
+                )  # pragma: no cover
+        for lease in ledger.leases:
+            # A stolen lease is rescheduled work: attribute the range
+            # move exactly like the static path's survivor rescheduling.
+            if lease.grants > 1 and lease.previous_holders:
+                self.report.record_reschedule(
+                    dead_rank=lease.previous_holders[0],
+                    survivor=(
+                        lease.completed_by
+                        if lease.completed_by is not None
+                        else -1
+                    ),
+                    lam_start=lease.lam_start,
+                    lam_end=lease.lam_end,
+                    call=call,
+                )
+        if dead and tel.flight is not None:
+            tel.flight.set_assignments("lease", ledger.assignment_rows(call))
+            tel.flight.dump(
+                "lease-churn", telemetry=tel, fault_report=self.report
+            )
+        if counters is not None:
+            ledger.merge_counters(counters)
+        with tel.span("reduce", cat="distributed", candidates=ledger.n_leases):
+            return ledger.merge(stats=reduction_stats)
+
+    def _elastic_churn(self, ledger, roster, next_rank, call):
+        """Consume due membership specs between grant rounds."""
+        if self.fault_plan is None:
+            return roster, next_rank
+        frac = ledger.completed_fraction()
+        for spec in self.fault_plan.take_churn(call, frac):
+            if spec.kind == "join":
+                for _ in range(max(1, spec.target)):
+                    roster.append(next_rank)
+                    self.report.record(
+                        "join", "membership", next_rank, call, "joined",
+                        detail=f"at {frac:.2f} done",
+                    )
+                    next_rank += 1
+            elif spec.target in roster:
+                roster.remove(spec.target)
+                self.report.record(
+                    "leave", "membership", spec.target, call, "drained",
+                    detail=f"at {frac:.2f} done",
+                )
+        return roster, next_rank
+
+    def _search_lease(
+        self, ledger, lease, rank, spec, call, tumor, normal, params,
+        counters, bounds, iteration,
+    ) -> None:
+        tel = get_telemetry()
+        lo, hi = lease.lam_start, lease.lam_end
+        lease_bounds = None
+        if bounds is not None and bounds.aligned(lo, hi):
+            from repro.core.bounds import BoundTable
+
+            lease_bounds = BoundTable.from_payload(bounds.slice_payload(lo, hi))
+        # Metering rides the lease (not the run counters directly) so a
+        # range that is stolen and computed twice still counts exactly
+        # once: the ledger keeps the first completion's counters and
+        # merge_counters folds them in lease-id order.
+        lease_counters = KernelCounters() if counters is not None else None
+        with tel.timed_span(
+            "lease.search", cat="distributed", rank=rank,
+            lease=lease.lease_id, lam_start=lo, lam_end=hi, call=call,
+        ) as span:
+            if spec is not None and spec.kind == "straggler":
+                time.sleep(spec.delay_s)
+            winner = best_in_thread_range(
+                self.scheme, tumor.n_genes, tumor, normal, params, lo, hi,
+                counters=lease_counters,
+                memory=self.memory,
+                bounds=lease_bounds,
+                iteration=iteration,
+            )
+        if spec is not None and spec.kind == "straggler":
+            self.report.record(
+                "straggler", "rank", rank, call, "observed",
+                detail=f"{span.duration_s:.3f}s",
+            )
+        if lease_bounds is not None:
+            deltas = lease_bounds.deltas(iteration)
+            if deltas:
+                bounds.apply_deltas(deltas, iteration)
+        ledger.complete(
+            lease.lease_id, rank, winner, counters=lease_counters
+        )
 
     # -- fault-tolerant rank execution ---------------------------------
 
@@ -329,16 +539,18 @@ class DistributedEngine:
         return None, False
 
     def _reschedule_dead(
-        self, schedule, dead, call, tumor, normal, params, counters
+        self, schedule, dead, call, tumor, normal, params, counters,
+        bounds=None, iteration=0,
     ) -> "list[MultiHitCombination | None]":
         """Re-cut dead ranks' λ-ranges across survivors and search them.
 
         The equi-area re-cut keeps the recovered work balanced; the
         pieces feed the same reduction as regular rank winners, so the
-        result cannot depend on which ranks died.  Rescheduled pieces
-        never align with the bound table's blocks, so they always run
-        unpruned — the stale bounds remain valid upper bounds for the
-        next iteration regardless.
+        result cannot depend on which ranks died.  With a bound table
+        the interior re-cut points are snapped to block boundaries, so
+        each survivor rebuilds its local slice of the table and recovery
+        keeps the CELF pruning speedup (refreshed bounds fold back as
+        deltas, exactly like a pool chunk's).
         """
         tel = get_telemetry()
         survivors = [r for r in range(self.n_nodes) if r not in dead]
@@ -348,7 +560,12 @@ class DistributedEngine:
             for p in rank_partitions(schedule, r, self.gpus_per_node)
         ]
         n_surv = max(1, len(survivors))
-        shares = reschedule_ranges(schedule, dead_parts, n_surv)
+        if bounds is not None:
+            shares = reschedule_ranges_aligned(
+                schedule, dead_parts, n_surv, bounds.boundaries
+            )
+        else:
+            shares = reschedule_ranges(schedule, dead_parts, n_surv)
         winners: list["MultiHitCombination | None"] = []
         for j, pieces in enumerate(shares):
             survivor = survivors[j] if survivors else -1  # -1: root recovers
@@ -360,10 +577,18 @@ class DistributedEngine:
                     lam_end=hi,
                     call=call,
                 )
+                piece_bounds = None
+                if bounds is not None and bounds.aligned(lo, hi):
+                    from repro.core.bounds import BoundTable
+
+                    piece_bounds = BoundTable.from_payload(
+                        bounds.slice_payload(lo, hi)
+                    )
                 with tel.span(
                     "fault.reschedule", cat="distributed", rank=survivor,
                     dead_rank=part // self.gpus_per_node,
                     lam_start=lo, lam_end=hi,
+                    pruned=piece_bounds is not None,
                 ):
                     winners.append(
                         best_in_thread_range(
@@ -376,6 +601,12 @@ class DistributedEngine:
                             hi,
                             counters=counters,
                             memory=self.memory,
+                            bounds=piece_bounds,
+                            iteration=iteration,
                         )
                     )
+                if piece_bounds is not None:
+                    deltas = piece_bounds.deltas(iteration)
+                    if deltas:
+                        bounds.apply_deltas(deltas, iteration)
         return winners

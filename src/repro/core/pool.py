@@ -304,6 +304,16 @@ class PoolEngine:
     fault_plan:
         Optional deterministic fault injection (site ``"pool"``,
         target = chunk index, call = arg-max call number).
+    lease_blocks:
+        ``> 0`` switches the call to lease-grained scheduling: the range
+        is cut into ``lease_blocks`` equi-area leases (finer than
+        one-per-worker) all submitted up front — the executor's task
+        queue then *is* the work-stealing mechanism (a free worker pulls
+        the next lease, so a straggling worker cannot hold back more
+        than one lease's work), and the timeout/resubmit recovery path
+        doubles as the steal of a lost lease.  Winners and merged
+        counters are bit-identical to the default cut: both feed the
+        same partition-ordered reduce.
     """
 
     scheme: Scheme
@@ -314,6 +324,7 @@ class PoolEngine:
     start_method: "str | None" = None
     retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
     fault_plan: "FaultPlan | None" = None
+    lease_blocks: int = 0
     report: FaultReport = field(
         default_factory=FaultReport, repr=False, compare=False
     )
@@ -331,6 +342,15 @@ class PoolEngine:
             raise ValueError("n_workers must be >= 1")
         if self.chunks_per_worker < 1:
             raise ValueError("chunks_per_worker must be >= 1")
+        if self.lease_blocks < 0:
+            raise ValueError("lease_blocks must be >= 0")
+
+    @property
+    def _n_cuts(self) -> int:
+        """Ranges per call: lease-grained when leasing, else per-worker."""
+        if self.lease_blocks > 0:
+            return max(self.lease_blocks, self.n_workers)
+        return self.n_workers * self.chunks_per_worker
 
     # -- pool / shared-memory lifecycle -------------------------------
 
@@ -447,6 +467,11 @@ class PoolEngine:
         """Detected loss of one chunk: resubmit per policy, then inline."""
         kind = "hang" if isinstance(exc, TimeoutError) else "crash"
         self._note_failure(exc)
+        if self.lease_blocks > 0:
+            # On the lease path a recovered chunk is a stolen lease: the
+            # range moves from the lost worker to a new holder (another
+            # worker on resubmit, the parent on the inline fallback).
+            get_telemetry().count("lease.steals")
         policy = self.retry_policy
         self.report.record(
             kind, "pool", chunk, call, "detected",
@@ -549,9 +574,7 @@ class PoolEngine:
         so every worker chunk is a whole number of λ-blocks.
         """
         total = total_threads(self.scheme, g)
-        return equiarea_range_boundaries(
-            self.scheme, g, 0, total, self.n_workers * self.chunks_per_worker
-        )
+        return equiarea_range_boundaries(self.scheme, g, 0, total, self._n_cuts)
 
     def best_combo(
         self,
@@ -599,7 +622,7 @@ class PoolEngine:
             stats.n_workers = self.n_workers
 
         cuts = equiarea_range_boundaries(
-            self.scheme, g, lam_start, lam_end, self.n_workers * self.chunks_per_worker
+            self.scheme, g, lam_start, lam_end, self._n_cuts
         )
         ranges = [
             (cuts[i], cuts[i + 1])
@@ -706,6 +729,10 @@ class PoolEngine:
         if tel.enabled:
             tel.count("pool.chunks", len(ranges))
             tel.count("pool.calls")
+            if self.lease_blocks > 0:
+                # Lease accounting on the pool path: every submitted
+                # range is a grant (steals are counted at recovery).
+                tel.count("lease.grants", len(ranges))
         if tel.flight is not None:
             # One registry snapshot per arg-max call: the black box's
             # metric trail, sampled at the call cadence rather than on a

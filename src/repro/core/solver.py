@@ -135,6 +135,16 @@ class MultiHitSolver:
         chunk/partition cuts are merged in on top, and blocks are
         grouped into super-blocks of :attr:`BoundTable.super_size` for
         the hierarchical skip.
+    elastic:
+        Lease-based work stealing instead of fixed partitions
+        (``"distributed"`` and ``"pool"`` backends).  The λ-space is cut
+        into ``lease_blocks`` equi-area leases; ranks pull leases, a
+        dead rank's leases are stolen by survivors, and ``membership``-
+        site :class:`FaultSpec` churn (join/leave) resizes the fleet
+        mid-solve.  Winners are bit-identical to the static run.
+    lease_blocks:
+        Leases per arg-max call when ``elastic`` (``0`` auto-sizes to
+        four per rank/worker).
     """
 
     hits: int = 4
@@ -150,6 +160,8 @@ class MultiHitSolver:
     retry_policy: "RetryPolicy | None" = None
     prune: bool = False
     prune_blocks: int = 64
+    elastic: bool = False
+    lease_blocks: int = 0
 
     def __post_init__(self) -> None:
         if self.hits < 2:
@@ -166,6 +178,12 @@ class MultiHitSolver:
             raise ValueError("n_workers must be >= 1")
         if self.prune_blocks < 1:
             raise ValueError("prune_blocks must be >= 1")
+        if self.lease_blocks < 0:
+            raise ValueError("lease_blocks must be >= 0")
+        if self.elastic and self.backend not in ("pool", "distributed"):
+            raise ValueError(
+                "elastic work stealing needs the pool or distributed backend"
+            )
 
     # -- per-iteration arg-max ----------------------------------------
 
@@ -257,6 +275,11 @@ class MultiHitSolver:
                 memory=self.memory,
                 fault_plan=self.fault_plan,
                 retry_policy=self.retry_policy or RetryPolicy(),
+                lease_blocks=(
+                    (self.lease_blocks or 4 * self.n_workers)
+                    if self.elastic
+                    else 0
+                ),
             )
         elif self.backend == "distributed":
             # One engine for the run so its arg-max call counter lines
@@ -269,6 +292,8 @@ class MultiHitSolver:
                 memory=self.memory,
                 fault_plan=self.fault_plan,
                 retry_policy=self.retry_policy or RetryPolicy(),
+                elastic=self.elastic,
+                lease_blocks=self.lease_blocks,
             )
         tel = get_telemetry()
         try:

@@ -4,6 +4,12 @@ Paper results: strong scaling 100 -> 1000 nodes, efficiency 80.96-97.96%
 (average 90.14% over 200-1000, 84.18% at 1000); weak scaling 100 -> 500
 nodes, 94.6% average, ~90% at 500.  Reproduced with the job model driven
 by the real equi-area schedule at G = 19411.
+
+The elastic extra (``elastic_nodes=...``) repeats the strong sweep on
+the lease-stealing runtime with a ±``churn_fraction`` mid-solve fleet
+swap; its efficiencies are measured against the *static* 100-node
+baseline, so the gap between the curves is the cost (or gain — fine
+leases absorb node jitter) of elasticity.
 """
 
 from __future__ import annotations
@@ -13,7 +19,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.perfmodel.runtime import JobModel
-from repro.perfmodel.scaling import ScalingPoint, strong_scaling_sweep, weak_scaling_sweep
+from repro.perfmodel.scaling import (
+    ScalingPoint,
+    elastic_strong_scaling_sweep,
+    strong_scaling_sweep,
+    weak_scaling_sweep,
+)
 from repro.perfmodel.workloads import BRCA, WorkloadSpec
 from repro.scheduling.schemes import SCHEME_3X1
 
@@ -25,6 +36,7 @@ class Fig4Result:
     workload: WorkloadSpec
     strong: list[ScalingPoint]
     weak: list[ScalingPoint]
+    elastic: "list[ScalingPoint] | None" = None
 
     @property
     def strong_avg_efficiency(self) -> float:
@@ -39,11 +51,30 @@ class Fig4Result:
     def weak_avg_efficiency(self) -> float:
         return float(np.mean([p.efficiency for p in self.weak[1:]]))
 
+    @property
+    def elastic_at_max_nodes(self) -> "float | None":
+        """Churned-fleet efficiency at the largest allocation."""
+        return self.elastic[-1].efficiency if self.elastic else None
+
+    @property
+    def elastic_overhead_at_max(self) -> "float | None":
+        """Fractional runtime cost of churn vs the static fleet at the
+        shared max node count (negative = elasticity was free or won)."""
+        if not self.elastic:
+            return None
+        static = {p.n_nodes: p.runtime_s for p in self.strong}
+        top = self.elastic[-1]
+        if top.n_nodes not in static:
+            return None
+        return top.runtime_s / static[top.n_nodes] - 1.0
+
 
 def run(
     workload: WorkloadSpec = BRCA,
     strong_nodes: "list[int] | None" = None,
     weak_nodes: "list[int] | None" = None,
+    elastic_nodes: "list[int] | None" = None,
+    churn_fraction: float = 0.2,
 ) -> Fig4Result:
     model = JobModel(scheme=SCHEME_3X1)
     # Baseline is the smallest node count of each sweep (the paper uses
@@ -60,7 +91,16 @@ def run(
         weak_nodes,
         baseline_nodes=min(weak_nodes) if weak_nodes else 100,
     )
-    return Fig4Result(workload=workload, strong=strong, weak=weak)
+    elastic = None
+    if elastic_nodes:
+        elastic = elastic_strong_scaling_sweep(
+            model,
+            workload,
+            elastic_nodes,
+            baseline_nodes=min(min(elastic_nodes), strong[0].n_nodes),
+            churn_fraction=churn_fraction,
+        )
+    return Fig4Result(workload=workload, strong=strong, weak=weak, elastic=elastic)
 
 
 def report(result: Fig4Result) -> str:
@@ -85,4 +125,19 @@ def report(result: Fig4Result) -> str:
         f"      average efficiency (excl. baseline): "
         f"{result.weak_avg_efficiency:.4f} (paper 0.946)"
     )
+    if result.elastic:
+        lines.append(
+            "  (c) elastic strong scaling (lease stealing, ±20% mid-solve churn):"
+        )
+        lines.append("      nodes |  runtime (s) | efficiency (vs static baseline)")
+        for p in result.elastic:
+            lines.append(
+                f"      {p.n_nodes:5d} | {p.runtime_s:12.1f} | {p.efficiency:9.4f}"
+            )
+        overhead = result.elastic_overhead_at_max
+        if overhead is not None:
+            lines.append(
+                f"      churn overhead at {result.elastic[-1].n_nodes} nodes "
+                f"vs static: {overhead:+.2%}"
+            )
     return "\n".join(lines)

@@ -26,12 +26,16 @@ from dataclasses import dataclass, field
 
 __all__ = ["FAULT_KINDS", "FAULT_SITES", "FaultInjected", "FaultPlan", "FaultSpec"]
 
-#: Supported failure modes.
-FAULT_KINDS = ("crash", "hang", "straggler", "recv_drop", "recv_delay")
+#: Supported failure modes.  ``join`` / ``leave`` are membership churn
+#: events for the elastic scale-out, not failures per se: a ``join``
+#: registers ``target`` new ranks mid-solve, a ``leave`` drains rank
+#: ``target`` (its leases are forfeited back to the pool).
+FAULT_KINDS = ("crash", "hang", "straggler", "recv_drop", "recv_delay",
+               "join", "leave")
 
 #: Injection points: pool worker chunk, distributed/SPMD rank, SimComm
-#: receive, simulated-GPU block.
-FAULT_SITES = ("pool", "rank", "comm", "gpu")
+#: receive, simulated-GPU block, elastic membership layer.
+FAULT_SITES = ("pool", "rank", "comm", "gpu", "membership")
 
 
 class FaultInjected(RuntimeError):
@@ -64,6 +68,11 @@ class FaultSpec:
         rescheduling or a checkpoint can).
     delay_s:
         Sleep injected for ``hang`` / ``straggler`` / ``recv_delay``.
+        For ``membership``-site churn specs this is instead the
+        **progress fraction** (completed leases / total leases, in
+        ``[0, 1]``) the solve must reach before the churn fires — a
+        deterministic "mid-solve" trigger that does not depend on wall
+        time.
     slowdown:
         Cycle multiplier for a ``gpu``-site straggler.
     """
@@ -83,6 +92,11 @@ class FaultSpec:
             raise ValueError(f"unknown fault site {self.site!r}")
         if self.count == 0:
             raise ValueError("count must be positive or -1 (persistent)")
+        if (self.kind in ("join", "leave")) != (self.site == "membership"):
+            raise ValueError(
+                "join/leave faults fire at the membership site (and only "
+                "join/leave may target it)"
+            )
 
 
 @dataclass
@@ -132,6 +146,60 @@ class FaultPlan:
                 if self._remaining[i] != 0:
                     return spec
         return None
+
+    def take_churn(self, call: "int | None", fraction: float) -> "list[FaultSpec]":
+        """Consume every membership churn spec that is due.
+
+        A ``membership``-site spec fires once the solve's completed-lease
+        ``fraction`` reaches its ``delay_s`` threshold (and its
+        ``at_call`` matches).  All due specs are consumed and returned
+        together, in plan order, so a simultaneous leave+join scenario
+        (±20 % fleet swap) applies atomically between grant rounds.
+        """
+        fired: "list[FaultSpec]" = []
+        with self._lock:
+            for i, spec in enumerate(self.specs):
+                if spec.site != "membership":
+                    continue
+                if spec.at_call is not None and call is not None and spec.at_call != call:
+                    continue
+                if fraction < spec.delay_s:
+                    continue
+                left = self._remaining[i]
+                if left == 0:
+                    continue
+                if left > 0:
+                    self._remaining[i] = left - 1
+                fired.append(spec)
+        return fired
+
+    @classmethod
+    def churn(
+        cls,
+        n_ranks: int,
+        fraction: float = 0.2,
+        at_call: "int | None" = None,
+        leave_at: float = 0.2,
+        join_at: float = 0.4,
+    ) -> "FaultPlan":
+        """A ±``fraction`` fleet-size scenario: the highest-numbered
+        ``round(n_ranks * fraction)`` ranks leave once the solve is
+        ``leave_at`` done, and the same number of fresh ranks join at
+        ``join_at`` — the mid-solve churn shape of the elastic benchmark.
+        """
+        k = max(1, round(n_ranks * fraction))
+        leaves = tuple(
+            FaultSpec(
+                kind="leave", site="membership", target=n_ranks - 1 - i,
+                at_call=at_call, delay_s=leave_at,
+            )
+            for i in range(min(k, n_ranks - 1))  # never drain the last rank
+        )
+        join = FaultSpec(
+            kind="join", site="membership", target=k,
+            at_call=at_call, delay_s=join_at,
+        )
+        return cls(specs=leaves + (join,))
 
     @property
     def n_pending(self) -> int:

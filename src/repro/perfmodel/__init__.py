@@ -22,6 +22,8 @@ from repro.perfmodel.roofline import RooflinePoint, operating_point, ridge_inten
 from repro.perfmodel.iterations import IterationFit, fit_iteration_model
 from repro.perfmodel.utilization import profile_schedule
 from repro.perfmodel.scaling import (
+    elastic_strong_scaling_sweep,
+    simulate_elastic_makespan,
     ScalingPoint,
     strong_scaling_sweep,
     weak_scaling_sweep,
@@ -52,4 +54,6 @@ __all__ = [
     "strong_scaling_sweep",
     "weak_scaling_sweep",
     "scaling_efficiency",
+    "elastic_strong_scaling_sweep",
+    "simulate_elastic_makespan",
 ]

@@ -79,6 +79,21 @@ class MetricsRegistry:
         with self._lock:
             self.gauges[name] = float(value)
 
+    def clear_gauges(self, prefix: str) -> int:
+        """Drop every gauge whose name starts with ``prefix``.
+
+        Gauges are last-write-wins snapshots keyed by name; a key that
+        stops being written (a departed rank's ``spmd.heartbeat_stale_s.
+        rankN``) would otherwise report its final value forever.  World
+        (re)starts clear their per-rank keys so ``/metrics`` and the
+        progress monitor only ever show the current membership.
+        """
+        with self._lock:
+            stale = [name for name in self.gauges if name.startswith(prefix)]
+            for name in stale:
+                del self.gauges[name]
+            return len(stale)
+
     def observe(self, name: str, value: float) -> None:
         with self._lock:
             hist = self.histograms.get(name)

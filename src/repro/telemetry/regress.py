@@ -103,6 +103,30 @@ DEFAULT_CHECKS: dict[str, tuple[RegressionCheck, ...]] = {
         RegressionCheck(
             "extra.strong_runtime_s.-1", tolerance=0.25, wall_clock=True
         ),
+        # Elastic strong scaling under ±20% mid-solve churn: the lease-
+        # stealing fleet must keep its 1000-node efficiency.
+        RegressionCheck(
+            "extra.elastic_at_max_nodes", higher_is_worse=False, tolerance=0.03
+        ),
+        RegressionCheck(
+            "extra.elastic_runtime_s.-1", tolerance=0.25, wall_clock=True
+        ),
+    ),
+    "elastic": (
+        # Churned elastic solve vs static reference: the winner must be
+        # bit-identical (an exact gate, tolerance 0) and the counters
+        # must close; lease traffic is deterministic for a fixed plan.
+        RegressionCheck(
+            "extra.bit_identical", higher_is_worse=False, tolerance=0.0
+        ),
+        RegressionCheck("extra.combos_scored", tolerance=0.0),
+        RegressionCheck(
+            "extra.combos_scored", higher_is_worse=False, tolerance=0.0
+        ),
+        RegressionCheck("extra.lease_grants", tolerance=0.25),
+        RegressionCheck(
+            "extra.wall_seconds_elastic", tolerance=0.75, wall_clock=True
+        ),
     ),
 }
 

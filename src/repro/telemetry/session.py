@@ -90,6 +90,11 @@ class Telemetry:
         if self.enabled:
             self.metrics.set_gauge(name, value)
 
+    def clear_gauges(self, prefix: str) -> int:
+        if self.enabled:
+            return self.metrics.clear_gauges(prefix)
+        return 0
+
     # -- cross-process state -------------------------------------------
 
     def export_state(self) -> dict:

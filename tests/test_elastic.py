@@ -1,0 +1,610 @@
+"""Elastic scale-out churn matrix: crash / hang / straggler x join / leave.
+
+The contract: under **any** mid-solve membership churn — ranks joining,
+draining, crashing, or going silent until their leases are stolen — the
+elastic paths (threaded :class:`ElasticSPMDRunner`, in-process
+``DistributedEngine(elastic=True)``, and the lease-grained pool) select
+bit-identical winners to the static failure-free run, and the kernel
+counters close (every combination is scored exactly once on the
+unpruned path).
+"""
+
+import time
+
+import pytest
+
+from repro.bitmatrix.matrix import BitMatrix
+from repro.cluster.autoscale import AutoscaleDecision, AutoscalePolicy
+from repro.cluster.elastic import ElasticSPMDRunner, elastic_spmd_best_combo
+from repro.cluster.leases import LeaseLedger
+from repro.cluster.runtime import SPMDRunner
+from repro.cluster.virtual import VirtualCluster
+from repro.core.bounds import BoundTable
+from repro.core.distributed import DistributedEngine
+from repro.core.engine import SingleGpuEngine
+from repro.core.fscore import FScoreParams
+from repro.core.kernels import KernelCounters
+from repro.core.pool import PoolEngine
+from repro.core.solver import MultiHitSolver
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.faults.report import FaultReport
+from repro.faults.reschedule import reschedule_ranges_aligned
+from repro.scheduling.equiarea import equiarea_schedule
+from repro.scheduling.schemes import SCHEME_3X1, scheme_for
+from repro.scheduling.workload import cumulative_work_before
+from repro.telemetry.session import get_telemetry, telemetry_session
+
+
+def signature(combos):
+    return [(c.genes, round(c.f, 12), c.tp, c.tn) for c in combos]
+
+
+@pytest.fixture
+def instance(rng):
+    t = rng.random((14, 30)) < 0.4
+    n = rng.random((14, 24)) < 0.2
+    return (
+        BitMatrix.from_dense(t),
+        BitMatrix.from_dense(n),
+        FScoreParams(n_tumor=30, n_normal=24),
+    )
+
+
+@pytest.fixture
+def cohort(rng):
+    t = rng.random((12, 40)) < 0.4
+    n = rng.random((12, 40)) < 0.15
+    return t, n
+
+
+# -- churn plan construction ---------------------------------------------
+
+
+class TestChurnPlan:
+    def test_membership_kind_site_coupling(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="join", site="rank")
+        with pytest.raises(ValueError):
+            FaultSpec(kind="crash", site="membership")
+        FaultSpec(kind="leave", site="membership", target=1)  # fine
+
+    def test_take_churn_fires_on_progress_fraction(self):
+        plan = FaultPlan(
+            (
+                FaultSpec(kind="leave", site="membership", target=2, delay_s=0.3),
+                FaultSpec(kind="join", site="membership", target=1, delay_s=0.6),
+            )
+        )
+        assert plan.take_churn(0, 0.1) == []
+        fired = plan.take_churn(0, 0.4)
+        assert [s.kind for s in fired] == ["leave"]
+        assert plan.take_churn(0, 0.4) == []  # spent
+        assert [s.kind for s in plan.take_churn(0, 1.0)] == ["join"]
+
+    def test_churn_factory_shape(self):
+        plan = FaultPlan.churn(10, fraction=0.2, leave_at=0.25, join_at=0.5)
+        leaves = [s for s in plan.specs if s.kind == "leave"]
+        joins = [s for s in plan.specs if s.kind == "join"]
+        assert len(leaves) == 2  # round(10 * 0.2)
+        assert sorted(s.target for s in leaves) == [8, 9]  # highest ranks
+        assert len(joins) == 1 and joins[0].target == 2
+        assert all(s.delay_s == 0.25 for s in leaves)
+        assert joins[0].delay_s == 0.5
+
+    def test_churn_never_drains_the_last_rank(self):
+        plan = FaultPlan.churn(1, fraction=1.0)
+        assert not [s for s in plan.specs if s.kind == "leave"]
+        assert [s.kind for s in plan.specs] == ["join"]
+
+
+# -- aligned rescheduling (satellite: pruned recovery) -------------------
+
+
+class TestAlignedReschedule:
+    def test_pieces_snap_to_block_boundaries(self):
+        scheme, g = SCHEME_3X1, 24
+        schedule = equiarea_schedule(scheme, g, 6)
+        bounds = BoundTable.build(
+            scheme, g, cuts=schedule.boundaries, n_blocks=24
+        )
+        shares = reschedule_ranges_aligned(
+            schedule, [2, 3], 3, bounds.boundaries
+        )
+        pieces = [t for survivor in shares for t in survivor]
+        assert pieces
+        for _, lo, hi in pieces:
+            assert bounds.aligned(lo, hi), (lo, hi)
+
+    def test_aligned_recut_covers_dead_ranges_exactly(self):
+        scheme, g = SCHEME_3X1, 24
+        schedule = equiarea_schedule(scheme, g, 6)
+        bounds = BoundTable.build(
+            scheme, g, cuts=schedule.boundaries, n_blocks=24
+        )
+        dead = [1, 4]
+        shares = reschedule_ranges_aligned(schedule, dead, 3, bounds.boundaries)
+        got = sorted(
+            (lo, hi) for survivor in shares for (_, lo, hi) in survivor
+        )
+        expect = sum(
+            cumulative_work_before(scheme, g, schedule.thread_range(p)[1])
+            - cumulative_work_before(scheme, g, schedule.thread_range(p)[0])
+            for p in dead
+        )
+        work = sum(
+            cumulative_work_before(scheme, g, hi)
+            - cumulative_work_before(scheme, g, lo)
+            for lo, hi in got
+        )
+        assert work == expect
+        for (_, a), (b, _) in zip(got, got[1:]):
+            assert b >= a
+
+    def test_needs_survivors(self):
+        schedule = equiarea_schedule(SCHEME_3X1, 12, 4)
+        with pytest.raises(ValueError):
+            reschedule_ranges_aligned(schedule, [0], 0, (0, 10))
+
+
+# -- threaded elastic runner ---------------------------------------------
+
+
+class TestElasticRunner:
+    def _ref(self, instance, counters=None):
+        tumor, normal, params = instance
+        return SingleGpuEngine(scheme=SCHEME_3X1).best_combo(
+            tumor, normal, params, counters=counters
+        )
+
+    def test_clean_run_bit_exact_with_closed_counters(self, instance):
+        tumor, normal, params = instance
+        ref_counters = KernelCounters()
+        ref = self._ref(instance, ref_counters)
+        counters = KernelCounters()
+        got = elastic_spmd_best_combo(
+            SCHEME_3X1, tumor.n_genes, tumor, normal, params,
+            n_ranks=3, counters=counters,
+        )
+        assert got == ref
+        assert counters.combos_scored == ref_counters.combos_scored
+
+    def test_full_churn_matrix_bit_exact(self, instance):
+        """crash + hang + leave + join in one solve: the worst case."""
+        tumor, normal, params = instance
+        ref = self._ref(instance)
+        plan = FaultPlan(
+            (
+                FaultSpec(kind="crash", site="rank", target=1),
+                FaultSpec(kind="hang", site="rank", target=2, delay_s=0.8),
+                FaultSpec(kind="leave", site="membership", target=0, delay_s=0.1),
+                FaultSpec(kind="join", site="membership", target=2, delay_s=0.2),
+            )
+        )
+        report = FaultReport()
+        counters = KernelCounters()
+        got = elastic_spmd_best_combo(
+            SCHEME_3X1, tumor.n_genes, tumor, normal, params,
+            n_ranks=3, fault_plan=plan, report=report,
+            counters=counters, lease_ttl_s=0.3, max_wall_s=60.0,
+        )
+        assert got == ref
+        kinds = {e.kind for e in report.events}
+        assert "crash" in kinds  # the forfeiture edge
+        assert any(e.kind == "join" and e.action == "joined" for e in report.events)
+        assert any(e.kind == "leave" and e.action == "drained" for e in report.events)
+        # Counter closure despite churn: the unpruned grid is scored once.
+        ref_counters = KernelCounters()
+        self._ref(instance, ref_counters)
+        assert counters.combos_scored == ref_counters.combos_scored
+
+    def test_straggler_finishes_inside_ttl(self, instance):
+        tumor, normal, params = instance
+        ref = self._ref(instance)
+        plan = FaultPlan(
+            (FaultSpec(kind="straggler", site="rank", target=0, delay_s=0.05),)
+        )
+        report = FaultReport()
+        got = elastic_spmd_best_combo(
+            SCHEME_3X1, tumor.n_genes, tumor, normal, params,
+            n_ranks=2, fault_plan=plan, report=report, lease_ttl_s=5.0,
+        )
+        assert got == ref
+        assert any(
+            e.kind == "straggler" and e.action == "observed"
+            for e in report.events
+        )
+
+    def test_whole_fleet_dead_drained_by_driver(self, instance):
+        tumor, normal, params = instance
+        ref = self._ref(instance)
+        plan = FaultPlan(
+            tuple(
+                FaultSpec(kind="crash", site="rank", target=r, count=-1)
+                for r in range(2)
+            )
+        )
+        report = FaultReport()
+        got = elastic_spmd_best_combo(
+            SCHEME_3X1, tumor.n_genes, tumor, normal, params,
+            n_ranks=2, fault_plan=plan, report=report, max_wall_s=60.0,
+        )
+        assert got == ref
+        assert any(e.action == "inline-drain" for e in report.events)
+
+    def test_pruned_elastic_matches_pruned_static(self, instance):
+        tumor, normal, params = instance
+        g = tumor.n_genes
+        ref_bounds = BoundTable.build(SCHEME_3X1, g, n_blocks=16)
+        ref_counters = KernelCounters()
+        ref = SingleGpuEngine(scheme=SCHEME_3X1).best_combo(
+            tumor, normal, params, counters=ref_counters, bounds=ref_bounds
+        )
+        ledger_cuts = LeaseLedger.build(SCHEME_3X1, g, n_leases=8).boundaries
+        bounds = BoundTable.build(SCHEME_3X1, g, cuts=ledger_cuts, n_blocks=16)
+        counters = KernelCounters()
+        got = elastic_spmd_best_combo(
+            SCHEME_3X1, g, tumor, normal, params,
+            n_ranks=2, n_leases=8, counters=counters, bounds=bounds,
+        )
+        assert got == ref
+        # Pruning closure: scored + pruned covers the whole grid either way.
+        assert (
+            counters.combos_scored + counters.combos_pruned
+            == ref_counters.combos_scored + ref_counters.combos_pruned
+        )
+
+    def test_runner_validation(self):
+        with pytest.raises(ValueError):
+            ElasticSPMDRunner(n_ranks=0)
+        with pytest.raises(ValueError):
+            ElasticSPMDRunner(n_ranks=4, max_ranks=2)
+
+    def test_wall_deadline_raises(self, instance):
+        tumor, normal, params = instance
+        plan = FaultPlan(
+            tuple(
+                FaultSpec(kind="hang", site="rank", target=r, delay_s=30.0,
+                          count=-1)
+                for r in range(2)
+            )
+        )
+        with pytest.raises(RuntimeError, match="max_wall_s"):
+            elastic_spmd_best_combo(
+                SCHEME_3X1, tumor.n_genes, tumor, normal, params,
+                n_ranks=2, fault_plan=plan, lease_ttl_s=60.0, max_wall_s=0.5,
+            )
+
+
+# -- elastic distributed engine ------------------------------------------
+
+
+class TestElasticDistributed:
+    def _engines(self, fault_plan=None, **kw):
+        kwargs = dict(scheme=scheme_for(3, 2), n_nodes=3, gpus_per_node=2)
+        clean = DistributedEngine(**kwargs)
+        faulty = DistributedEngine(
+            **kwargs, elastic=True, fault_plan=fault_plan, **kw
+        )
+        return clean, faulty
+
+    def test_clean_elastic_matches_static(self, instance):
+        tumor, normal, params = instance
+        clean, elastic = self._engines()
+        ref_counters, counters = KernelCounters(), KernelCounters()
+        ref = clean.best_combo(tumor, normal, params, counters=ref_counters)
+        got = elastic.best_combo(tumor, normal, params, counters=counters)
+        assert got == ref
+        assert counters.combos_scored == ref_counters.combos_scored
+
+    def test_persistent_crash_steals_bit_exact(self, instance):
+        tumor, normal, params = instance
+        plan = FaultPlan((FaultSpec(kind="crash", site="rank", target=1, count=-1),))
+        clean, elastic = self._engines(plan)
+        ref_counters, counters = KernelCounters(), KernelCounters()
+        ref = clean.best_combo(tumor, normal, params, counters=ref_counters)
+        got = elastic.best_combo(tumor, normal, params, counters=counters)
+        assert got == ref
+        assert any(e.action == "lease-forfeit" for e in elastic.report.events)
+        assert elastic.report.n_rescheduled >= 1
+        assert 1 in elastic.report.dead_ranks
+        # Stolen leases are searched exactly once.
+        assert counters.combos_scored == ref_counters.combos_scored
+
+    def test_mid_solve_churn_20pct_bit_exact(self, instance):
+        """The acceptance scenario: ±20% of the fleet swaps mid-solve."""
+        tumor, normal, params = instance
+        plan = FaultPlan.churn(3, fraction=0.34, leave_at=0.2, join_at=0.4)
+        clean, elastic = self._engines(plan)
+        ref = clean.best_combo(tumor, normal, params)
+        got = elastic.best_combo(tumor, normal, params)
+        assert got == ref
+        churn = [
+            (e.kind, e.action)
+            for e in elastic.report.events
+            if e.site == "membership"
+        ]
+        assert ("leave", "drained") in churn
+        assert ("join", "joined") in churn
+
+    def test_pruned_elastic_crash_matches_pruned_static(self, instance):
+        tumor, normal, params = instance
+        g = tumor.n_genes
+        scheme = scheme_for(3, 2)
+        plan = FaultPlan((FaultSpec(kind="crash", site="rank", target=0, count=-1),))
+        kwargs = dict(scheme=scheme, n_nodes=3, gpus_per_node=2)
+        clean = DistributedEngine(**kwargs)
+        faulty = DistributedEngine(**kwargs, elastic=True, fault_plan=plan)
+        ref_bounds = BoundTable.build(
+            scheme, g, cuts=clean.chunk_cuts(g), n_blocks=16
+        )
+        bounds = BoundTable.build(
+            scheme, g, cuts=faulty.chunk_cuts(g), n_blocks=16
+        )
+        ref = clean.best_combo(tumor, normal, params, bounds=ref_bounds)
+        got = faulty.best_combo(tumor, normal, params, bounds=bounds)
+        assert got == ref
+
+    def test_solver_elastic_distributed_under_churn(self, cohort):
+        t, n = cohort
+        clean = MultiHitSolver(hits=2, backend="distributed", n_nodes=3).solve(t, n)
+        plan = FaultPlan.churn(3, fraction=0.34, leave_at=0.1, join_at=0.3)
+        elastic = MultiHitSolver(
+            hits=2, backend="distributed", n_nodes=3,
+            elastic=True, fault_plan=plan,
+        ).solve(t, n)
+        assert signature(elastic.combinations) == signature(clean.combinations)
+        assert elastic.uncovered == clean.uncovered
+
+    def test_solver_validation(self):
+        with pytest.raises(ValueError):
+            MultiHitSolver(hits=2, elastic=True, backend="single")
+        with pytest.raises(ValueError):
+            MultiHitSolver(hits=2, lease_blocks=-1)
+
+
+# -- lease-grained pool --------------------------------------------------
+
+
+class TestPoolLeases:
+    def test_lease_grained_pool_bit_exact(self, instance):
+        tumor, normal, params = instance
+        scheme = scheme_for(3, 2)
+        ref_counters = KernelCounters()
+        ref = SingleGpuEngine(scheme=scheme).best_combo(
+            tumor, normal, params, counters=ref_counters
+        )
+        counters = KernelCounters()
+        with PoolEngine(scheme=scheme, n_workers=2, lease_blocks=8) as eng:
+            got = eng.best_combo(tumor, normal, params, counters=counters)
+        assert got == ref
+        assert counters.combos_scored == ref_counters.combos_scored
+
+    def test_solver_elastic_pool_matches_static(self, cohort):
+        t, n = cohort
+        clean = MultiHitSolver(hits=2, backend="pool", n_workers=2).solve(t, n)
+        elastic = MultiHitSolver(
+            hits=2, backend="pool", n_workers=2, elastic=True, lease_blocks=8
+        ).solve(t, n)
+        assert signature(elastic.combinations) == signature(clean.combinations)
+
+    def test_lease_blocks_validation(self):
+        with pytest.raises(ValueError):
+            PoolEngine(scheme=SCHEME_3X1, n_workers=2, lease_blocks=-1)
+
+
+# -- membership + gauges + autoscaler ------------------------------------
+
+
+class TestVirtualClusterMembership:
+    def test_join_extends_the_fleet_at_current_time(self):
+        cluster = VirtualCluster(n_ranks=3)
+        cluster.compute_rank(0, 5.0)
+        cluster.join(2)
+        assert cluster.n_ranks == 5
+        # A joiner's clock starts at the join time, not at zero.
+        assert cluster.clock[4] == pytest.approx(cluster.elapsed_s)
+
+    def test_leave_moves_timelines_to_departed(self):
+        cluster = VirtualCluster(n_ranks=4)
+        cluster.compute_rank(3, 2.0)
+        cluster.leave([3, 1])
+        assert cluster.n_ranks == 2
+        assert len(cluster.departed) == 2
+        assert any(t.compute_s >= 2.0 for t in cluster.departed)
+
+    def test_leave_validation(self):
+        cluster = VirtualCluster(n_ranks=2)
+        with pytest.raises(ValueError):
+            cluster.leave([5])
+        with pytest.raises(ValueError):
+            cluster.leave([0, 1])  # cannot drain the whole fleet
+
+
+class TestHeartbeatGaugeHygiene:
+    def test_world_restart_clears_stale_rank_gauges(self):
+        """Satellite: gauges from a 6-rank world must not survive into a
+        4-rank restart (the stale rank4/rank5 keys made /metrics lie)."""
+        with telemetry_session() as tel:
+            tel.set_gauge("spmd.heartbeat_stale_s.rank99", 123.0)
+            SPMDRunner(2, recv_timeout_s=5.0).run(lambda comm: comm.Get_rank())
+            assert "spmd.heartbeat_stale_s.rank99" not in tel.metrics.gauges
+
+    def test_elastic_runner_clears_stale_rank_gauges(self, instance):
+        tumor, normal, params = instance
+        with telemetry_session() as tel:
+            tel.set_gauge("spmd.heartbeat_stale_s.rank99", 123.0)
+            elastic_spmd_best_combo(
+                SCHEME_3X1, tumor.n_genes, tumor, normal, params, n_ranks=2
+            )
+            assert "spmd.heartbeat_stale_s.rank99" not in tel.metrics.gauges
+
+    def test_clear_gauges_returns_count(self):
+        with telemetry_session() as tel:
+            tel.set_gauge("x.a", 1.0)
+            tel.set_gauge("x.b", 2.0)
+            tel.set_gauge("y.a", 3.0)
+            assert tel.clear_gauges("x.") == 2
+            assert set(tel.metrics.gauges) >= {"y.a"}
+            assert "x.a" not in tel.metrics.gauges
+
+    def test_clear_gauges_disabled_is_noop(self):
+        assert get_telemetry().clear_gauges("x.") in (0, 0)
+
+
+class TestAutoscalePolicy:
+    def test_silent_ranks_trigger_shrink_first(self):
+        policy = AutoscalePolicy(target_eta_s=100.0, stale_after_s=1.0)
+        d = policy.recommend(
+            4, eta_s=500.0, heartbeat_stale_s={0: 0.1, 2: 5.0, 3: 9.0}
+        )
+        assert d.action == "shrink" and d.delta == 2
+        assert d.stale_ranks == (2, 3)
+
+    def test_late_eta_grows_proportionally(self):
+        policy = AutoscalePolicy(target_eta_s=100.0)
+        d = policy.recommend(4, eta_s=250.0, heartbeat_stale_s={})
+        assert d.action == "grow" and d.delta == 6  # ceil(4*2.5) - 4
+
+    def test_grow_capped_by_max_step_and_max_ranks(self):
+        policy = AutoscalePolicy(target_eta_s=1.0, max_step=3, max_ranks=6)
+        d = policy.recommend(4, eta_s=1000.0)
+        assert d.action == "grow" and d.delta == 2  # max_ranks clamp
+
+    def test_early_eta_shrinks(self):
+        policy = AutoscalePolicy(target_eta_s=100.0, shrink_margin=0.5)
+        d = policy.recommend(8, eta_s=20.0)
+        assert d.action == "shrink" and d.delta == 6  # down to ceil(8*0.2)
+
+    def test_hold_inside_band(self):
+        policy = AutoscalePolicy(target_eta_s=100.0)
+        d = policy.recommend(4, eta_s=80.0)
+        assert d.is_hold and d.delta == 0
+
+    def test_no_target_only_staleness_rule(self):
+        policy = AutoscalePolicy(stale_after_s=1.0)
+        assert policy.recommend(4, eta_s=1e9).is_hold
+        assert policy.recommend(4, heartbeat_stale_s={1: 99.0}).action == "shrink"
+
+    def test_decision_gauges_exported(self):
+        with telemetry_session() as tel:
+            AutoscalePolicy(target_eta_s=10.0).recommend(2, eta_s=100.0)
+            assert tel.metrics.gauges["autoscale.n_ranks"] == 2
+            assert tel.metrics.gauges["autoscale.delta"] > 0
+
+    def test_attached_policy_samples_during_run(self, instance):
+        tumor, normal, params = instance
+        with telemetry_session() as tel:
+            elastic_spmd_best_combo(
+                SCHEME_3X1, tumor.n_genes, tumor, normal, params,
+                n_ranks=2, autoscale=AutoscalePolicy(stale_after_s=30.0),
+            )
+            assert "autoscale.n_ranks" in tel.metrics.gauges
+
+
+# -- elastic scaling model (fig4 extras) ---------------------------------
+
+
+class TestElasticScalingModel:
+    def test_makespan_ideal_without_churn(self):
+        from repro.perfmodel.scaling import simulate_elastic_makespan
+
+        assert simulate_elastic_makespan([], 4) == 0.0
+        # 8 unit leases on 4 executors: two perfect waves.
+        assert simulate_elastic_makespan([1.0] * 8, 4) == pytest.approx(2.0)
+
+    def test_leave_slows_join_recovers(self):
+        from repro.perfmodel.scaling import simulate_elastic_makespan
+
+        base = simulate_elastic_makespan([1.0] * 12, 4)
+        shrunk = simulate_elastic_makespan([1.0] * 12, 4, leaves=((0.25, 2),))
+        swapped = simulate_elastic_makespan(
+            [1.0] * 12, 4, leaves=((0.25, 2),), joins=((0.5, 2),)
+        )
+        assert shrunk > base
+        assert base <= swapped <= shrunk
+
+    def test_leaves_never_drain_the_fleet(self):
+        from repro.perfmodel.scaling import simulate_elastic_makespan
+
+        # Asking every executor to leave keeps one alive: finite makespan.
+        m = simulate_elastic_makespan([1.0] * 6, 2, leaves=((0.0, 5),))
+        assert m == pytest.approx(6.0)
+
+    def test_validation(self):
+        from repro.perfmodel.scaling import simulate_elastic_makespan
+
+        with pytest.raises(ValueError):
+            simulate_elastic_makespan([1.0], 0)
+
+    def test_elastic_sweep_tracks_static(self):
+        from repro.perfmodel.runtime import JobModel
+        from repro.perfmodel.scaling import (
+            elastic_strong_scaling_sweep,
+            strong_scaling_sweep,
+        )
+        from repro.perfmodel.workloads import ACC
+
+        model = JobModel(scheme=SCHEME_3X1)
+        static = strong_scaling_sweep(
+            model, ACC, node_counts=[4, 8], baseline_nodes=4
+        )
+        elastic = elastic_strong_scaling_sweep(
+            model, ACC, node_counts=[4, 8], baseline_nodes=4,
+            churn_fraction=0.25,
+        )
+        assert [p.n_nodes for p in elastic] == [4, 8]
+        # Work stealing under churn stays within a band of the static
+        # fleet: not catastrophically slower, never absurdly faster.
+        for e, s in zip(elastic, static):
+            assert 0.5 * s.runtime_s <= e.runtime_s <= 1.5 * s.runtime_s
+
+    def test_fig4_run_with_elastic_extras(self):
+        from repro.experiments import fig4_scaling
+        from repro.perfmodel.workloads import ACC
+
+        r = fig4_scaling.run(
+            workload=ACC,
+            strong_nodes=[4, 8],
+            weak_nodes=[4, 8],
+            elastic_nodes=[4, 8],
+            churn_fraction=0.25,
+        )
+        assert r.elastic is not None and r.elastic_at_max_nodes is not None
+        assert r.elastic_overhead_at_max is not None
+        assert "elastic strong scaling" in fig4_scaling.report(r)
+
+    def test_fig4_run_without_elastic_is_unchanged(self):
+        from repro.experiments import fig4_scaling
+        from repro.perfmodel.workloads import ACC
+
+        r = fig4_scaling.run(workload=ACC, strong_nodes=[4, 8], weak_nodes=[4, 8])
+        assert r.elastic is None
+        assert r.elastic_at_max_nodes is None
+        assert r.elastic_overhead_at_max is None
+        assert "elastic" not in fig4_scaling.report(r)
+
+
+# -- flight recorder lease events ----------------------------------------
+
+
+class TestLeaseFlightEvents:
+    def test_steal_leaves_a_note_and_assignment_trail(self, instance):
+        from repro.telemetry.flight import FlightRecorder
+
+        tumor, normal, params = instance
+        with telemetry_session() as tel:
+            tel.attach_flight(FlightRecorder())
+            plan = FaultPlan(
+                (FaultSpec(kind="crash", site="rank", target=1, count=-1),)
+            )
+            engine = DistributedEngine(
+                scheme=scheme_for(3, 2), n_nodes=3, gpus_per_node=2,
+                elastic=True, fault_plan=plan,
+            )
+            engine.best_combo(tumor, normal, params)
+            notes = [
+                e for e in tel.flight.timeline()
+                if e.get("type") == "note" and e.get("kind") == "lease"
+            ]
+            assert any(e.get("event") == "steal" for e in notes)
+            assert tel.flight.assignments().get("lease")

@@ -1,0 +1,221 @@
+"""Lease lifecycle: grant -> renew -> expire -> steal -> deterministic merge.
+
+The :class:`LeaseLedger` is the work-stealing currency of the elastic
+scale-out; these tests pin its state machine and the determinism
+argument — the merge input is the per-lease winners in lease-id order,
+so who completed what, in which order, with how many steals and
+duplicates, cannot change the winner.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster.leases import LEASE_STATES, Lease, LeaseLedger
+from repro.core.engine import SingleGpuEngine, best_in_thread_range
+from repro.core.kernels import KernelCounters
+from repro.core.reduction import ReductionStats
+from repro.scheduling.schemes import SCHEME_3X1, scheme_for
+from repro.scheduling.workload import cumulative_work_before, total_threads
+
+
+@pytest.fixture
+def ledger():
+    return LeaseLedger.build(SCHEME_3X1, 20, n_leases=6)
+
+
+class TestLedgerConstruction:
+    def test_build_covers_the_grid_equi_area(self):
+        g = 24
+        ledger = LeaseLedger.build(SCHEME_3X1, g, n_leases=8)
+        total = total_threads(SCHEME_3X1, g)
+        assert ledger.boundaries[0] == 0
+        assert ledger.boundaries[-1] == total
+        spans = [(lease.lam_start, lease.lam_end) for lease in ledger.leases]
+        assert all(hi > lo for lo, hi in spans)
+        for (_, a), (b, _) in zip(spans, spans[1:]):
+            assert a == b  # contiguous, no gaps or overlaps
+        # Equi-area: per-lease work stays within a factor of the mean
+        # plus one thread's worth of quantisation.
+        works = [
+            cumulative_work_before(SCHEME_3X1, g, hi)
+            - cumulative_work_before(SCHEME_3X1, g, lo)
+            for lo, hi in spans
+        ]
+        mean = sum(works) / len(works)
+        assert max(works) <= 2 * mean
+
+    def test_needs_at_least_one_range(self):
+        with pytest.raises(ValueError):
+            LeaseLedger((0,))
+
+    def test_states_enumeration(self):
+        assert LEASE_STATES == ("available", "granted", "completed")
+        lease = Lease(lease_id=0, lam_start=0, lam_end=10)
+        assert lease.state == "available" and lease.span == 10
+
+
+class TestLifecycle:
+    def test_acquire_grants_lowest_id_first(self, ledger):
+        a = ledger.acquire(0)
+        b = ledger.acquire(1)
+        assert (a.lease_id, b.lease_id) == (0, 1)
+        assert a.state == "granted" and a.holder == 0
+        assert ledger.n_granted == 2 and ledger.n_grants == 2
+
+    def test_exhausted_pool_returns_none(self):
+        ledger = LeaseLedger((0, 5, 10))
+        assert ledger.acquire(0) is not None
+        assert ledger.acquire(0) is not None
+        assert ledger.acquire(0) is None
+
+    def test_complete_then_done(self):
+        ledger = LeaseLedger((0, 5, 10))
+        for _ in range(2):
+            lease = ledger.acquire(0)
+            assert ledger.complete(lease.lease_id, 0, result=None)
+        assert ledger.done and ledger.n_completed == 2
+        assert ledger.completed_fraction() == 1.0
+
+    def test_renew_extends_deadline(self):
+        ledger = LeaseLedger((0, 5, 10), ttl_s=1.0)
+        lease = ledger.acquire(0, now=100.0)
+        assert lease.deadline == pytest.approx(101.0)
+        assert ledger.renew(0, now=105.0) == 1
+        assert lease.deadline == pytest.approx(106.0)
+        assert not ledger.expire(now=105.5)
+
+    def test_renew_without_ttl_is_noop(self):
+        ledger = LeaseLedger((0, 5, 10))
+        ledger.acquire(0)
+        assert ledger.renew(0) == 0
+
+    def test_heartbeats_renew_granted_leases(self):
+        ledger = LeaseLedger((0, 5, 10), ttl_s=1.0)
+        lease = ledger.acquire(2, now=100.0)
+        # Rank 2's communicator traffic beats at t=104: the lease deadline
+        # follows the heartbeat with no explicit renew call.
+        ledger.sync_heartbeats([0.0, 0.0, 104.0], now=104.0)
+        assert lease.deadline == pytest.approx(105.0)
+        # A beat older than the armed deadline never shortens it.
+        ledger.sync_heartbeats([0.0, 0.0, 50.0], now=104.0)
+        assert lease.deadline == pytest.approx(105.0)
+
+    def test_expire_reclaims_and_next_grant_is_a_steal(self):
+        ledger = LeaseLedger((0, 5, 10), ttl_s=1.0)
+        lease = ledger.acquire(0, now=100.0)
+        reclaimed = ledger.expire(now=102.0)
+        assert reclaimed == [lease]
+        assert lease.state == "available" and lease.holder is None
+        assert lease.previous_holders == [0]
+        assert ledger.n_expired == 1 and ledger.n_steals == 0
+        stolen = ledger.acquire(1, now=102.0)
+        assert stolen is lease and stolen.holder == 1
+        assert ledger.n_steals == 1 and stolen.grants == 2
+
+    def test_forfeit_returns_only_that_holders_leases(self):
+        ledger = LeaseLedger((0, 5, 10, 15))
+        a, b = ledger.acquire(0), ledger.acquire(1)
+        dropped = ledger.forfeit(0)
+        assert dropped == [a] and a.state == "available"
+        assert b.state == "granted"
+        assert ledger.n_forfeited == 1
+
+    def test_retire_bars_future_grants(self):
+        ledger = LeaseLedger((0, 5, 10))
+        ledger.acquire(0)
+        ledger.retire(0)
+        assert ledger.acquire(0) is None  # barred
+        assert ledger.n_forfeited == 1
+        assert ledger.acquire(1) is not None  # others unaffected
+
+    def test_duplicate_completion_dropped(self):
+        ledger = LeaseLedger((0, 5, 10), ttl_s=1.0)
+        lease = ledger.acquire(0, now=100.0)
+        ledger.expire(now=102.0)
+        ledger.acquire(1, now=102.0)  # the steal
+        assert ledger.complete(lease.lease_id, 1, result="thief")
+        # The original holder resurfaces with the same range's answer.
+        assert not ledger.complete(lease.lease_id, 0, result="straggler")
+        assert ledger.n_duplicates == 1
+        assert lease.result == "thief" and lease.completed_by == 1
+
+    def test_straggler_completion_accepted_before_thief(self):
+        """A resurfaced holder may beat the thief; the range answer wins."""
+        ledger = LeaseLedger((0, 5, 10), ttl_s=1.0)
+        lease = ledger.acquire(0, now=100.0)
+        ledger.expire(now=102.0)
+        ledger.acquire(1, now=102.0)
+        assert ledger.complete(lease.lease_id, 0, result="straggler")
+        assert not ledger.complete(lease.lease_id, 1, result="thief")
+        assert lease.completed_by == 0 and ledger.n_duplicates == 1
+
+    def test_holders_and_counts(self):
+        ledger = LeaseLedger((0, 5, 10, 15))
+        ledger.acquire(3)
+        ledger.acquire(7)
+        assert ledger.holders() == {3, 7}
+        assert (ledger.n_available, ledger.n_granted, ledger.n_completed) == (
+            1, 2, 0,
+        )
+
+    def test_describe_and_assignment_rows(self, ledger):
+        ledger.acquire(0)
+        text = ledger.describe()
+        assert "granted" in text and "steals=0" in text
+        rows = ledger.assignment_rows(call=2)
+        assert len(rows) == ledger.n_leases
+        assert rows[0]["holder"] == 0 and rows[0]["call"] == 2
+
+
+class TestDeterministicMerge:
+    def test_merge_requires_all_completed(self):
+        ledger = LeaseLedger((0, 5, 10))
+        lease = ledger.acquire(0)
+        ledger.complete(lease.lease_id, 0, result=None)
+        with pytest.raises(RuntimeError, match="not completed"):
+            ledger.merge()
+
+    def test_merge_is_order_and_holder_independent(self, small_bitmatrices):
+        """Completing leases in shuffled order by arbitrary holders gives
+        the same winner as the single-GPU reference — the determinism
+        guarantee the whole elastic path rests on."""
+        tumor, normal, params = small_bitmatrices
+        scheme, g = scheme_for(3, 2), tumor.n_genes
+        ref = SingleGpuEngine(scheme=scheme).best_combo(tumor, normal, params)
+
+        def solve(order_seed):
+            ledger = LeaseLedger.build(scheme, g, n_leases=7)
+            order = list(range(ledger.n_leases))
+            random.Random(order_seed).shuffle(order)
+            for i in order:
+                lease = ledger.leases[i]
+                counters = KernelCounters()
+                winner = best_in_thread_range(
+                    scheme, g, tumor, normal, params,
+                    lease.lam_start, lease.lam_end, counters=counters,
+                )
+                ledger.complete(i, holder=order_seed % 3, result=winner,
+                                counters=counters)
+            stats = ReductionStats()
+            merged = ledger.merge(stats=stats)
+            assert stats.stage_entries and stats.stage_entries[0] <= ledger.n_leases
+            total = KernelCounters()
+            ledger.merge_counters(total)
+            return merged, total.combos_scored
+
+        winners = [solve(seed) for seed in (0, 1, 2)]
+        assert all(w == winners[0] for w in winners)
+        assert winners[0][0] == ref
+        # Counter closure: every combination scored exactly once.
+        assert all(n == winners[0][1] for _, n in winners)
+
+    def test_merge_counters_skips_missing(self):
+        ledger = LeaseLedger((0, 5, 10))
+        for i in range(2):
+            lease = ledger.acquire(9)
+            ledger.complete(lease.lease_id, 9, result=None,
+                            counters=KernelCounters() if i == 0 else None)
+        total = KernelCounters()
+        ledger.merge_counters(total)  # one None counter: no crash
+        assert total.combos_scored == 0
