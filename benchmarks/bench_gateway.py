@@ -1,0 +1,107 @@
+"""Gateway throughput bench: 8 concurrent tenant jobs vs direct solves.
+
+Boots a real :class:`repro.service.Gateway` (4 supervisor threads,
+``cost_aware`` dispatch) on a tmp state dir, submits 8 planted cohorts
+from two tenants concurrently, and waits for the fleet to drain.  The
+acceptance bar is exact: every job's winning combinations are
+bit-identical to a direct :class:`MultiHitSolver` run on the same
+cohort — multi-tenancy must cost correctness nothing.  The summary
+(``BENCH_gateway.json``) records drained-fleet wall time, per-job wall
+stats, and the gateway's ``job.*`` lifecycle counters so perf and
+admission behaviour drift stay visible across PRs.
+
+Not wired into the check_regression default gate (wall time is
+machine-bound and the job mix is tiny); the bit-identity asserts are
+the gate.
+"""
+
+import tempfile
+import time
+
+from repro.core.solver import MultiHitSolver
+from repro.data.synthesis import CohortConfig, generate_cohort
+from repro.service import Gateway
+
+N_JOBS = 8
+BACKENDS = ["single", "pool", "sequential", "single",
+            "pool", "sequential", "single", "single"]
+
+
+def _spec(seed: int, backend: str) -> dict:
+    return {
+        "tenant": f"tenant-{seed % 2}",
+        "cohort": {"n_genes": 24, "n_tumor": 60, "n_normal": 60,
+                   "hits": 3, "seed": seed},
+        "solver": {"hits": 3, "backend": backend, "n_workers": 2},
+    }
+
+
+def _signature(combos) -> list:
+    return [(tuple(c["genes"]), round(c["f"], 12)) for c in combos]
+
+
+def _run_fleet(state_dir: str) -> tuple:
+    gateway = Gateway(
+        state_dir=state_dir, max_concurrent=4, max_workers=8,
+        queue_depth=16, tenant_quota=8, policy="cost_aware",
+    )
+    with gateway:
+        t0 = time.perf_counter()
+        jobs = [
+            gateway.submit(_spec(seed, backend))
+            for seed, backend in enumerate(BACKENDS)
+        ]
+        done = gateway.wait([j.job_id for j in jobs], timeout=600)
+        wall = time.perf_counter() - t0
+    return done, wall, gateway.telemetry.metrics.to_dict()["counters"]
+
+
+def test_gateway_fleet_bit_identical(benchmark, show, bench_summary):
+    with tempfile.TemporaryDirectory() as state_dir:
+        done, wall, counters = benchmark.pedantic(
+            _run_fleet, args=(state_dir,), rounds=1, iterations=1
+        )
+
+    assert [j.state for j in done] == ["done"] * N_JOBS
+    job_walls = []
+    for job, backend in zip(done, BACKENDS):
+        expected = MultiHitSolver(hits=3).solve(
+            *(lambda c: (c.tumor.values, c.normal.values))(
+                generate_cohort(CohortConfig(**job.spec["cohort"]))
+            )
+        )
+        assert _signature(job.result["combinations"]) == [
+            (c.genes, round(c.f, 12)) for c in expected.combinations
+        ], f"{job.job_id} ({backend}) diverged from the direct solve"
+        job_walls.append(job.progress["elapsed_s"])
+
+    assert counters["job.submitted"] == N_JOBS
+    assert counters["job.completed"] == N_JOBS
+    assert counters.get("job.failed", 0) == 0
+
+    serial = sum(job_walls)
+    lines = [
+        f"gateway fleet: {N_JOBS} jobs drained in {wall:.2f}s "
+        f"(serial job wall {serial:.2f}s, overlap x{serial / wall:.2f})",
+        f"  backends: {dict((b, BACKENDS.count(b)) for b in set(BACKENDS))}",
+        f"  job wall s: min {min(job_walls):.3f} max {max(job_walls):.3f}",
+        "  all 8 winners bit-identical to direct solves",
+    ]
+    show("\n".join(lines))
+
+    bench_summary(
+        "gateway",
+        values={
+            "n_jobs": N_JOBS,
+            "backends": BACKENDS,
+            "fleet_wall_s": round(wall, 4),
+            "serial_job_wall_s": round(serial, 4),
+            "overlap": round(serial / wall, 4),
+            "job_wall_s_max": round(max(job_walls), 4),
+            "bit_identical": True,
+            "job_counters": {
+                k: v for k, v in counters.items() if k.startswith("job.")
+                and not k.startswith("job.kernel")
+            },
+        },
+    )

@@ -3,6 +3,7 @@
 Subcommands::
 
     multihit solve       # run the greedy solver on a synthetic cohort
+    multihit serve       # multi-tenant async job gateway (HTTP API)
     multihit experiment  # regenerate a paper table/figure (fig2..fig10, ...)
     multihit catalog     # list the cancer-type catalog
     multihit schedule    # inspect ED/EA schedules for a configuration
@@ -103,6 +104,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress informational messages; the machine-readable result "
              "listing on stdout is unchanged",
+    )
+
+    p_serve = sub.add_parser(
+        "serve", help="run the multi-tenant async job gateway"
+    )
+    p_serve.add_argument("--host", type=str, default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8757,
+        help="HTTP port for /v1 + /metrics + /healthz (0 picks a free port)",
+    )
+    p_serve.add_argument(
+        "--state-dir", type=str, default="gateway-state", metavar="DIR",
+        help="job store + per-job checkpoints + flight dumps live here; "
+             "restarting against the same DIR resumes interrupted jobs",
+    )
+    p_serve.add_argument(
+        "--max-concurrent", type=int, default=2, metavar="N",
+        help="supervisor threads = jobs solving at once (default 2)",
+    )
+    p_serve.add_argument(
+        "--max-workers", type=int, default=8, metavar="N",
+        help="fleet-wide worker budget the dispatch policies allocate from",
+    )
+    p_serve.add_argument(
+        "--queue-depth", type=int, default=32, metavar="N",
+        help="fleet-wide in-flight job bound; submissions past it get 429",
+    )
+    p_serve.add_argument(
+        "--tenant-quota", type=int, default=8, metavar="N",
+        help="per-tenant in-flight job bound (0 disables)",
+    )
+    p_serve.add_argument(
+        "--policy", choices=["round_robin", "weighted_by_load", "cost_aware"],
+        default="round_robin", help="dispatch policy (backend + worker budget)",
+    )
+    p_serve.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="per-job checkpoint cadence in greedy iterations (default 1)",
+    )
+    p_serve.add_argument(
+        "--ready-file", type=str, default=None, metavar="PATH",
+        help="write {url, port} JSON once listening (CI / scripts find "
+             "the ephemeral port here)",
+    )
+    p_serve.add_argument(
+        "--quiet", action="store_true",
+        help="suppress informational messages on stderr",
     )
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
@@ -262,6 +310,50 @@ def _export_telemetry(args: argparse.Namespace, telemetry) -> None:
         _note(args, f"metrics summary written to {args.metrics_out}")
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.service import Gateway
+
+    gateway = Gateway(
+        state_dir=args.state_dir,
+        host=args.host,
+        port=args.port,
+        max_concurrent=args.max_concurrent,
+        max_workers=args.max_workers,
+        queue_depth=args.queue_depth,
+        tenant_quota=args.tenant_quota,
+        policy=args.policy,
+        checkpoint_every=args.checkpoint_every,
+    )
+    if gateway._recovered:
+        _note(args, f"recovered {gateway._recovered} interrupted job(s)")
+    stop = False
+
+    def _handle(signum, frame) -> None:
+        nonlocal stop
+        stop = True
+
+    signal.signal(signal.SIGINT, _handle)
+    signal.signal(signal.SIGTERM, _handle)
+    with gateway:
+        _note(args, f"gateway listening on {gateway.url} "
+                    f"(policy={args.policy}, state={args.state_dir})")
+        if args.ready_file:
+            import json as _json
+            from pathlib import Path
+
+            Path(args.ready_file).write_text(
+                _json.dumps({"url": gateway.url, "port": gateway.port}) + "\n"
+            )
+        import time as _time
+
+        while not stop:
+            _time.sleep(0.2)
+    _note(args, "gateway stopped (interrupted jobs resume on next start)")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import EXPERIMENTS
 
@@ -417,6 +509,7 @@ def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "solve": _cmd_solve,
+        "serve": _cmd_serve,
         "experiment": _cmd_experiment,
         "catalog": _cmd_catalog,
         "schedule": _cmd_schedule,

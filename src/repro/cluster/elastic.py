@@ -40,7 +40,7 @@ from repro.core.fscore import FScoreParams
 from repro.core.kernels import KernelCounters
 from repro.faults.plan import FaultInjected, FaultPlan
 from repro.faults.report import FaultReport
-from repro.telemetry.session import get_telemetry
+from repro.telemetry.session import get_telemetry, set_thread_telemetry
 
 __all__ = ["ElasticSPMDRunner", "elastic_spmd_best_combo"]
 
@@ -74,6 +74,11 @@ class ElasticSPMDRunner:
     fault_plan: "FaultPlan | None" = None
     report: FaultReport = field(default_factory=FaultReport, repr=False)
     autoscale: "AutoscalePolicy | None" = None
+    # Optional cooperative stop: polled by the supervisor loop alongside
+    # the max_wall_s deadline (same mechanism as MultiHitSolver.solve's
+    # should_stop).  When it fires, the run aborts with the leases still
+    # outstanding reported — the gateway uses this to bound runaway jobs.
+    should_stop: "object | None" = None
 
     def __post_init__(self) -> None:
         if self.n_ranks < 1:
@@ -104,6 +109,9 @@ class ElasticSPMDRunner:
         lock = threading.Lock()
 
         def worker(rank: int) -> None:
+            # Inherit the spawner's (possibly thread-scoped, per-job)
+            # telemetry session so rank-side spans/counters stay on it.
+            set_thread_telemetry(tel)
             comm = SimComm(world, rank)
             comm.heartbeat()
             try:
@@ -147,10 +155,16 @@ class ElasticSPMDRunner:
             try:
                 while not ledger.done:
                     now = time.monotonic()
-                    if now > deadline:
+                    stopped = (
+                        self.should_stop is not None and self.should_stop()
+                    )
+                    if now > deadline or stopped:
+                        reason = (
+                            "should_stop fired" if stopped else
+                            f"exceeded max_wall_s={self.max_wall_s}s"
+                        )
                         raise RuntimeError(
-                            f"elastic world exceeded max_wall_s="
-                            f"{self.max_wall_s}s with "
+                            f"elastic world {reason} with "
                             f"{ledger.n_available + ledger.n_granted} "
                             "leases outstanding"
                         )

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.cluster.comm import CommAbortedError, SimComm, SimCommWorld
-from repro.telemetry.session import get_telemetry
+from repro.telemetry.session import get_telemetry, set_thread_telemetry
 
 __all__ = ["RankFailedError", "SPMDRunner"]
 
@@ -83,6 +83,10 @@ class SPMDRunner:
         telemetry.clear_gauges("spmd.heartbeat_stale_s.")
 
         def worker(rank: int) -> None:
+            # Rank threads inherit the spawner's session (which may be a
+            # thread-scoped per-job session under the gateway): rank-side
+            # get_telemetry() calls must land on the same timeline.
+            set_thread_telemetry(telemetry)
             comm = SimComm(world, rank)
             comm.heartbeat()
             try:

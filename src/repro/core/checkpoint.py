@@ -168,6 +168,8 @@ def solve_with_checkpoints(
     path: "str | Path",
     resume_if_exists: bool = True,
     every: int = 1,
+    on_iteration=None,
+    should_stop=None,
 ):
     """Run a solver, persisting a checkpoint every ``every`` iterations.
 
@@ -177,6 +179,12 @@ def solve_with_checkpoints(
     ``every > 1`` trades re-computable iterations for checkpoint I/O;
     the final state is always persisted regardless of cadence, and each
     write is atomic (see :func:`save_state`).
+
+    ``on_iteration(state)`` is chained after the checkpoint bookkeeping
+    (the gateway's progress feed rides this).  ``should_stop`` is
+    forwarded to :meth:`MultiHitSolver.solve`; a cooperative stop still
+    persists the final state, so a cancelled run resumes from where it
+    stopped.
     """
     if every < 1:
         raise ValueError("every must be >= 1")
@@ -188,14 +196,19 @@ def solve_with_checkpoints(
     last: "list[SolverState | None]" = [None]
     seen = [0]
 
-    def on_iteration(state: SolverState) -> None:
+    def _on_iteration(state: SolverState) -> None:
         seen[0] += 1
         last[0] = state
         if seen[0] % every == 0:
             save_state(state, path)
             last[0] = None
+        if on_iteration is not None:
+            on_iteration(state)
 
-    result = solver.solve(tumor, normal, resume=resume, on_iteration=on_iteration)
+    result = solver.solve(
+        tumor, normal, resume=resume, on_iteration=_on_iteration,
+        should_stop=should_stop,
+    )
     if last[0] is not None:
         save_state(last[0], path)
     return result

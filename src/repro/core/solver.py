@@ -228,6 +228,7 @@ class MultiHitSolver:
         normal: "BitMatrix | np.ndarray",
         resume: "object | None" = None,
         on_iteration: "object | None" = None,
+        should_stop: "object | None" = None,
     ) -> MultiHitResult:
         """Run the greedy cover loop to completion.
 
@@ -236,6 +237,13 @@ class MultiHitSolver:
         limits: persist between greedy iterations, resume in the next
         allocation).  ``on_iteration(state)`` is called after every
         iteration with the current resumable state.
+
+        ``should_stop()`` is polled between iterations (before each
+        arg-max): when it returns truthy, the loop exits cooperatively
+        and the result carries whatever was found so far.  Combined with
+        checkpoints this is how a run is cancelled (the gateway's
+        ``DELETE /v1/jobs/<id>``) or bounded by a wall-clock budget —
+        cancellation lands within one solver iteration.
         """
         if not isinstance(tumor, BitMatrix):
             tumor = BitMatrix.from_dense(np.asarray(tumor))
@@ -305,7 +313,7 @@ class MultiHitSolver:
                 ):
                     result = self._greedy_loop(
                         tumor, normal, params, counters, combos, records, work,
-                        active, on_iteration, pool, dist, table,
+                        active, on_iteration, pool, dist, table, should_stop,
                     )
             except Exception as exc:
                 # Post-mortem black box for a run that dies mid-solve:
@@ -393,7 +401,7 @@ class MultiHitSolver:
 
     def _greedy_loop(
         self, tumor, normal, params, counters, combos, records, work, active,
-        on_iteration, pool, dist, table,
+        on_iteration, pool, dist, table, should_stop=None,
     ) -> MultiHitResult:
         tel = get_telemetry()
         if tel.enabled:
@@ -406,6 +414,10 @@ class MultiHitSolver:
             )
         while active.any():
             if self.max_iterations is not None and len(combos) >= self.max_iterations:
+                break
+            if should_stop is not None and should_stop():
+                if tel.enabled:
+                    tel.count("solver.stopped_early")
                 break
             remaining_before = int(active.sum())
             scored_0 = counters.combos_scored

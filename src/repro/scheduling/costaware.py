@@ -31,7 +31,25 @@ __all__ = [
     "costaware_schedule",
     "schedule_cost_per_part",
     "latency_aware_schedule",
+    "total_schedule_cost",
 ]
+
+
+def total_schedule_cost(
+    scheme: Scheme, g: int, cost: "ThreadCostModel | None" = None
+) -> float:
+    """Modeled cost (abstract cycles) of one full ``C(g, hits)`` scan.
+
+    The same per-level sum :func:`costaware_schedule` balances across
+    partitions, summed instead of cut — the gateway's ``cost_aware``
+    dispatch policy sizes a job's worker budget from this number.
+    """
+    cost = cost or ThreadCostModel()
+    total = 0.0
+    for m in range(g):
+        lo, hi = level_range(scheme, m)
+        total += (hi - lo) * cost.level_cost(scheme, g, m)
+    return total
 
 
 @dataclass(frozen=True)

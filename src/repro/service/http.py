@@ -1,0 +1,362 @@
+"""The gateway: HTTP front door + orchestration of store/queue/runner.
+
+Grown from the PR-5 ``MetricsServer`` skeleton — :class:`GatewayServer`
+subclasses it and mounts the job API beside the scrape endpoints, all
+on one stdlib ``ThreadingHTTPServer``:
+
+====== ============================ ==========================================
+method path                         behavior
+====== ============================ ==========================================
+POST   ``/v1/jobs``                 submit a cohort -> ``202`` + job id
+                                    (``400`` malformed, ``429`` + Retry-After
+                                    when the queue/tenant quota rejects)
+GET    ``/v1/jobs``                 list jobs (``?tenant=`` / ``?state=``)
+GET    ``/v1/jobs/<id>``            lifecycle + progress/ETA
+GET    ``/v1/jobs/<id>/result``     the solve result (``409`` until terminal)
+DELETE ``/v1/jobs/<id>``            cancel (queued: instant; running: within
+                                    one solver iteration)
+GET    ``/metrics``                 gateway-wide Prometheus exposition
+                                    (``job.*`` lifecycle + merged counters)
+GET    ``/healthz``                 liveness + queue/runner snapshot
+====== ============================ ==========================================
+
+Submission body (JSON)::
+
+    {
+      "tenant": "team-a",
+      "cohort": {"n_genes": 32, "n_tumor": 90, "n_normal": 90,
+                 "hits": 3, "seed": 7},          # or {"dataset": "name"}
+      "solver": {"hits": 3, "prune": true}        # optional knobs/pins
+    }
+
+:class:`Gateway` is the composition root: it builds the job store, the
+admission queue, the dispatch policy, and the runner, recovers
+interrupted jobs from a previous process (non-terminal jobs are
+re-queued; their per-job checkpoints turn the re-run into a resume),
+and serves until stopped.  The Python API (:meth:`Gateway.submit` /
+:meth:`Gateway.cancel`) is the same code path the HTTP routes call —
+the tests drive both.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from urllib.parse import parse_qs
+
+from repro.service.dispatch import dispatch_policy
+from repro.service.jobs import Job, JobState, JobStore
+from repro.service.queue import AdmissionError, AdmissionQueue
+from repro.service.runner import JobRunner
+from repro.telemetry.prom import (
+    MetricsServer,
+    Response,
+    _Server,
+    json_reply,
+)
+from repro.telemetry.session import Telemetry
+
+__all__ = ["Gateway", "GatewayServer", "validate_spec"]
+
+_ALLOWED_COHORT_KEYS = {
+    "dataset", "n_genes", "n_tumor", "n_normal", "hits", "seed",
+    "n_driver_combos", "driver_penetrance", "sporadic_fraction",
+}
+_ALLOWED_SOLVER_KEYS = {
+    "hits", "alpha", "backend", "n_workers", "n_nodes", "prune",
+    "prune_blocks", "elastic", "lease_blocks", "max_iterations",
+}
+_ALLOWED_BACKENDS = {"single", "pool", "distributed", "sequential"}
+
+
+def validate_spec(payload: dict) -> tuple[str, dict]:
+    """Validate a submission body; returns ``(tenant, spec)``.
+
+    Raises :class:`ValueError` with a client-readable message (-> 400).
+    Validation is allow-listed: unknown keys are rejected rather than
+    silently dropped, so a typo'd knob fails loudly at submit time
+    instead of quietly solving the wrong problem.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("body must be a JSON object")
+    tenant = payload.get("tenant", "anonymous")
+    if not isinstance(tenant, str) or not tenant or len(tenant) > 128:
+        raise ValueError("tenant must be a non-empty string (<= 128 chars)")
+    cohort = payload.get("cohort")
+    if not isinstance(cohort, dict) or not cohort:
+        raise ValueError("cohort must be a non-empty object")
+    unknown = set(cohort) - _ALLOWED_COHORT_KEYS
+    if unknown:
+        raise ValueError(f"unknown cohort keys: {sorted(unknown)}")
+    if "dataset" not in cohort:
+        for key in ("n_genes", "n_tumor", "n_normal"):
+            if not isinstance(cohort.get(key), int) or cohort[key] < 1:
+                raise ValueError(f"cohort.{key} must be a positive integer")
+        if cohort.get("n_genes", 0) > 4096:
+            raise ValueError("cohort.n_genes over the service limit (4096)")
+    solver = payload.get("solver", {})
+    if not isinstance(solver, dict):
+        raise ValueError("solver must be an object")
+    unknown = set(solver) - _ALLOWED_SOLVER_KEYS
+    if unknown:
+        raise ValueError(f"unknown solver keys: {sorted(unknown)}")
+    backend = solver.get("backend")
+    if backend is not None and backend not in _ALLOWED_BACKENDS:
+        raise ValueError(f"unknown solver backend {backend!r}")
+    return tenant, {"cohort": cohort, "solver": solver}
+
+
+class Gateway:
+    """Composition root: store + queue + dispatch + runner + HTTP server."""
+
+    def __init__(
+        self,
+        state_dir: "str | Path",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_concurrent: int = 2,
+        max_workers: int = 8,
+        queue_depth: int = 32,
+        tenant_quota: int = 8,
+        policy: str = "round_robin",
+        checkpoint_every: int = 1,
+        telemetry: "Telemetry | None" = None,
+    ) -> None:
+        self.state_dir = Path(state_dir)
+        self.telemetry = telemetry or Telemetry(enabled=True)
+        self.store = JobStore(self.state_dir)
+        self.queue = AdmissionQueue(depth=queue_depth, tenant_quota=tenant_quota)
+        self.policy = dispatch_policy(policy)
+        self.runner = JobRunner(
+            store=self.store,
+            queue=self.queue,
+            policy=self.policy,
+            state_dir=self.state_dir,
+            telemetry=self.telemetry,
+            max_concurrent=max_concurrent,
+            max_workers=max_workers,
+            checkpoint_every=checkpoint_every,
+        )
+        self.server = GatewayServer(
+            gateway=self, telemetry=self.telemetry, host=host, port=port
+        )
+        self._recovered = self._recover()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _recover(self) -> int:
+        """Re-queue jobs interrupted by a previous gateway's death.
+
+        Non-terminal jobs (``queued`` / ``admitted`` / ``running``) go
+        back to the queue in their original submission order; their
+        per-job checkpoint files make the re-run resume mid-cover.
+        Tenant in-flight accounting is rebuilt through the normal
+        admission path (quotas hold across restarts).
+        """
+        recovered = 0
+        for job in self.store.jobs():
+            if job.terminal:
+                continue
+            if job.cancel_requested:
+                self.store.transition(job.job_id, JobState.CANCELLED)
+                self.telemetry.count("job.cancelled")
+                continue
+            self.store.requeue(job.job_id)
+            self.queue.submit(job.job_id, job.tenant)
+            self.telemetry.count("job.recovered")
+            recovered += 1
+        return recovered
+
+    def start(self) -> "Gateway":
+        self.runner.start()
+        self.server.start()
+        return self
+
+    def stop(self) -> None:
+        self.server.stop()
+        self.runner.stop()
+
+    def __enter__(self) -> "Gateway":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    # -- the Python API (HTTP routes call these) -----------------------
+
+    def submit(self, payload: dict) -> Job:
+        """Validate + admit + enqueue; raises ValueError/AdmissionError."""
+        tenant, spec = validate_spec(payload)
+        job = self.store.new_job(tenant, spec)
+        try:
+            self.queue.submit(job.job_id, tenant)
+        except AdmissionError:
+            # Rejected at admission: the record survives as failed so
+            # the tenant can audit the rejection, but it never runs.
+            self.store.transition(
+                job.job_id, JobState.FAILED, error="rejected: queue full or quota"
+            )
+            self.telemetry.count("job.rejected")
+            raise
+        self.telemetry.count("job.submitted")
+        return job
+
+    def cancel(self, job_id: str) -> bool:
+        return self.runner.cancel(job_id)
+
+    def job(self, job_id: str) -> "Job | None":
+        return self.store.get(job_id)
+
+    def jobs(self, tenant=None, state=None) -> list[Job]:
+        return self.store.jobs(tenant=tenant, state=state)
+
+    def wait(
+        self, job_ids, timeout: float = 60.0, poll_s: float = 0.05
+    ) -> list[Job]:
+        """Block until the given jobs are terminal (testing/CLI helper)."""
+        import time
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            jobs = [self.store.get(j) for j in job_ids]
+            if all(j is not None and j.terminal for j in jobs):
+                return jobs
+            time.sleep(poll_s)
+        raise TimeoutError(
+            f"jobs not terminal after {timeout}s: "
+            f"{[(j.job_id, j.state) for j in jobs if j is not None and not j.terminal]}"
+        )
+
+
+class _GatewayHTTP(_Server):
+    """The route table: ``/v1/*`` mounted beside ``/metrics``/``/healthz``."""
+
+    def __init__(self, addr, telemetry, prefix, gateway: Gateway):
+        self.gateway = gateway  # before super(): build_routes runs in init
+        super().__init__(addr, telemetry, prefix)
+
+    def build_routes(self):
+        return super().build_routes() + [
+            ("POST", re.compile(r"^/v1/jobs$"), self._route_submit),
+            ("GET", re.compile(r"^/v1/jobs$"), self._route_list),
+            (
+                "GET",
+                re.compile(r"^/v1/jobs/(?P<job_id>[\w-]+)/result$"),
+                self._route_result,
+            ),
+            (
+                "GET",
+                re.compile(r"^/v1/jobs/(?P<job_id>[\w-]+)$"),
+                self._route_status,
+            ),
+            (
+                "DELETE",
+                re.compile(r"^/v1/jobs/(?P<job_id>[\w-]+)$"),
+                self._route_cancel,
+            ),
+        ]
+
+    def _route_healthz(self, match, body, query) -> Response:
+        resp = super()._route_healthz(match, body, query)
+        payload = json.loads(resp.body)
+        payload.update(
+            {
+                "jobs": len(self.gateway.store),
+                "backlog": self.gateway.queue.backlog,
+                "in_flight": self.gateway.queue.in_flight,
+                "running": self.gateway.runner.n_running,
+            }
+        )
+        return json_reply(200, payload)
+
+    # -- /v1 routes ----------------------------------------------------
+
+    def _route_submit(self, match, body, query) -> Response:
+        try:
+            payload = json.loads(body or b"{}")
+        except json.JSONDecodeError as exc:
+            return json_reply(400, {"error": f"invalid JSON: {exc}"})
+        try:
+            job = self.gateway.submit(payload)
+        except AdmissionError as exc:
+            return json_reply(
+                429,
+                {"error": str(exc)},
+                headers={"Retry-After": str(int(exc.retry_after_s) or 1)},
+            )
+        except ValueError as exc:
+            return json_reply(400, {"error": str(exc)})
+        return json_reply(
+            202,
+            {
+                "job_id": job.job_id,
+                "state": job.state,
+                "url": f"/v1/jobs/{job.job_id}",
+            },
+        )
+
+    def _route_list(self, match, body, query) -> Response:
+        params = parse_qs(query)
+        jobs = self.gateway.jobs(
+            tenant=params.get("tenant", [None])[0],
+            state=params.get("state", [None])[0],
+        )
+        return json_reply(200, {"jobs": [j.summary() for j in jobs]})
+
+    def _route_status(self, match, body, query) -> Response:
+        job = self.gateway.job(match.group("job_id"))
+        if job is None:
+            return json_reply(404, {"error": "unknown job"})
+        return json_reply(200, job.summary())
+
+    def _route_result(self, match, body, query) -> Response:
+        job = self.gateway.job(match.group("job_id"))
+        if job is None:
+            return json_reply(404, {"error": "unknown job"})
+        if not job.terminal:
+            return json_reply(
+                409, {"error": f"job is {job.state}, result not ready"}
+            )
+        if job.result is None:
+            return json_reply(
+                409, {"error": f"job {job.state} without result", "detail": job.error}
+            )
+        return json_reply(
+            200, {"job_id": job.job_id, "state": job.state, "result": job.result}
+        )
+
+    def _route_cancel(self, match, body, query) -> Response:
+        job_id = match.group("job_id")
+        job = self.gateway.job(job_id)
+        if job is None:
+            return json_reply(404, {"error": "unknown job"})
+        if job.terminal:
+            return json_reply(
+                409, {"error": f"job already terminal ({job.state})"}
+            )
+        self.gateway.cancel(job_id)
+        return json_reply(
+            202, {"job_id": job_id, "state": self.gateway.job(job_id).state}
+        )
+
+
+class GatewayServer(MetricsServer):
+    """The gateway's HTTP endpoint: MetricsServer + the ``/v1`` API."""
+
+    def __init__(self, gateway: Gateway, telemetry=None, **kwargs) -> None:
+        super().__init__(telemetry=telemetry, **kwargs)
+        self.gateway = gateway
+
+    def _make_server(self) -> _GatewayHTTP:
+        return _GatewayHTTP(
+            (self.host, self.port), self.telemetry, self.prefix, self.gateway
+        )

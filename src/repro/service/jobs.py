@@ -1,0 +1,295 @@
+"""Job lifecycle + the atomic JSON-on-disk job store.
+
+A *job* is one tenant's request to solve one cohort: the cohort spec
+(either generative parameters for :func:`repro.data.synthesis.generate_cohort`
+or a registry dataset name), the solver knobs the tenant is allowed to
+set, and the lifecycle bookkeeping the gateway stamps on as the job
+moves through
+
+    queued -> admitted -> running -> done | failed | cancelled
+
+``queued`` means accepted past admission control but not yet claimed;
+``admitted`` means a supervisor thread claimed it and the dispatch
+policy chose its backend + worker budget; ``cancelled`` can be entered
+from any non-terminal state (a queued job cancels instantly, a running
+one within one solver iteration via the cooperative ``should_stop``).
+
+Every mutation is persisted through the same atomic discipline as
+checkpoints (sibling tmp file + fsync + ``os.replace``), one file per
+job, so a crashed or restarted gateway recovers the exact set of jobs
+and their states from the directory — and a job interrupted mid-solve
+resumes from its per-job checkpoint file rather than restarting.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "ACTIVE_STATES",
+    "JOB_SCHEMA",
+    "Job",
+    "JobState",
+    "JobStore",
+    "TERMINAL_STATES",
+]
+
+JOB_SCHEMA = "repro.service.jobs/v1"
+
+
+class JobState:
+    """The lifecycle vocabulary (plain strings: JSON- and API-friendly)."""
+
+    QUEUED = "queued"
+    ADMITTED = "admitted"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+TERMINAL_STATES = frozenset(
+    {JobState.DONE, JobState.FAILED, JobState.CANCELLED}
+)
+ACTIVE_STATES = frozenset(
+    {JobState.QUEUED, JobState.ADMITTED, JobState.RUNNING}
+)
+
+_TRANSITIONS: dict[str, frozenset] = {
+    JobState.QUEUED: frozenset({JobState.ADMITTED, JobState.CANCELLED, JobState.FAILED}),
+    JobState.ADMITTED: frozenset({JobState.RUNNING, JobState.CANCELLED, JobState.FAILED}),
+    JobState.RUNNING: frozenset({JobState.DONE, JobState.FAILED, JobState.CANCELLED}),
+    JobState.DONE: frozenset(),
+    JobState.FAILED: frozenset(),
+    JobState.CANCELLED: frozenset(),
+}
+
+
+@dataclass
+class Job:
+    """One tenant's solve request plus its lifecycle bookkeeping.
+
+    ``spec`` is the validated submission payload (see
+    :meth:`JobStore.new_job`); ``dispatch`` is the policy's decision
+    (backend, worker budget, policy name, modeled cost); ``progress`` is
+    the runner's live feed (iterations, coverage, ETA); ``result`` is
+    the :func:`repro.io.results.result_to_dict` payload once terminal.
+    """
+
+    job_id: str
+    tenant: str
+    spec: dict
+    state: str = JobState.QUEUED
+    created_at: float = 0.0
+    updated_at: float = 0.0
+    dispatch: "dict | None" = None
+    progress: dict = field(default_factory=dict)
+    result: "dict | None" = None
+    error: "str | None" = None
+    cancel_requested: bool = False
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def can_enter(self, state: str) -> bool:
+        return state in _TRANSITIONS[self.state]
+
+    def to_payload(self) -> dict:
+        return {
+            "schema": JOB_SCHEMA,
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "spec": self.spec,
+            "state": self.state,
+            "created_at": self.created_at,
+            "updated_at": self.updated_at,
+            "dispatch": self.dispatch,
+            "progress": self.progress,
+            "result": self.result,
+            "error": self.error,
+            "cancel_requested": self.cancel_requested,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Job":
+        if payload.get("schema") != JOB_SCHEMA:
+            raise ValueError(
+                f"unsupported job schema {payload.get('schema')!r}"
+            )
+        return cls(
+            job_id=payload["job_id"],
+            tenant=payload["tenant"],
+            spec=payload["spec"],
+            state=payload["state"],
+            created_at=payload["created_at"],
+            updated_at=payload["updated_at"],
+            dispatch=payload.get("dispatch"),
+            progress=payload.get("progress") or {},
+            result=payload.get("result"),
+            error=payload.get("error"),
+            cancel_requested=bool(payload.get("cancel_requested")),
+        )
+
+    def summary(self) -> dict:
+        """The list-endpoint row: lifecycle without the result payload."""
+        return {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "state": self.state,
+            "created_at": self.created_at,
+            "updated_at": self.updated_at,
+            "dispatch": self.dispatch,
+            "progress": self.progress,
+            "error": self.error,
+            "cancel_requested": self.cancel_requested,
+        }
+
+
+class JobStore:
+    """One JSON file per job under ``root/jobs/``, written atomically.
+
+    The store is the gateway's durable source of truth: submission,
+    every state transition, progress updates, and the final result all
+    go through :meth:`save`, which uses tmp + fsync + ``os.replace`` so
+    a crash mid-write can never leave a torn job file.  A fresh store
+    pointed at an existing directory reloads every job (what gateway
+    restart recovery is built on).
+
+    All mutations funnel through :meth:`transition` / :meth:`update`,
+    serialized by one lock — the HTTP threads, the supervisor threads,
+    and the progress feeds all touch jobs concurrently.
+    """
+
+    def __init__(self, root: "str | Path") -> None:
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._jobs: dict[str, Job] = {}
+        for path in sorted(self.jobs_dir.glob("job-*.json")):
+            try:
+                job = Job.from_payload(json.loads(path.read_text()))
+            except (ValueError, KeyError, json.JSONDecodeError):
+                continue  # unreadable entry: skip, don't brick the store
+            self._jobs[job.job_id] = job
+
+    # -- creation ------------------------------------------------------
+
+    def new_job(self, tenant: str, spec: dict) -> Job:
+        """Mint a queued job (persisted immediately)."""
+        now = time.time()
+        job = Job(
+            job_id=f"job-{uuid.uuid4().hex[:12]}",
+            tenant=tenant,
+            spec=spec,
+            created_at=now,
+            updated_at=now,
+        )
+        with self._lock:
+            self._jobs[job.job_id] = job
+            self._save_locked(job)
+        return job
+
+    # -- access --------------------------------------------------------
+
+    def get(self, job_id: str) -> "Job | None":
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(
+        self, tenant: "str | None" = None, state: "str | None" = None
+    ) -> list[Job]:
+        """Jobs in submission order, optionally filtered."""
+        with self._lock:
+            rows = sorted(self._jobs.values(), key=lambda j: j.created_at)
+        if tenant is not None:
+            rows = [j for j in rows if j.tenant == tenant]
+        if state is not None:
+            rows = [j for j in rows if j.state == state]
+        return rows
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    # -- mutation ------------------------------------------------------
+
+    def transition(self, job_id: str, state: str, **updates) -> Job:
+        """Move a job to ``state``, stamping + persisting atomically.
+
+        Raises :class:`ValueError` on an illegal lifecycle edge (e.g.
+        ``done -> running``) — transitions are where the state machine
+        is enforced, so no caller can corrupt a record.
+        """
+        with self._lock:
+            job = self._require(job_id)
+            if not job.can_enter(state):
+                raise ValueError(
+                    f"illegal transition {job.state!r} -> {state!r} "
+                    f"for {job_id}"
+                )
+            job.state = state
+            self._apply_locked(job, updates)
+            return job
+
+    def requeue(self, job_id: str) -> Job:
+        """Reset an interrupted (non-terminal) job back to ``queued``.
+
+        The one sanctioned backward edge in the lifecycle, reserved for
+        gateway restart recovery: a job found ``admitted`` or
+        ``running`` at boot was interrupted by the previous process's
+        death, and goes back to the queue (its checkpoint makes the
+        re-run a resume, not a restart).  Terminal jobs are refused.
+        """
+        with self._lock:
+            job = self._require(job_id)
+            if job.terminal:
+                raise ValueError(f"cannot requeue terminal job {job_id}")
+            job.state = JobState.QUEUED
+            self._apply_locked(job, {})
+            return job
+
+    def update(self, job_id: str, **updates) -> Job:
+        """Persist non-lifecycle fields (progress, cancel_requested...)."""
+        with self._lock:
+            job = self._require(job_id)
+            self._apply_locked(job, updates)
+            return job
+
+    def _require(self, job_id: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        return job
+
+    def _apply_locked(self, job: Job, updates: dict) -> None:
+        for key, value in updates.items():
+            if not hasattr(job, key):
+                raise AttributeError(f"job has no field {key!r}")
+            setattr(job, key, value)
+        job.updated_at = time.time()
+        self._save_locked(job)
+
+    def _save_locked(self, job: Job) -> None:
+        path = self.jobs_dir / f"{job.job_id}.json"
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            with open(tmp, "w") as fh:
+                fh.write(json.dumps(job.to_payload()) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    def save(self, job: Job) -> None:
+        with self._lock:
+            self._jobs[job.job_id] = job
+            self._save_locked(job)

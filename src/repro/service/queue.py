@@ -1,0 +1,159 @@
+"""Bounded admission-controlled job queue with per-tenant quotas.
+
+The fleet is finite; millions of users are not.  Admission control is
+the seam between them: a submission is either *admitted* (a job id the
+tenant can poll) or *rejected right now* (HTTP 429 + ``Retry-After``),
+never silently parked in an unbounded backlog.  Two independent limits
+apply at submit time:
+
+* **depth** — total jobs admitted but not yet finished, fleet-wide.
+  Protects the gateway's memory and keeps queue latency honest.
+* **tenant quota** — in-flight jobs (queued + admitted + running) per
+  tenant.  One noisy tenant cannot starve the fleet; this is the
+  max-instances-per-tier knob of melange-style load balancers reduced
+  to its fair-sharing core.
+
+The queue hands out job *ids* in FIFO order (:meth:`claim` blocks with
+a timeout — the supervisor threads' idle loop), and in-flight
+accounting is released when the runner reports the job terminal.  A
+queued job can still be yanked (:meth:`abandon`) for instant
+cancellation before any solver starts.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+__all__ = [
+    "AdmissionError",
+    "AdmissionQueue",
+    "QueueFullError",
+    "QuotaExceededError",
+]
+
+
+class AdmissionError(Exception):
+    """Base of submit-time rejections; maps to HTTP 429."""
+
+    #: advisory seconds before the client should retry
+    retry_after_s = 1.0
+
+
+class QueueFullError(AdmissionError):
+    """The fleet-wide backlog bound is hit."""
+
+
+class QuotaExceededError(AdmissionError):
+    """The submitting tenant is at its in-flight quota."""
+
+
+class AdmissionQueue:
+    """FIFO of job ids behind depth + per-tenant admission checks.
+
+    Parameters
+    ----------
+    depth:
+        Max jobs in flight fleet-wide (queued + claimed-but-unfinished).
+    tenant_quota:
+        Max jobs in flight per tenant (``0`` disables the quota).
+    """
+
+    def __init__(self, depth: int = 32, tenant_quota: int = 8) -> None:
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        if tenant_quota < 0:
+            raise ValueError("tenant_quota must be >= 0")
+        self.depth = depth
+        self.tenant_quota = tenant_quota
+        self._pending: deque = deque()  # (job_id, tenant), FIFO
+        self._in_flight: dict[str, str] = {}  # job_id -> tenant
+        self._tenant_load: dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+
+    # -- admission -----------------------------------------------------
+
+    def submit(self, job_id: str, tenant: str) -> None:
+        """Admit a job or raise an :class:`AdmissionError` (-> 429).
+
+        The depth check counts everything admitted and not yet
+        :meth:`release`-d — a full fleet of running jobs keeps the
+        queue closed even when the pending deque is empty.
+        """
+        with self._lock:
+            if len(self._in_flight) >= self.depth:
+                raise QueueFullError(
+                    f"queue full: {len(self._in_flight)}/{self.depth} "
+                    "jobs in flight"
+                )
+            load = self._tenant_load.get(tenant, 0)
+            if self.tenant_quota and load >= self.tenant_quota:
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} at quota: {load}/{self.tenant_quota} "
+                    "jobs in flight"
+                )
+            self._in_flight[job_id] = tenant
+            self._tenant_load[tenant] = load + 1
+            self._pending.append((job_id, tenant))
+            self._available.notify()
+
+    # -- the supervisor side -------------------------------------------
+
+    def claim(self, timeout: "float | None" = None) -> "str | None":
+        """Pop the oldest pending job id; ``None`` on timeout."""
+        with self._available:
+            if not self._pending:
+                self._available.wait(timeout)
+            if not self._pending:
+                return None
+            job_id, _tenant = self._pending.popleft()
+            return job_id
+
+    def abandon(self, job_id: str) -> bool:
+        """Remove a still-pending job (pre-run cancellation).
+
+        Returns whether it was pending; in-flight accounting is dropped
+        immediately (an abandoned job never runs, so nothing else will
+        release it).
+        """
+        with self._lock:
+            for i, (pending_id, _tenant) in enumerate(self._pending):
+                if pending_id == job_id:
+                    del self._pending[i]
+                    self._release_locked(job_id)
+                    return True
+            return False
+
+    def release(self, job_id: str) -> None:
+        """Drop a finished job from the in-flight accounting."""
+        with self._lock:
+            self._release_locked(job_id)
+
+    def _release_locked(self, job_id: str) -> None:
+        tenant = self._in_flight.pop(job_id, None)
+        if tenant is None:
+            return
+        load = self._tenant_load.get(tenant, 0) - 1
+        if load > 0:
+            self._tenant_load[tenant] = load
+        else:
+            self._tenant_load.pop(tenant, None)
+
+    # -- inspection ----------------------------------------------------
+
+    @property
+    def backlog(self) -> int:
+        """Jobs admitted and not yet claimed by a supervisor."""
+        with self._lock:
+            return len(self._pending)
+
+    @property
+    def in_flight(self) -> int:
+        """Jobs admitted and not yet released (queued or running)."""
+        with self._lock:
+            return len(self._in_flight)
+
+    def tenant_load(self, tenant: str) -> int:
+        with self._lock:
+            return self._tenant_load.get(tenant, 0)

@@ -1,0 +1,326 @@
+"""The job runner: supervisor threads executing jobs on the engines.
+
+``max_concurrent`` supervisor threads block on the admission queue,
+claim jobs FIFO, ask the dispatch policy for a backend + budget, and
+drive the existing solver stack end to end.  Per job, the runner
+isolates everything the engines share process-wide:
+
+* **telemetry** — each job solves inside its own thread-scoped
+  :class:`~repro.telemetry.session.Telemetry` session (rank threads
+  inherit it), so concurrent jobs never interleave spans or counters.
+  On completion the job's registry is folded into the gateway-wide
+  session re-namespaced under ``job.*`` (``job.kernel.combos_scored``
+  aggregates the fleet's scoring traffic across tenants), and the
+  lifecycle counters (``job.completed`` / ``job.failed`` / ...) move.
+* **checkpoints** — each job writes ``checkpoints/<job id>.json`` under
+  the gateway state dir; a restarted gateway re-queues interrupted jobs
+  and their solves resume from the checkpoint, bit-identical.
+* **flight recorder** — each job gets its own recorder tagged with the
+  job id, dumping ``blackbox-<job id>-*.json`` into a shared directory,
+  so a crashing job leaves its own post-mortem and nothing else's.
+
+Cancellation is cooperative: ``cancel()`` sets the job's event, the
+solver's ``should_stop`` observes it between iterations, and the job
+lands in ``cancelled`` with the combinations found so far (still
+checkpointed — a cancelled job's partial work is inspectable and
+resumable).  A job that raises is ``failed`` with the error recorded
+and its flight dump written; the supervisor thread survives to run the
+next job.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+
+from repro.service.dispatch import DispatchPolicy, FleetState
+from repro.service.jobs import JobState, JobStore
+from repro.service.queue import AdmissionQueue
+from repro.telemetry.flight import FlightRecorder
+from repro.telemetry.session import Telemetry, thread_telemetry_session
+
+__all__ = ["JobRunner"]
+
+
+class JobRunner:
+    """Claim → dispatch → solve → persist, ``max_concurrent`` at a time.
+
+    ``telemetry`` is the gateway-wide session (``/metrics`` scrapes it);
+    job-side sessions are private and merged in under ``job.*`` as jobs
+    finish.
+    """
+
+    def __init__(
+        self,
+        store: JobStore,
+        queue: AdmissionQueue,
+        policy: DispatchPolicy,
+        state_dir: "str | Path",
+        telemetry: "Telemetry | None" = None,
+        max_concurrent: int = 2,
+        max_workers: int = 8,
+        checkpoint_every: int = 1,
+        claim_timeout_s: float = 0.2,
+    ) -> None:
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        self.store = store
+        self.queue = queue
+        self.policy = policy
+        self.state_dir = Path(state_dir)
+        self.telemetry = telemetry or Telemetry(enabled=True)
+        self.max_concurrent = max_concurrent
+        self.checkpoint_every = checkpoint_every
+        self.claim_timeout_s = claim_timeout_s
+        self.fleet = FleetState(max_workers=max_workers)
+        self.checkpoint_dir = self.state_dir / "checkpoints"
+        self.flight_dir = self.state_dir / "flight"
+        self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        self.flight_dir.mkdir(parents=True, exist_ok=True)
+        self._cancel_events: dict[str, threading.Event] = {}
+        self._cancel_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._running = 0
+        self._running_lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "JobRunner":
+        if self._threads:
+            return self
+        self._stop.clear()
+        for i in range(self.max_concurrent):
+            t = threading.Thread(
+                target=self._supervise, name=f"repro-job-runner-{i}",
+                daemon=True,
+            )
+            self._threads.append(t)
+            t.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop claiming; cancel running jobs; join the supervisors."""
+        self._stop.set()
+        with self._cancel_lock:
+            for event in self._cancel_events.values():
+                event.set()
+        deadline = time.monotonic() + timeout
+        for t in self._threads:
+            t.join(timeout=max(0.0, deadline - time.monotonic()))
+        self._threads = []
+
+    @property
+    def n_running(self) -> int:
+        with self._running_lock:
+            return self._running
+
+    # -- cancellation --------------------------------------------------
+
+    def cancel(self, job_id: str) -> bool:
+        """Request cancellation; returns whether the request landed.
+
+        A still-queued job is cancelled immediately (never runs); a
+        running one stops within one solver iteration.  Terminal jobs
+        are not cancellable.
+        """
+        job = self.store.get(job_id)
+        if job is None or job.terminal:
+            return False
+        self.store.update(job_id, cancel_requested=True)
+        with self._cancel_lock:
+            event = self._cancel_events.setdefault(job_id, threading.Event())
+        event.set()
+        if self.queue.abandon(job_id):
+            # Never claimed: finalize here, no solver will see it.
+            self.store.transition(job_id, JobState.CANCELLED)
+            self.telemetry.count("job.cancelled")
+            return True
+        self.telemetry.count("job.cancel_requested")
+        return True
+
+    def _cancel_event(self, job_id: str) -> threading.Event:
+        with self._cancel_lock:
+            return self._cancel_events.setdefault(job_id, threading.Event())
+
+    # -- the supervisor loop -------------------------------------------
+
+    def _supervise(self) -> None:
+        while not self._stop.is_set():
+            job_id = self.queue.claim(timeout=self.claim_timeout_s)
+            if job_id is None:
+                continue
+            try:
+                self._run_job(job_id)
+            finally:
+                self.queue.release(job_id)
+                self.fleet.unregister(job_id)
+                with self._cancel_lock:
+                    self._cancel_events.pop(job_id, None)
+
+    def _run_job(self, job_id: str) -> None:
+        tel = self.telemetry
+        job = self.store.get(job_id)
+        if job is None:
+            return
+        event = self._cancel_event(job_id)
+        if job.cancel_requested or self._stop.is_set():
+            if job.can_enter(JobState.CANCELLED):
+                self.store.transition(job_id, JobState.CANCELLED)
+                tel.count("job.cancelled")
+            return
+        decision = self.policy.choose(job, self.fleet)
+        self.fleet.register(job_id, decision)
+        self.store.transition(
+            job_id, JobState.ADMITTED, dispatch=decision.to_payload()
+        )
+        tel.count("job.admitted")
+        tel.count(f"job.backend.{decision.backend}")
+
+        job_tel = Telemetry(enabled=True)
+        recorder = FlightRecorder(out_dir=self.flight_dir, tag=job_id)
+        job_tel.attach_flight(recorder)
+        self.store.transition(job_id, JobState.RUNNING)
+        with self._running_lock:
+            self._running += 1
+            tel.set_gauge("job.running", self._running)
+        t_start = time.monotonic()
+        try:
+            with thread_telemetry_session(job_tel):
+                result = self._solve(job, decision, event)
+            cancelled = event.is_set()
+            current = self.store.get(job_id)
+            user_cancel = current is not None and current.cancel_requested
+            if cancelled and not user_cancel:
+                # Gateway shutdown, not a tenant cancel: leave the job in
+                # ``running`` so restart recovery re-queues it and the
+                # solve resumes from its checkpoint.
+                tel.count("job.interrupted")
+                return
+            from repro.io.results import result_to_dict
+
+            payload = result_to_dict(result)
+            payload["cancelled"] = cancelled
+            self.store.transition(
+                job_id,
+                JobState.CANCELLED if cancelled else JobState.DONE,
+                result=payload,
+                progress=self._final_progress(result, t_start),
+            )
+            tel.count("job.cancelled" if cancelled else "job.completed")
+        except Exception as exc:
+            # Isolate the blast radius: this job fails with its black
+            # box written; the supervisor (and every other job) lives.
+            recorder.dump("job-failed", exc=exc, telemetry=job_tel)
+            self.store.transition(
+                job_id, JobState.FAILED,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            tel.count("job.failed")
+        finally:
+            with self._running_lock:
+                self._running -= 1
+                tel.set_gauge("job.running", self._running)
+            tel.observe("job.wall_s", time.monotonic() - t_start)
+            self._merge_job_metrics(job_tel)
+
+    # -- execution -----------------------------------------------------
+
+    def _solve(self, job, decision, event: threading.Event):
+        from repro.core.checkpoint import solve_with_checkpoints
+        from repro.core.solver import MultiHitSolver
+
+        tumor, normal, hits = self._cohort_arrays(job.spec)
+        solver_spec = dict(job.spec.get("solver", {}))
+        kwargs = {
+            "hits": hits,
+            "backend": decision.backend,
+            "n_workers": decision.n_workers,
+            "n_nodes": decision.n_nodes,
+        }
+        for knob in (
+            "alpha", "prune", "prune_blocks", "elastic", "lease_blocks",
+            "max_iterations",
+        ):
+            if knob in solver_spec:
+                kwargs[knob] = solver_spec[knob]
+        solver = MultiHitSolver(**kwargs)
+
+        total = int(tumor.shape[1]) if hasattr(tumor, "shape") else 0
+        t0 = time.monotonic()
+
+        def on_iteration(state) -> None:
+            elapsed = time.monotonic() - t0
+            covered = total - state.n_uncovered
+            rate = covered / elapsed if elapsed > 0 and covered > 0 else 0.0
+            self.store.update(
+                job.job_id,
+                progress={
+                    "iterations": state.n_found,
+                    "uncovered": state.n_uncovered,
+                    "covered": covered,
+                    "total": total,
+                    "eta_s": (
+                        round(state.n_uncovered / rate, 3) if rate > 0 else None
+                    ),
+                    "elapsed_s": round(elapsed, 3),
+                },
+            )
+
+        return solve_with_checkpoints(
+            solver,
+            tumor,
+            normal,
+            self.checkpoint_dir / f"{job.job_id}.json",
+            every=self.checkpoint_every,
+            on_iteration=on_iteration,
+            should_stop=event.is_set,
+        )
+
+    def _cohort_arrays(self, spec: dict):
+        """Materialize the job's cohort: (tumor, normal, hits)."""
+        cohort_spec = dict(spec.get("cohort", {}))
+        if "dataset" in cohort_spec:
+            from repro.data.registry import dataset
+
+            cohort = dataset(cohort_spec["dataset"])
+        else:
+            from repro.data.synthesis import CohortConfig, generate_cohort
+
+            cohort = generate_cohort(CohortConfig(**cohort_spec))
+        hits = int(spec.get("solver", {}).get("hits", cohort.config.hits))
+        return cohort.tumor.values, cohort.normal.values, hits
+
+    # -- accounting ----------------------------------------------------
+
+    def _final_progress(self, result, t_start: float) -> dict:
+        total = result.params.n_tumor
+        return {
+            "iterations": len(result.combinations),
+            "uncovered": result.uncovered,
+            "covered": total - result.uncovered,
+            "total": total,
+            "coverage": result.coverage,
+            "eta_s": 0.0,
+            "elapsed_s": round(time.monotonic() - t_start, 3),
+        }
+
+    def _merge_job_metrics(self, job_tel: Telemetry) -> None:
+        """Fold the job session into the gateway registry under ``job.*``.
+
+        Counters and histograms aggregate across jobs (typed merge);
+        per-job gauges are point-in-time and tenant-private, so they
+        stay behind.
+        """
+        snapshot = job_tel.metrics.to_dict()
+        self.telemetry.metrics.merge_dict(
+            {
+                "counters": {
+                    f"job.{k}": v for k, v in snapshot["counters"].items()
+                },
+                "histograms": {
+                    f"job.{k}": v for k, v in snapshot["histograms"].items()
+                },
+            }
+        )

@@ -54,6 +54,12 @@ class FlightRecorder:
     max_dumps:
         Hard cap on black-box files written by this recorder; a
         fault storm cannot fill the disk.
+    tag:
+        Optional namespace woven into every dump filename
+        (``blackbox-<tag>-NNN-<reason>.json``).  Concurrent solves
+        sharing one dump directory (the gateway's per-job recorders,
+        tagged with the job id) can never clobber each other's
+        artifacts.
     """
 
     def __init__(
@@ -61,12 +67,14 @@ class FlightRecorder:
         out_dir: "str | Path" = "flight-recorder",
         capacity: int = 512,
         max_dumps: int = 16,
+        tag: str = "",
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.out_dir = Path(out_dir)
         self.capacity = capacity
         self.max_dumps = max_dumps
+        self.tag = _slug(tag) if tag else ""
         self.dumps: list[Path] = []
         self._events: deque = deque(maxlen=capacity)
         self._assignments: dict[str, list] = {}
@@ -149,6 +157,8 @@ class FlightRecorder:
             "timeline": self.timeline(),
             "assignments": self.assignments(),
         }
+        if self.tag:
+            payload["tag"] = self.tag
         if exc is not None:
             payload["exception"] = {
                 "type": type(exc).__name__,
@@ -209,7 +219,8 @@ class FlightRecorder:
             if len(self.dumps) >= self.max_dumps:
                 return None
             n = len(self.dumps)
-            path = self.out_dir / f"blackbox-{n:03d}-{_slug(reason)}.json"
+            stem = f"blackbox-{self.tag}-" if self.tag else "blackbox-"
+            path = self.out_dir / f"{stem}{n:03d}-{_slug(reason)}.json"
             self.dumps.append(path)
         payload = self.snapshot(
             reason, exc=exc, telemetry=telemetry, fault_report=fault_report

@@ -37,8 +37,11 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 __all__ = [
     "MetricsServer",
     "PROM_CONTENT_TYPE",
+    "Response",
+    "json_reply",
     "prometheus_name",
     "render_prometheus",
+    "text_reply",
     "validate_prometheus",
 ]
 
@@ -139,35 +142,92 @@ def validate_prometheus(text: str) -> int:
     return n_samples
 
 
+class Response:
+    """A route's reply: status + content type + encoded body.
+
+    ``json_reply`` / ``text_reply`` are the idiomatic constructors; the
+    gateway's ``/v1`` routes add headers (``Retry-After`` on 429)
+    through ``headers``.
+    """
+
+    __slots__ = ("status", "ctype", "body", "headers")
+
+    def __init__(
+        self,
+        status: int,
+        ctype: str,
+        body: bytes,
+        headers: "dict[str, str] | None" = None,
+    ) -> None:
+        self.status = status
+        self.ctype = ctype
+        self.body = body
+        self.headers = headers or {}
+
+
+def json_reply(
+    status: int, payload: dict, headers: "dict[str, str] | None" = None
+) -> Response:
+    return Response(
+        status, "application/json",
+        (json.dumps(payload) + "\n").encode(), headers,
+    )
+
+
+def text_reply(status: int, text: str) -> Response:
+    return Response(status, "text/plain; charset=utf-8", text.encode())
+
+
 class _Handler(BaseHTTPRequestHandler):
-    """Serves ``/metrics`` and ``/healthz``; everything else is 404."""
+    """Thin dispatcher into the owning server's route table.
+
+    Subclass-friendly by construction: routes live on the *server*
+    (:meth:`_Server.build_routes`), so mounting new endpoints (the
+    gateway's ``/v1/*``) means subclassing :class:`_Server`, not
+    re-implementing ``do_GET``.
+    """
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-        path = self.path.split("?", 1)[0]
-        if path == "/metrics":
-            body = self.server.render().encode()
-            self._reply(200, PROM_CONTENT_TYPE, body)
-        elif path == "/healthz":
-            payload = {
-                "status": "ok",
-                "uptime_s": round(time.monotonic() - self.server.started_at, 3),
-            }
-            self._reply(200, "application/json", json.dumps(payload).encode())
-        else:
-            self._reply(404, "text/plain; charset=utf-8", b"not found\n")
+        self._dispatch("GET")
 
-    def _reply(self, code: int, ctype: str, body: bytes) -> None:
-        self.send_response(code)
-        self.send_header("Content-Type", ctype)
-        self.send_header("Content-Length", str(len(body)))
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+    def _dispatch(self, method: str) -> None:
+        path = self.path.split("?", 1)[0]
+        query = self.path.split("?", 1)[1] if "?" in self.path else ""
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else b""
+        try:
+            resp = self.server.route(method, path, body, query)
+        except Exception as exc:  # route bug: answer 500, keep serving
+            resp = json_reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+        self._reply(resp)
+
+    def _reply(self, resp: Response) -> None:
+        self.send_response(resp.status)
+        self.send_header("Content-Type", resp.ctype)
+        self.send_header("Content-Length", str(len(resp.body)))
+        for key, value in resp.headers.items():
+            self.send_header(key, value)
         self.end_headers()
-        self.wfile.write(body)
+        self.wfile.write(resp.body)
 
     def log_message(self, *args) -> None:  # silence per-request stderr spam
         pass
 
 
 class _Server(ThreadingHTTPServer):
+    """The route-table HTTP server behind :class:`MetricsServer`.
+
+    ``allow_reuse_address`` sets ``SO_REUSEADDR`` before bind, so rapid
+    start/stop cycles (every test, the CI smoke jobs) never trip over a
+    socket lingering in ``TIME_WAIT``.
+    """
+
     daemon_threads = True
     allow_reuse_address = True
 
@@ -176,6 +236,45 @@ class _Server(ThreadingHTTPServer):
         self._telemetry = telemetry
         self._prefix = prefix
         self.started_at = time.monotonic()
+        self.routes = self.build_routes()
+
+    def build_routes(self) -> "list[tuple[str, re.Pattern, object]]":
+        """``(method, compiled path pattern, fn(match, body, query))``.
+
+        Subclasses extend the returned list to mount endpoints beside
+        ``/metrics`` — first match wins, declaration order is precedence.
+        """
+        return [
+            ("GET", re.compile(r"^/metrics$"), self._route_metrics),
+            ("GET", re.compile(r"^/healthz$"), self._route_healthz),
+        ]
+
+    def route(self, method: str, path: str, body: bytes, query: str) -> Response:
+        matched_path = False
+        for want_method, pattern, fn in self.routes:
+            match = pattern.match(path)
+            if match is None:
+                continue
+            matched_path = True
+            if want_method == method:
+                return fn(match, body, query)
+        if matched_path:
+            return json_reply(405, {"error": f"method {method} not allowed"})
+        return text_reply(404, "not found\n")
+
+    # -- built-in routes ----------------------------------------------
+
+    def _route_metrics(self, match, body, query) -> Response:
+        return Response(200, PROM_CONTENT_TYPE, self.render().encode())
+
+    def _route_healthz(self, match, body, query) -> Response:
+        return json_reply(
+            200,
+            {
+                "status": "ok",
+                "uptime_s": round(time.monotonic() - self.started_at, 3),
+            },
+        )
 
     def render(self) -> str:
         from repro.telemetry.session import get_telemetry
@@ -191,8 +290,16 @@ class MetricsServer:
     time (the right default for the CLI); pass a session explicitly to
     pin the endpoint to one run.  ``port=0`` binds an ephemeral port
     (read it back from ``.port`` — what the tests do).  Use as a context
-    manager or call :meth:`start` / :meth:`stop`.
+    manager or call :meth:`start` / :meth:`stop` — ``stop()`` is
+    idempotent and safe before ``start()``.
+
+    Subclasses override :attr:`server_class` (and :meth:`_make_server`)
+    to serve extra routes on the same socket; the gateway
+    (:class:`repro.service.http.GatewayServer`) mounts ``/v1/*`` beside
+    the scrape endpoints this way.
     """
+
+    server_class = _Server
 
     def __init__(
         self,
@@ -208,10 +315,15 @@ class MetricsServer:
         self._server: "_Server | None" = None
         self._thread: "threading.Thread | None" = None
 
+    def _make_server(self) -> _Server:
+        return self.server_class(
+            (self.host, self.port), self.telemetry, self.prefix
+        )
+
     def start(self) -> "MetricsServer":
         if self._server is not None:
             return self
-        self._server = _Server((self.host, self.port), self.telemetry, self.prefix)
+        self._server = self._make_server()
         self.port = self._server.server_address[1]
         self._thread = threading.Thread(
             target=self._server.serve_forever,
@@ -222,13 +334,14 @@ class MetricsServer:
         return self
 
     def stop(self) -> None:
-        if self._server is not None:
-            self._server.shutdown()
-            self._server.server_close()
-            self._server = None
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-            self._thread = None
+        """Shut the server down; a no-op when not (or no longer) running."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=5.0)
 
     @property
     def url(self) -> str:

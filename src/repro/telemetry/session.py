@@ -18,10 +18,20 @@ Install a live session for the duration of a run with::
 ``timed_span`` is the replacement for hand-rolled ``perf_counter``
 bookkeeping: it *always* measures wall time (so public timing fields
 stay populated with telemetry off) but records a span only when enabled.
+
+Sessions resolve **thread-first**: :func:`set_thread_telemetry` installs
+a session that only the calling thread (and threads that explicitly
+inherit it — the SPMD rank runners do) sees, falling back to the
+process-global session installed by :func:`set_telemetry`.  This is what
+lets the multi-tenant gateway (:mod:`repro.service`) run many solves
+concurrently in one process, each with its own isolated span timeline
+and metrics registry, while ``/metrics`` keeps scraping the gateway-wide
+global session.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 
 from repro.telemetry.metrics import MetricsRegistry
@@ -32,7 +42,9 @@ __all__ = [
     "Telemetry",
     "get_telemetry",
     "set_telemetry",
+    "set_thread_telemetry",
     "telemetry_session",
+    "thread_telemetry_session",
 ]
 
 
@@ -112,27 +124,67 @@ class Telemetry:
 NULL_TELEMETRY = Telemetry(enabled=False)
 
 _current: Telemetry = NULL_TELEMETRY
+_thread_local = threading.local()
 
 
 def get_telemetry() -> Telemetry:
-    """The session instrumented code reports to (never ``None``)."""
+    """The session instrumented code reports to (never ``None``).
+
+    A thread-scoped session (see :func:`set_thread_telemetry`) shadows
+    the process-global one; with none installed the global applies.
+    """
+    override = getattr(_thread_local, "session", None)
+    if override is not None:
+        return override
     return _current
 
 
 def set_telemetry(telemetry: "Telemetry | None") -> Telemetry:
-    """Install a session; returns the previous one (for restoration)."""
+    """Install the process-global session; returns the previous one."""
     global _current
     previous = _current
     _current = telemetry if telemetry is not None else NULL_TELEMETRY
     return previous
 
 
+def set_thread_telemetry(telemetry: "Telemetry | None") -> "Telemetry | None":
+    """Install a session visible only to the calling thread.
+
+    ``None`` clears the override (falling back to the global session).
+    Returns the previous thread override, which is ``None`` unless the
+    thread had one.  Worker threads spawned *inside* an overridden
+    thread do not inherit automatically — spawners that must keep their
+    spans on the right timeline (the SPMD rank runners) capture the
+    parent's session and re-install it in the child.
+    """
+    previous = getattr(_thread_local, "session", None)
+    _thread_local.session = telemetry
+    return previous
+
+
 @contextmanager
 def telemetry_session(enabled: bool = True):
-    """Install a fresh session for the duration of a ``with`` block."""
+    """Install a fresh process-global session for a ``with`` block."""
     telemetry = Telemetry(enabled=enabled)
     previous = set_telemetry(telemetry)
     try:
         yield telemetry
     finally:
         set_telemetry(previous)
+
+
+@contextmanager
+def thread_telemetry_session(telemetry: "Telemetry | None" = None, enabled: bool = True):
+    """Install a session for this thread only, for a ``with`` block.
+
+    The gateway's job runner wraps each job's solve in one of these so
+    concurrent jobs accumulate spans and metrics into their own
+    registries instead of each other's (or the gateway's).
+    """
+    if telemetry is None:
+        telemetry = Telemetry(enabled=enabled)
+    previous = set_thread_telemetry(telemetry)
+    try:
+        yield telemetry
+    finally:
+        set_thread_telemetry(previous)

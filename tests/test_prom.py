@@ -150,3 +150,52 @@ class TestMidSolveScrape:
         # and the total matches the solver's own accounting.
         assert final == result.counters.combos_scored
         assert readings[0] < final
+
+
+class TestServerLifecycle:
+    def test_stop_is_idempotent(self):
+        server = MetricsServer().start()
+        server.stop()
+        server.stop()  # second stop: no-op, no error
+
+    def test_stop_before_start_is_a_noop(self):
+        MetricsServer().stop()
+
+    def test_rapid_start_stop_cycles(self):
+        """SO_REUSEADDR keeps quick rebinds from tripping on TIME_WAIT."""
+        server = MetricsServer()
+        for _ in range(5):
+            server.start()
+            status, _, _ = _get(server.url + "/healthz")
+            assert status == 200
+            server.stop()
+
+    def test_wrong_method_is_405(self):
+        with MetricsServer() as server:
+            req = urllib.request.Request(
+                server.url + "/metrics", data=b"{}", method="POST"
+            )
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(req, timeout=5)
+            assert err.value.code == 405
+
+    def test_route_bug_answers_500_and_survives(self):
+        class BrokenServer(MetricsServer):
+            def _make_server(self):
+                server = super()._make_server()
+                import re
+
+                def boom(match, body, query):
+                    raise RuntimeError("route bug")
+
+                server.routes.append(
+                    ("GET", re.compile(r"^/boom$"), boom)
+                )
+                return server
+
+        with BrokenServer() as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(server.url + "/boom")
+            assert err.value.code == 500
+            status, _, _ = _get(server.url + "/healthz")  # still serving
+            assert status == 200

@@ -1,0 +1,516 @@
+"""Tests for the solve-as-a-service gateway (repro.service)."""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.solver import MultiHitSolver
+from repro.data.synthesis import CohortConfig, generate_cohort
+from repro.service import (
+    AdmissionQueue,
+    Gateway,
+    JobState,
+    JobStore,
+    QueueFullError,
+    QuotaExceededError,
+    dispatch_policy,
+    validate_spec,
+)
+from repro.service.dispatch import FleetState
+from repro.service.jobs import Job
+
+
+def signature(combos):
+    """Order-sensitive bit-identity signature of a combination list."""
+    return [(tuple(c["genes"]) if isinstance(c, dict) else tuple(c.genes),
+             round(c["f"] if isinstance(c, dict) else c.f, 12))
+            for c in combos]
+
+
+def spec_for(seed, hits=3, n_genes=20, n_tumor=50, n_normal=50, solver=None):
+    return {
+        "tenant": f"tenant-{seed % 2}",
+        "cohort": {
+            "n_genes": n_genes, "n_tumor": n_tumor, "n_normal": n_normal,
+            "hits": hits, "seed": seed,
+        },
+        "solver": dict(solver or {}, hits=hits),
+    }
+
+
+def direct_solve(spec):
+    cohort = generate_cohort(CohortConfig(**spec["cohort"]))
+    solver = MultiHitSolver(hits=spec["solver"]["hits"])
+    return solver.solve(cohort.tumor.values, cohort.normal.values)
+
+
+# ---------------------------------------------------------------------------
+# job store
+
+
+class TestJobStore:
+    def test_roundtrip_and_restart_reload(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.new_job("acme", {"cohort": {"n_genes": 8}})
+        store.transition(job.job_id, JobState.ADMITTED,
+                         dispatch={"backend": "single"})
+        store.transition(job.job_id, JobState.RUNNING)
+        store.update(job.job_id, progress={"iterations": 3})
+
+        reloaded = JobStore(tmp_path)
+        got = reloaded.get(job.job_id)
+        assert got is not None
+        assert got.state == JobState.RUNNING
+        assert got.tenant == "acme"
+        assert got.dispatch == {"backend": "single"}
+        assert got.progress == {"iterations": 3}
+
+    def test_illegal_transitions_rejected(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.new_job("t", {})
+        with pytest.raises(ValueError, match="illegal transition"):
+            store.transition(job.job_id, JobState.DONE)  # queued -> done
+        store.transition(job.job_id, JobState.CANCELLED)
+        with pytest.raises(ValueError, match="illegal transition"):
+            store.transition(job.job_id, JobState.RUNNING)  # terminal
+
+    def test_requeue_is_the_only_backward_edge(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.new_job("t", {})
+        store.transition(job.job_id, JobState.ADMITTED)
+        store.transition(job.job_id, JobState.RUNNING)
+        assert store.requeue(job.job_id).state == JobState.QUEUED
+        store.transition(job.job_id, JobState.CANCELLED)
+        with pytest.raises(ValueError, match="terminal"):
+            store.requeue(job.job_id)
+
+    def test_unreadable_file_skipped(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.new_job("t", {})
+        (tmp_path / "jobs" / "job-torn.json").write_text("{not json")
+        reloaded = JobStore(tmp_path)
+        assert len(reloaded) == 1
+        assert reloaded.get(job.job_id) is not None
+
+    def test_schema_guard(self):
+        with pytest.raises(ValueError, match="schema"):
+            Job.from_payload({"schema": "bogus/v9"})
+
+
+# ---------------------------------------------------------------------------
+# admission queue
+
+
+class TestAdmissionQueue:
+    def test_depth_bound(self):
+        q = AdmissionQueue(depth=2, tenant_quota=0)
+        q.submit("a", "t1")
+        q.submit("b", "t2")
+        with pytest.raises(QueueFullError):
+            q.submit("c", "t3")
+        # claiming does NOT free capacity (job still in flight)...
+        assert q.claim(timeout=0) == "a"
+        with pytest.raises(QueueFullError):
+            q.submit("c", "t3")
+        # ...releasing does.
+        q.release("a")
+        q.submit("c", "t3")
+
+    def test_tenant_quota(self):
+        q = AdmissionQueue(depth=16, tenant_quota=2)
+        q.submit("a", "noisy")
+        q.submit("b", "noisy")
+        with pytest.raises(QuotaExceededError):
+            q.submit("c", "noisy")
+        q.submit("d", "quiet")  # other tenants unaffected
+        q.release("a")
+        q.submit("c", "noisy")  # freed slot reopens the quota
+
+    def test_fifo_claim_and_abandon(self):
+        q = AdmissionQueue(depth=8)
+        for jid in ("a", "b", "c"):
+            q.submit(jid, "t")
+        assert q.abandon("b") is True
+        assert q.abandon("b") is False  # already gone
+        assert [q.claim(timeout=0), q.claim(timeout=0)] == ["a", "c"]
+        assert q.claim(timeout=0) is None
+        assert q.tenant_load("t") == 2  # abandon released b's slot
+
+
+# ---------------------------------------------------------------------------
+# dispatch
+
+
+class TestDispatch:
+    def _job(self, spec=None):
+        return Job(job_id="job-x", tenant="t", spec=spec or spec_for(0))
+
+    def test_round_robin_rotates(self):
+        policy = dispatch_policy("round_robin")
+        fleet = FleetState(max_workers=8, backends=("single", "pool"))
+        backends = [policy.choose(self._job(), fleet).backend for _ in range(4)]
+        assert backends == ["single", "pool", "single", "pool"]
+
+    def test_pins_honored_and_clamped(self):
+        policy = dispatch_policy("round_robin")
+        fleet = FleetState(max_workers=4)
+        decision = policy.choose(
+            self._job({"cohort": {"n_genes": 20},
+                       "solver": {"backend": "pool", "n_workers": 99}}),
+            fleet,
+        )
+        assert decision.backend == "pool"
+        assert decision.n_workers == 4  # clamped to the fleet
+
+    def test_weighted_by_load_prefers_idle_backend(self):
+        policy = dispatch_policy("weighted_by_load")
+        fleet = FleetState(max_workers=8, backends=("single", "pool"))
+        first = policy.choose(self._job(spec_for(1, n_genes=40)), fleet)
+        fleet.register("job-a", first)
+        second = policy.choose(self._job(spec_for(2, n_genes=40)), fleet)
+        assert second.backend != first.backend
+
+    def test_cost_aware_sizes_to_the_job(self):
+        policy = dispatch_policy("cost_aware")
+        fleet = FleetState(max_workers=8)
+        small = policy.choose(self._job(spec_for(0, n_genes=10)), fleet)
+        assert small.backend == "single"
+        assert small.n_workers == 1
+        big = policy.choose(self._job(spec_for(0, n_genes=600)), fleet)
+        assert big.backend == "pool"
+        assert big.n_workers >= 2
+        assert big.est_cost > small.est_cost
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown dispatch policy"):
+            dispatch_policy("lowest_bidder")
+
+
+# ---------------------------------------------------------------------------
+# spec validation
+
+
+class TestValidateSpec:
+    def test_accepts_minimal(self):
+        tenant, spec = validate_spec(
+            {"cohort": {"n_genes": 8, "n_tumor": 10, "n_normal": 10}}
+        )
+        assert tenant == "anonymous"
+        assert spec["cohort"]["n_genes"] == 8
+
+    @pytest.mark.parametrize("payload", [
+        [],
+        {"cohort": {}},
+        {"cohort": {"n_genes": 8, "n_tumor": 10, "n_normal": 10,
+                    "evil_knob": 1}},
+        {"cohort": {"n_genes": -4, "n_tumor": 10, "n_normal": 10}},
+        {"cohort": {"n_genes": 8, "n_tumor": 10, "n_normal": 10},
+         "solver": {"backend": "mainframe"}},
+        {"tenant": "", "cohort": {"n_genes": 8, "n_tumor": 10, "n_normal": 10}},
+    ])
+    def test_rejects(self, payload):
+        with pytest.raises(ValueError):
+            validate_spec(payload)
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: the gateway
+#
+# These boot a real gateway (ephemeral port, tmp state dir) and exercise
+# the acceptance criteria: concurrent mixed-backend jobs bit-identical
+# to direct solves, 429 on over-quota, cancellation within an iteration,
+# crash isolation, and restart recovery.
+
+
+@pytest.fixture
+def slow_iterations(monkeypatch):
+    """Stretch every greedy iteration to >= 50ms (via the checkpoint wrapper).
+
+    Returns the list of per-iteration ``n_found`` observations, which
+    doubles as a "has the solve started yet" signal.  Makes the
+    cancellation/backpressure tests deterministic: a job cannot finish
+    before the test reacts to it.
+    """
+    from repro.core import checkpoint as checkpoint_mod
+
+    real = checkpoint_mod.solve_with_checkpoints
+    started = []
+
+    def slowed(solver, tumor, normal, path, on_iteration=None, **kw):
+        def slow_iteration(state):
+            started.append(state.n_found)
+            time.sleep(0.05)
+            if on_iteration is not None:
+                on_iteration(state)
+        return real(solver, tumor, normal, path,
+                    on_iteration=slow_iteration, **kw)
+
+    monkeypatch.setattr(
+        "repro.core.checkpoint.solve_with_checkpoints", slowed)
+    return started
+
+
+def _wait_started(started, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while not started and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert started, "no job reached its first iteration"
+
+
+def _http(method, url, payload=None):
+    data = json.dumps(payload).encode() if payload is not None else None
+    req = urllib.request.Request(url, data=data, method=method,
+                                 headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read()), dict(err.headers)
+
+
+class TestGatewayEndToEnd:
+    def test_concurrent_mixed_backends_bit_identical(self, tmp_path):
+        """>= 8 concurrent jobs across mixed backends match direct solves."""
+        backends = ["single", "pool", "sequential", "single",
+                    "pool", "sequential", "single", "single"]
+        specs = [
+            spec_for(seed, solver={"backend": b, "n_workers": 2})
+            for seed, b in enumerate(backends)
+        ]
+        with Gateway(state_dir=tmp_path, max_concurrent=4,
+                     queue_depth=16, tenant_quota=8) as gw:
+            jobs = [gw.submit(spec) for spec in specs]
+            done = gw.wait([j.job_id for j in jobs], timeout=300)
+        assert [j.state for j in done] == [JobState.DONE] * 8
+        for job, spec in zip(done, specs):
+            expected = direct_solve(spec)
+            assert signature(job.result["combinations"]) == signature(
+                expected.combinations
+            ), f"job {job.job_id} ({spec['solver']['backend']}) diverged"
+            assert job.result["uncovered"] == expected.uncovered
+        # lifecycle counters moved on the gateway session
+        counters = gw.telemetry.metrics.to_dict()["counters"]
+        assert counters["job.submitted"] == 8
+        assert counters["job.completed"] == 8
+        # per-job kernel traffic was folded in under job.*
+        assert any(k.startswith("job.") and "combos" in k for k in counters)
+
+    def test_http_roundtrip_and_errors(self, tmp_path):
+        with Gateway(state_dir=tmp_path, max_concurrent=1) as gw:
+            url = gw.url
+            # malformed JSON -> 400
+            req = urllib.request.Request(
+                f"{url}/v1/jobs", data=b"{oops", method="POST")
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(req, timeout=10)
+            assert err.value.code == 400
+            # bad spec -> 400
+            status, body, _ = _http("POST", f"{url}/v1/jobs",
+                                    {"cohort": {"n_genes": 0}})
+            assert status == 400 and "error" in body
+            # unknown job -> 404 (status, result, cancel)
+            for method, path in [("GET", "/v1/jobs/job-nope"),
+                                 ("GET", "/v1/jobs/job-nope/result"),
+                                 ("DELETE", "/v1/jobs/job-nope")]:
+                status, _, _ = _http(method, f"{url}{path}")
+                assert status == 404
+            # wrong method on a known path -> 405
+            status, _, _ = _http("DELETE", f"{url}/v1/jobs")
+            assert status == 405
+            # happy path: submit -> poll -> result
+            status, sub, _ = _http("POST", f"{url}/v1/jobs", spec_for(3))
+            assert status == 202 and sub["state"] == JobState.QUEUED
+            jid = sub["job_id"]
+            gw.wait([jid], timeout=120)
+            status, body, _ = _http("GET", f"{url}/v1/jobs/{jid}")
+            assert status == 200 and body["state"] == JobState.DONE
+            status, body, _ = _http("GET", f"{url}/v1/jobs/{jid}/result")
+            assert status == 200
+            assert signature(body["result"]["combinations"]) == signature(
+                direct_solve(spec_for(3)).combinations
+            )
+            # result of a terminal job again, list filters, healthz
+            status, body, _ = _http("GET", f"{url}/v1/jobs?state=done")
+            assert [j["job_id"] for j in body["jobs"]] == [jid]
+            status, body, _ = _http("GET", f"{url}/healthz")
+            assert status == 200 and body["jobs"] == 1
+
+    def test_over_quota_is_429_with_retry_after(self, tmp_path, slow_iterations):
+        with Gateway(state_dir=tmp_path, max_concurrent=1,
+                     queue_depth=2, tenant_quota=2) as gw:
+            url = gw.url
+            # the slowed first job occupies the single supervisor
+            spec = spec_for(0, n_genes=28)
+            codes = []
+            for _ in range(3):
+                status, body, headers = _http("POST", f"{url}/v1/jobs", spec)
+                codes.append(status)
+            assert codes[:2] == [202, 202]
+            assert codes[2] == 429
+            assert int(headers["Retry-After"]) >= 1
+            # rejection is audited on the gateway session
+            counters = gw.telemetry.metrics.to_dict()["counters"]
+            assert counters["job.rejected"] == 1
+            terminal = gw.wait(
+                [j.job_id for j in gw.jobs() if j.state != JobState.FAILED],
+                timeout=120,
+            )
+            assert all(j.state == JobState.DONE for j in terminal)
+
+    def test_queued_job_cancels_instantly(self, tmp_path, slow_iterations):
+        with Gateway(state_dir=tmp_path, max_concurrent=1) as gw:
+            blocker = gw.submit(spec_for(0, n_genes=28))
+            victim = gw.submit(spec_for(1))
+            status, body, _ = _http(
+                "DELETE", f"{gw.url}/v1/jobs/{victim.job_id}")
+            assert status == 202
+            got = gw.job(victim.job_id)
+            assert got.state == JobState.CANCELLED
+            assert got.result is None  # never ran
+            # double-cancel of a terminal job -> 409
+            status, _, _ = _http(
+                "DELETE", f"{gw.url}/v1/jobs/{victim.job_id}")
+            assert status == 409
+            gw.wait([blocker.job_id], timeout=120)
+
+    def test_running_job_cancels_within_one_iteration(
+        self, tmp_path, slow_iterations
+    ):
+        """Cancel lands between greedy iterations, keeping partial work."""
+        with Gateway(state_dir=tmp_path, max_concurrent=1) as gw:
+            job = gw.submit(spec_for(0, n_genes=32, n_tumor=120, n_normal=120))
+            _wait_started(slow_iterations)
+            at_cancel = slow_iterations[-1]
+            assert gw.cancel(job.job_id) is True
+            done = gw.wait([job.job_id], timeout=60)[0]
+        assert done.state == JobState.CANCELLED
+        assert done.result["cancelled"] is True
+        found = len(done.result["combinations"])
+        # the cooperative stop fired within one iteration of the request
+        assert at_cancel <= found <= at_cancel + 2
+        full = direct_solve(spec_for(0, n_genes=32, n_tumor=120, n_normal=120))
+        assert found < len(full.combinations)
+        # ...and the partial prefix is bit-identical to the full run's
+        assert signature(done.result["combinations"]) == signature(
+            full.combinations[:found])
+
+    def test_crashing_job_isolated_with_flight_dump(self, tmp_path):
+        bad = {
+            "tenant": "clumsy",
+            "cohort": {"dataset": "no-such-dataset"},
+            "solver": {"hits": 3},
+        }
+        with Gateway(state_dir=tmp_path, max_concurrent=2) as gw:
+            crash = gw.submit(bad)
+            good = gw.submit(spec_for(5))
+            done = gw.wait([crash.job_id, good.job_id], timeout=120)
+        crashed, ok = done
+        assert crashed.state == JobState.FAILED
+        assert crashed.error and "no-such-dataset" in crashed.error
+        # the healthy job was untouched by its neighbor's crash
+        assert ok.state == JobState.DONE
+        assert signature(ok.result["combinations"]) == signature(
+            direct_solve(spec_for(5)).combinations)
+        # the black box landed, namespaced by job id
+        dumps = list((tmp_path / "flight").glob(
+            f"blackbox-{crash.job_id}-*.json"))
+        assert len(dumps) == 1
+        payload = json.loads(dumps[0].read_text())
+        assert payload["reason"] == "job-failed"
+        assert not list((tmp_path / "flight").glob(
+            f"blackbox-{ok.job_id}-*.json"))
+        counters = gw.telemetry.metrics.to_dict()["counters"]
+        assert counters["job.failed"] == 1
+        assert counters["job.completed"] == 1
+
+    def test_metrics_endpoint_exposes_job_counters(self, tmp_path):
+        from repro.telemetry.prom import validate_prometheus
+
+        with Gateway(state_dir=tmp_path, max_concurrent=1) as gw:
+            job = gw.submit(spec_for(7))
+            gw.wait([job.job_id], timeout=120)
+            with urllib.request.urlopen(f"{gw.url}/metrics", timeout=10) as r:
+                text = r.read().decode()
+        validate_prometheus(text)
+        assert "repro_job_submitted 1" in text
+        assert "repro_job_completed 1" in text
+        assert "repro_job_wall_s_count 1" in text
+
+
+class TestRestartRecovery:
+    def test_interrupted_job_resumes_from_checkpoint(self, tmp_path):
+        """A job found running at boot re-queues and resumes, bit-identical."""
+        spec = {
+            "cohort": {"n_genes": 20, "n_tumor": 50, "n_normal": 50,
+                       "hits": 3, "seed": 9},
+            "solver": {"hits": 3, "backend": "single"},
+        }
+        # Simulate a gateway that died mid-solve: a running-state job
+        # record plus a 3-iteration checkpoint on disk.
+        store = JobStore(tmp_path)
+        job = store.new_job("phoenix", spec)
+        store.transition(job.job_id, JobState.ADMITTED)
+        store.transition(job.job_id, JobState.RUNNING)
+        from repro.core.checkpoint import solve_with_checkpoints
+
+        cohort = generate_cohort(CohortConfig(**spec["cohort"]))
+        ckpt_dir = tmp_path / "checkpoints"
+        ckpt_dir.mkdir()
+        solve_with_checkpoints(
+            MultiHitSolver(hits=3, max_iterations=3),
+            cohort.tumor.values, cohort.normal.values,
+            ckpt_dir / f"{job.job_id}.json",
+        )
+        del store
+
+        with Gateway(state_dir=tmp_path, max_concurrent=1) as gw:
+            assert gw._recovered == 1
+            counters = gw.telemetry.metrics.to_dict()["counters"]
+            assert counters["job.recovered"] == 1
+            done = gw.wait([job.job_id], timeout=120)[0]
+        assert done.state == JobState.DONE
+        full = direct_solve(spec)
+        assert signature(done.result["combinations"]) == signature(
+            full.combinations)
+        # the solve resumed: only the post-checkpoint iterations ran
+        assert len(done.result["iterations"]) == len(full.iterations) - 3
+
+    def test_cancel_requested_job_finalized_at_boot(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.new_job("t", spec_for(0))
+        store.update(job.job_id, cancel_requested=True)
+        del store
+        with Gateway(state_dir=tmp_path) as gw:
+            assert gw.job(job.job_id).state == JobState.CANCELLED
+            assert gw._recovered == 0
+
+    def test_shutdown_leaves_running_job_resumable(
+        self, tmp_path, slow_iterations
+    ):
+        """Gateway stop is not a tenant cancel: the job stays ``running``."""
+        spec = spec_for(0, n_genes=32, n_tumor=120, n_normal=120,
+                        solver={"backend": "single"})
+        gw = Gateway(state_dir=tmp_path, max_concurrent=1)
+        gw.start()
+        job = gw.submit(spec)
+        _wait_started(slow_iterations)
+        gw.stop()  # interrupts the solve mid-flight
+        interrupted = JobStore(tmp_path).get(job.job_id)
+        assert interrupted.state == JobState.RUNNING  # resumable, not cancelled
+        assert not interrupted.cancel_requested
+        ckpt = tmp_path / "checkpoints" / f"{job.job_id}.json"
+        assert ckpt.exists()
+
+        # Boot a second gateway on the same state dir: the job re-queues
+        # and resumes from its checkpoint, landing bit-identical.
+        with Gateway(state_dir=tmp_path, max_concurrent=1) as gw2:
+            assert gw2._recovered == 1
+            done = gw2.wait([job.job_id], timeout=120)[0]
+        assert done.state == JobState.DONE
+        plain = {k: v for k, v in spec.items() if k != "tenant"}
+        full = direct_solve(plain)
+        assert signature(done.result["combinations"]) == signature(
+            full.combinations)
