@@ -7,16 +7,20 @@ O(G) scheduler, and one full greedy iteration of the vectorized engine.
 """
 
 import math
+import time
 
 import numpy as np
 import pytest
 
 from repro.combinatorics.tetrahedral import triple_from_linear_array
-from repro.core.engine import SingleGpuEngine
+from repro.core.engine import SingleGpuEngine, best_in_thread_range
 from repro.core.fscore import FScoreParams
+from repro.core.kernels import KernelCounters
+from repro.core.memopt import fused_word_reads
 from repro.data.synthesis import CohortConfig, generate_cohort
 from repro.scheduling.equiarea import equiarea_schedule
-from repro.scheduling.schemes import SCHEME_3X1
+from repro.scheduling.schemes import SCHEME_3X1, scheme_for
+from repro.scheduling.workload import total_threads
 
 
 @pytest.fixture(scope="module")
@@ -71,3 +75,95 @@ def test_single_engine_one_iteration(benchmark, cohort):
         engine.best_combo, args=(tumor, normal, params), rounds=1, iterations=1
     )
     assert best is not None and best.tp > 0
+
+
+def test_sparse_vs_dense_kernel_traffic(benchmark, show, bench_summary):
+    """Sparsity-driven scan vs the dense fused path on a planted sparse
+    instance (<= 5% mutation density, realistic for cohort matrices).
+
+    Writes ``BENCH_kernels.json`` — the PR-over-PR tracked kernel traffic
+    numbers the ``kernel-sparse`` CI gate compares against the committed
+    baseline.  Acceptance bar: bit-identical winner, exact counter
+    closure against the dense charge, and >= 30% fewer word reads than
+    the dense *fused* traffic model.
+    """
+    cohort = generate_cohort(
+        CohortConfig(
+            n_genes=100, n_tumor=800, n_normal=800, hits=3,
+            n_driver_combos=1, background_scale=0.07,
+            sporadic_fraction=0.05, seed=0,
+        )
+    )
+    tumor = cohort.tumor.to_bitmatrix()
+    normal = cohort.normal.to_bitmatrix()
+    density_t = float(cohort.tumor.values.mean())
+    density_n = float(cohort.normal.values.mean())
+    assert density_t <= 0.05 and density_n <= 0.05  # the planted premise
+
+    params = FScoreParams(n_tumor=800, n_normal=800)
+    scheme = scheme_for(3, 2)
+    g = tumor.n_genes
+    end = total_threads(scheme, g)
+    w = tumor.n_words + normal.n_words
+    # word_stride 8 keeps several stride slices per matrix (13 words
+    # each here), so the nonzero-mask skip has grain to work with.
+    stride = 8
+
+    dense_c = KernelCounters()
+    t0 = time.perf_counter()
+    dense_best = best_in_thread_range(
+        scheme, g, tumor, normal, params, 0, end, counters=dense_c
+    )
+    wall_dense = time.perf_counter() - t0
+
+    sparse_c = KernelCounters()
+
+    def run_sparse():
+        return best_in_thread_range(
+            scheme, g, tumor, normal, params, 0, end,
+            counters=sparse_c, sparse=True, word_stride=stride,
+        )
+
+    t0 = time.perf_counter()
+    sparse_best = benchmark.pedantic(run_sparse, rounds=1, iterations=1)
+    wall_sparse = time.perf_counter() - t0
+
+    # Exactness and closure before any perf claim.
+    assert sparse_best == dense_best
+    assert sparse_c.combos_scored == dense_c.combos_scored
+    assert (
+        sparse_c.word_reads + sparse_c.word_reads_skipped == dense_c.word_reads
+    )
+
+    fused_model = fused_word_reads(scheme, g, w, 0, end)
+    reduction = 1.0 - sparse_c.word_reads / fused_model
+    assert reduction >= 0.30, f"only {reduction:.1%} below the fused model"
+
+    bench_summary(
+        "kernels",
+        values={
+            "density_tumor": round(density_t, 4),
+            "density_normal": round(density_n, 4),
+            "word_stride": stride,
+            "combos_scored": sparse_c.combos_scored,
+            "word_reads_dense_model": dense_c.word_reads,
+            "word_reads_fused_model": fused_model,
+            "word_reads_sparse": sparse_c.word_reads,
+            "word_reads_skipped": sparse_c.word_reads_skipped,
+            "reduction_vs_fused": round(reduction, 4),
+            "prefix_and_hits": sparse_c.prefix_and_hits,
+            "zero_prefix_runs_skipped": sparse_c.zero_prefix_runs_skipped,
+            "strides_skipped_sparse": sparse_c.strides_skipped_sparse,
+            "wall_seconds_dense": wall_dense,
+            "wall_seconds_sparse": wall_sparse,
+        },
+    )
+    show(
+        "Sparse kernel path (100 genes, 3-hit, densities "
+        f"{density_t:.1%}/{density_n:.1%}, stride {stride})\n"
+        f"  word reads: fused model {fused_model} -> sparse "
+        f"{sparse_c.word_reads} ({reduction:.1%} reduction)\n"
+        f"  prefix AND hits {sparse_c.prefix_and_hits}, zero-prefix runs "
+        f"{sparse_c.zero_prefix_runs_skipped}, strides skipped "
+        f"{sparse_c.strides_skipped_sparse}"
+    )

@@ -11,11 +11,14 @@ a  ~64x reduction in arithmetic operations versus byte-per-sample.
 
 from repro.bitmatrix.packing import pack_bool_matrix, unpack_bool_matrix, words_for
 from repro.bitmatrix.matrix import BitMatrix
+from repro.bitmatrix.sparsity import SparsityIndex, stride_any_mask
 from repro.bitmatrix.splicing import splice_columns
 
 __all__ = [
     "BitMatrix",
+    "SparsityIndex",
     "pack_bool_matrix",
+    "stride_any_mask",
     "unpack_bool_matrix",
     "words_for",
     "splice_columns",

@@ -111,6 +111,23 @@ class BitMatrix:
         """Per-gene mutated-sample counts."""
         return np.bitwise_count(self.words).sum(axis=1).astype(np.int64)
 
+    def sparsity(self, word_stride: int = 64) -> "SparsityIndex":
+        """The row-sparsity index at ``word_stride`` (built once, cached).
+
+        The matrix is frozen and BitSplicing always produces a *new*
+        matrix, so a cached index can never describe stale words — a
+        spliced matrix simply builds its own on first use.
+        """
+        from repro.bitmatrix.sparsity import SparsityIndex
+
+        key = ("sparsity", int(word_stride))
+        index = self._col_cache.get(key)
+        if index is None:
+            index = self._col_cache[key] = SparsityIndex.build(
+                self.words, int(word_stride)
+            )
+        return index
+
     def sample_mask_to_words(self, mask: np.ndarray) -> np.ndarray:
         """Pack a boolean per-sample mask into a word vector."""
         mask = np.asarray(mask, dtype=bool)

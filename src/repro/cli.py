@@ -64,6 +64,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="λ-range leases per arg-max call with --elastic "
              "(default 0 = four per rank/worker)",
     )
+    p_solve.add_argument(
+        "--sparse", action=argparse.BooleanOptionalAction, default=True,
+        help="sparsity-driven scoring path: nonzero-stride skipping, "
+             "shared-prefix AND caching and zero-prefix run skipping "
+             "(bit-identical winners; --no-sparse restores the dense "
+             "traffic model)",
+    )
+    p_solve.add_argument(
+        "--word-stride", type=int, default=64, metavar="W",
+        help="fused-scan slice width in packed words "
+             "(positive multiple of 8; default 64)",
+    )
     p_solve.add_argument("--output", type=str, default=None, help="save result JSON")
     p_solve.add_argument(
         "--checkpoint", type=str, default=None, metavar="PATH",
@@ -256,6 +268,7 @@ def _run_solve(args: argparse.Namespace, telemetry) -> int:
         hits=hits, backend=args.backend, n_nodes=args.nodes, n_workers=args.workers,
         prune=args.prune, prune_blocks=args.prune_blocks,
         elastic=args.elastic, lease_blocks=args.lease_blocks,
+        sparse=args.sparse, word_stride=args.word_stride,
     )
     if args.checkpoint:
         from pathlib import Path

@@ -255,7 +255,15 @@ class BoundTable:
         )
 
     def refresh(self, b: int, max_f: float, iteration: int) -> None:
-        """Record the exact block maximum observed at ``iteration``."""
+        """Record the block's scanned maximum observed at ``iteration``.
+
+        With the sparse scan's zero-prefix run skipping the stored value
+        is a valid *upper bound* rather than the exact maximum (skipped
+        runs report the ``TP = 0`` ceiling, which dominates anything
+        they could score) — still sound for the strict-inequality skip,
+        since F is non-increasing across greedy iterations and the
+        ceiling is constant (``Nn`` never shrinks).
+        """
         self.bounds[b] = max_f
         self.stamps[b] = iteration
         self._refresh_super(self.super_of(b))

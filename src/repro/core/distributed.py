@@ -70,6 +70,8 @@ def rank_best_combo(
     pool: "object | None" = None,
     bounds: "object | None" = None,
     iteration: int = 0,
+    sparse: bool = False,
+    word_stride: "int | None" = None,
 ) -> "MultiHitCombination | None":
     """Search the ``gpus_per_rank`` partitions owned by one MPI rank.
 
@@ -123,6 +125,8 @@ def rank_best_combo(
             memory=memory,
             bounds=part_bounds,
             iteration=iteration,
+            sparse=sparse,
+            word_stride=word_stride,
         )
 
     if pool is not None:
@@ -176,6 +180,8 @@ class DistributedEngine:
     retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
     elastic: bool = False
     lease_blocks: int = 0
+    sparse: bool = False
+    word_stride: "int | None" = None
     report: FaultReport = field(
         default_factory=FaultReport, repr=False, compare=False
     )
@@ -272,7 +278,9 @@ class DistributedEngine:
             from repro.core.pool import PoolEngine
 
             pool = PoolEngine(
-                scheme=self.scheme, n_workers=self.pool_workers, memory=self.memory
+                scheme=self.scheme, n_workers=self.pool_workers,
+                memory=self.memory, sparse=self.sparse,
+                word_stride=self.word_stride,
             )
         try:
             rank_winners: list["MultiHitCombination | None"] = []
@@ -452,6 +460,8 @@ class DistributedEngine:
                 memory=self.memory,
                 bounds=lease_bounds,
                 iteration=iteration,
+                sparse=self.sparse,
+                word_stride=self.word_stride,
             )
         if spec is not None and spec.kind == "straggler":
             self.report.record(
@@ -522,6 +532,8 @@ class DistributedEngine:
                     pool=pool,
                     bounds=bounds,
                     iteration=iteration,
+                    sparse=self.sparse,
+                    word_stride=self.word_stride,
                 )
             wall = span.duration_s
             if policy.is_straggler(wall) or (
@@ -603,6 +615,8 @@ class DistributedEngine:
                             memory=self.memory,
                             bounds=piece_bounds,
                             iteration=iteration,
+                            sparse=self.sparse,
+                            word_stride=self.word_stride,
                         )
                     )
                 if piece_bounds is not None:

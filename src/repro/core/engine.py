@@ -15,6 +15,20 @@ The AND → popcount inner product goes through the word-stride fused
 kernels of :mod:`repro.core.kernels`, so no ``(B, L, n_words)``
 intermediate is ever materialized.
 
+``sparse=True`` layers the sparsity-driven mechanisms on top (still
+bit-identical winners): each matrix's
+:class:`~repro.bitmatrix.sparsity.SparsityIndex` lets the fused passes
+skip stride slices whose nonzero-mask intersection is empty, the
+λ-lexicographic decode order shares one prefix AND across each run of
+consecutive tuples (columns ``1:`` are constant within a run), and a run
+whose *tumor* prefix AND is already all-zero is resolved wholesale —
+``TP = 0`` exactly — whenever the incumbent's F strictly exceeds the
+``TP = 0`` ceiling ``fscore(0, Nn)``.  Skipped content is reported at
+the ceiling, a sound upper bound, so folded block maxima remain valid
+bounds for the lazy-greedy table (see DESIGN §15 for the soundness
+argument).  Traffic on the sparse path is metered as actually gathered,
+with ``word_reads_skipped`` carrying the complement of the dense charge.
+
 When a :class:`repro.core.bounds.BoundTable` is supplied the engine takes
 the lazy-greedy fast path instead: super-blocks are visited in descending
 aggregate-bound order, and a super-block whose every member is stamped
@@ -35,14 +49,18 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.bitmatrix.matrix import BitMatrix
+from repro.bitmatrix.sparsity import stride_any_mask
 from repro.combinatorics.decode import combos_from_linear, top_index_array
 from repro.core.combination import MultiHitCombination, better
 from repro.core.fscore import FScoreParams, fscore
 from repro.core.kernels import (
     KernelCounters,
+    _lexmin_rows,
     best_of,
     fused_pair_popcount,
+    resolve_word_stride,
     score_combos,
+    tp_zero_ceiling,
 )
 from repro.core.memopt import MemoryConfig, fused_word_reads, global_word_reads
 from repro.scheduling.schemes import Scheme
@@ -66,10 +84,46 @@ def _and_reduce_rows(matrix: BitMatrix, combos: np.ndarray) -> np.ndarray:
     return out
 
 
-def _lexmin_rows(rows: np.ndarray) -> np.ndarray:
-    """Lexicographically smallest row of an int matrix."""
-    order = np.lexsort(tuple(rows[:, c] for c in range(rows.shape[1] - 1, -1, -1)))
-    return rows[order[0]]
+def _and_reduce_rows_prefix(
+    matrix: BitMatrix, combos: np.ndarray, traffic: "KernelCounters | None"
+) -> np.ndarray:
+    """:func:`_and_reduce_rows` with shared-prefix AND caching.
+
+    λ-decode order makes consecutive rows share columns ``1:``; the
+    prefix AND is computed once per run and each member costs one more
+    row AND, amortizing gather traffic ~``h×``.  ``traffic`` meters the
+    words actually gathered and the cache hits.
+    """
+    b, h = combos.shape
+    w = matrix.n_words
+    if h == 1:
+        out = matrix.words[combos[:, 0]]  # gather copies
+        if traffic is not None:
+            traffic.word_reads += b * w
+        return out
+    out = np.empty((b, w), dtype=np.uint64)
+    change = np.any(combos[1:, 1:] != combos[:-1, 1:], axis=1)
+    starts = np.concatenate(([0], np.flatnonzero(change) + 1, [b]))
+    for i in range(len(starts) - 1):
+        lo, hi = int(starts[i]), int(starts[i + 1])
+        pre = matrix.words[int(combos[lo, 1])].copy()
+        for c in combos[lo, 2:]:
+            np.bitwise_and(pre, matrix.words[int(c)], out=pre)
+        np.bitwise_and(
+            matrix.words[combos[lo:hi, 0]], pre[None, :], out=out[lo:hi]
+        )
+        if traffic is not None:
+            traffic.word_reads += (h - 1 + (hi - lo)) * w
+            traffic.word_ops += (h - 2 + (hi - lo)) * w
+            traffic.prefix_and_hits += (hi - lo) - 1
+    return out
+
+
+def _run_count(mask: np.ndarray) -> int:
+    """Number of maximal runs of True in a boolean vector."""
+    if mask.size == 0:
+        return 0
+    return int(mask[0]) + int(np.count_nonzero(mask[1:] & ~mask[:-1]))
 
 
 def _fold_block_max(
@@ -81,7 +135,10 @@ def _fold_block_max(
     ``np.maximum.reduceat`` over the in-chunk offsets of the overlapped
     cut points gives each block's exact maximum even when one decode
     stride spans several blocks — the reduction that lets the fused scan
-    decode once per stride instead of once per block.
+    decode once per stride instead of once per block.  (With zero-prefix
+    run skipping the folded value for skipped λ is the ``TP = 0``
+    ceiling — an upper bound rather than the exact maximum, which is all
+    a bound table needs.)
     """
     end = start + len(lam_max)
     k0 = int(np.searchsorted(cut, start, side="right")) - 1
@@ -101,19 +158,25 @@ def _scan_blocks(
     best: "MultiHitCombination | None" = None,
     inner_cache: "dict | None" = None,
     counters: "KernelCounters | None" = None,
+    sparse: bool = False,
+    word_stride: "int | None" = None,
+    traffic: "KernelCounters | None" = None,
 ) -> tuple["MultiHitCombination | None", int, np.ndarray]:
     """Exhaustively score threads ``[cut_points[0], cut_points[-1])``.
 
     One fused pass over a run of λ-adjacent blocks.  Returns
     ``(best, scored, block_max)`` where ``best`` folds the supplied
     incumbent in via the tuple-comparing tie rule (so callers may chain
-    scans over runs in any order) and ``block_max[k]`` is the exact
-    maximum F over ``[cut_points[k], cut_points[k+1])`` alone — the
-    quantity a bound table stores.  ``inner_cache`` memoizes per-level
-    inner AND tables across the runs of one call (the matrices are fixed
-    within a call).  ``counters`` here meters only the fusion-diagnostic
-    fields (``decode_strides``, ``inner_tables_built``); work and traffic
-    accounting stays with the caller.
+    scans over runs in any order) and ``block_max[k]`` is a valid upper
+    bound on — and without zero-prefix skipping the exact maximum of — F
+    over ``[cut_points[k], cut_points[k+1])`` alone, the quantity a
+    bound table stores.  ``inner_cache`` memoizes per-level inner AND
+    tables across the runs of one call (the matrices are fixed within a
+    call).  ``counters`` here meters only the fusion-diagnostic fields
+    (``decode_strides``, ``inner_tables_built``); work and traffic
+    accounting stays with the caller — except on the sparse path, where
+    the words actually gathered (and the sparse-skip diagnostics) land
+    in ``traffic`` for the caller to fold.
     """
     cut = np.asarray(cut_points, dtype=np.int64)
     lam_start, lam_end = int(cut[0]), int(cut[-1])
@@ -121,17 +184,28 @@ def _scan_blocks(
     f_ord = scheme.flattened
     d = scheme.inner
     scored = 0
+    ws = resolve_word_stride(word_stride)
+    ceiling = tp_zero_ceiling(params)
 
     if d == 0:
-        # Threads == combinations: decode and score directly.  Traffic is
-        # metered by the caller, so the kernel's own word_reads metering
-        # is disabled here (passing counters would double-count).
+        # Threads == combinations: decode and score directly.  Dense
+        # traffic is metered by the caller (passing counters would
+        # double-count); sparse traffic is actual and lands in
+        # ``traffic``.
         for start in range(lam_start, lam_end, _CHUNK_ELEMENTS):
             end = min(start + _CHUNK_ELEMENTS, lam_end)
             combos = combos_from_linear(np.arange(start, end), f_ord)
             if counters is not None:
                 counters.decode_strides += 1
-            fvals, tp, tn = score_combos(tumor, normal, combos, params, None)
+            fvals, tp, tn = score_combos(
+                tumor, normal, combos, params,
+                traffic if sparse else None,
+                word_stride=ws,
+                sparse=sparse,
+                skip_below=(
+                    best.f if sparse and best is not None else None
+                ),
+            )
             scored += int(fvals.size)
             if fvals.size:
                 _fold_block_max(block_max, cut, start, fvals)
@@ -155,14 +229,23 @@ def _scan_blocks(
             inner = combos_from_linear(
                 np.arange(_n_combos(n_inner_genes, d)), d
             ) + (m + 1)
-            inner_t = _and_reduce_rows(tumor, inner)
-            inner_n = _and_reduce_rows(normal, inner)
+            if sparse:
+                inner_t = _and_reduce_rows_prefix(tumor, inner, traffic)
+                inner_n = _and_reduce_rows_prefix(normal, inner, traffic)
+                inner_masks = (
+                    stride_any_mask(inner_t, ws),
+                    stride_any_mask(inner_n, ws),
+                )
+            else:
+                inner_t = _and_reduce_rows(tumor, inner)
+                inner_n = _and_reduce_rows(normal, inner)
+                inner_masks = None
             if counters is not None:
                 counters.inner_tables_built += 1
             if inner_cache is not None:
-                inner_cache[m] = (inner, inner_t, inner_n)
+                inner_cache[m] = (inner, inner_t, inner_n, inner_masks)
         else:
-            inner, inner_t, inner_n = cached
+            inner, inner_t, inner_n, inner_masks = cached
         n_l = inner.shape[0]
         w = tumor.n_words + normal.n_words
         chunk = max(1, _CHUNK_ELEMENTS // max(1, n_l * max(w, 1)))
@@ -171,11 +254,17 @@ def _scan_blocks(
             tuples = combos_from_linear(np.arange(start, end), f_ord)
             if counters is not None:
                 counters.decode_strides += 1
-            base_t = _and_reduce_rows(tumor, tuples)
-            base_n = _and_reduce_rows(normal, tuples)
-            # (B, L) popcounts, word-stride fused (no (B, L, W) cube).
-            tp = fused_pair_popcount(base_t, inner_t)
-            tn = params.n_normal - fused_pair_popcount(base_n, inner_n)
+            if sparse:
+                tp, tn = _pair_scores_sparse(
+                    tumor, normal, tuples, inner_t, inner_n, inner_masks,
+                    params, best, ceiling, ws, traffic,
+                )
+            else:
+                base_t = _and_reduce_rows(tumor, tuples)
+                base_n = _and_reduce_rows(normal, tuples)
+                # (B, L) popcounts, word-stride fused (no (B, L, W) cube).
+                tp = fused_pair_popcount(base_t, inner_t, ws)
+                tn = params.n_normal - fused_pair_popcount(base_n, inner_n, ws)
             fvals = fscore(tp, tn, params)
             fmax = fvals.max()
             scored += int(fvals.size)
@@ -204,6 +293,61 @@ def _scan_blocks(
     return best, scored, block_max
 
 
+def _pair_scores_sparse(
+    tumor: BitMatrix,
+    normal: BitMatrix,
+    tuples: np.ndarray,
+    inner_t: np.ndarray,
+    inner_n: np.ndarray,
+    inner_masks: tuple,
+    params: FScoreParams,
+    best: "MultiHitCombination | None",
+    ceiling: float,
+    ws: int,
+    traffic: "KernelCounters | None",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sparse ``(B, L)`` TP / TN for one decode chunk of the nested scan.
+
+    Base rows are built with shared-prefix caching; threads whose tumor
+    base AND is all-zero have ``TP = 0`` for every inner combination, so
+    when the incumbent strictly beats the ``TP = 0`` ceiling those rows
+    skip the normal-side gather and both broadcasts entirely —
+    ``TN = Nn`` is reported for them, folding to exactly the ceiling
+    (a sound upper bound that can never displace or tie the incumbent).
+    """
+    mask_t, mask_n = inner_masks
+    base_t = _and_reduce_rows_prefix(tumor, tuples, traffic)
+    drop = None
+    if best is not None and best.f > ceiling:
+        nz = base_t.any(axis=1)
+        if not nz.all():
+            drop = ~nz
+    if drop is None:
+        base_n = _and_reduce_rows_prefix(normal, tuples, traffic)
+        tp = fused_pair_popcount(
+            base_t, inner_t, ws, stride_any_mask(base_t, ws), mask_t, traffic
+        )
+        n_hits = fused_pair_popcount(
+            base_n, inner_n, ws, stride_any_mask(base_n, ws), mask_n, traffic
+        )
+        return tp, params.n_normal - n_hits
+    kept = np.flatnonzero(~drop)
+    tp = np.zeros((tuples.shape[0], inner_t.shape[0]), dtype=np.int64)
+    n_hits = np.zeros_like(tp)
+    if kept.size:
+        bt = base_t[kept]
+        bn = _and_reduce_rows_prefix(normal, tuples[kept], traffic)
+        tp[kept] = fused_pair_popcount(
+            bt, inner_t, ws, stride_any_mask(bt, ws), mask_t, traffic
+        )
+        n_hits[kept] = fused_pair_popcount(
+            bn, inner_n, ws, stride_any_mask(bn, ws), mask_n, traffic
+        )
+    if traffic is not None:
+        traffic.zero_prefix_runs_skipped += _run_count(drop)
+    return tp, params.n_normal - n_hits
+
+
 def _scan_range(
     scheme: Scheme,
     g: int,
@@ -215,11 +359,15 @@ def _scan_range(
     best: "MultiHitCombination | None" = None,
     inner_cache: "dict | None" = None,
     counters: "KernelCounters | None" = None,
+    sparse: bool = False,
+    word_stride: "int | None" = None,
+    traffic: "KernelCounters | None" = None,
 ) -> tuple["MultiHitCombination | None", int, float]:
     """Single-range convenience wrapper around :func:`_scan_blocks`."""
     best, scored, block_max = _scan_blocks(
         scheme, g, tumor, normal, params, (lam_start, lam_end),
         best, inner_cache, counters,
+        sparse=sparse, word_stride=word_stride, traffic=traffic,
     )
     return best, scored, float(block_max[0])
 
@@ -236,6 +384,8 @@ def best_in_thread_range(
     memory: "MemoryConfig | None" = None,
     bounds: "object | None" = None,
     iteration: int = 0,
+    sparse: bool = False,
+    word_stride: "int | None" = None,
 ) -> "MultiHitCombination | None":
     """Best combination among those owned by threads ``[lam_start, lam_end)``.
 
@@ -245,8 +395,11 @@ def best_in_thread_range(
     ``bounds`` (a :class:`repro.core.bounds.BoundTable` whose block
     boundaries align with this range) switches on the lazy-greedy pruned
     path; the table is mutated in place — scored blocks are refreshed and
-    stamped with ``iteration``.  The winner is bit-identical either way;
-    only the work counters differ.
+    stamped with ``iteration``.  ``sparse`` switches on the
+    sparsity-driven scoring path; ``word_stride`` overrides the fused
+    slice width (any positive int here; the solver enforces its
+    multiple-of-8 policy).  The winner is bit-identical across all four
+    combinations of those switches; only the work counters differ.
     """
     if tumor.n_genes != g or normal.n_genes != g:
         raise ValueError("matrix gene count must match g")
@@ -257,15 +410,18 @@ def best_in_thread_range(
     if bounds is not None:
         return _best_pruned(
             scheme, g, tumor, normal, params, lam_start, lam_end,
-            bounds, iteration, counters, memory,
+            bounds, iteration, counters, memory, sparse, word_stride,
         )
 
+    traffic = KernelCounters() if sparse else None
     best, scored, _ = _scan_range(
         scheme, g, tumor, normal, params, lam_start, lam_end,
-        counters=counters,
+        counters=counters, sparse=sparse, word_stride=word_stride,
+        traffic=traffic,
     )
     return _metered(
-        best, scored, scheme, g, tumor, normal, lam_start, lam_end, counters, memory
+        best, scored, scheme, g, tumor, normal, lam_start, lam_end, counters,
+        memory, traffic,
     )
 
 
@@ -281,6 +437,8 @@ def _best_pruned(
     iteration: int,
     counters: "KernelCounters | None",
     memory: "MemoryConfig | None",
+    sparse: bool = False,
+    word_stride: "int | None" = None,
 ) -> "MultiHitCombination | None":
     """Hierarchical CELF visitation over the fused multi-block scan.
 
@@ -293,18 +451,22 @@ def _best_pruned(
     single block so the skip checks get a real F to compare against as
     early as possible.
 
-    Soundness: a skipped block's stored bound is the exact maximum F it
-    achieved at some earlier iteration, F is non-increasing across
-    iterations (TP shrinks, TN is fixed, float rounding is monotone), and
-    skipping demands ``bound < incumbent.f`` *strictly* — so a skipped
-    block (or super-block, via the max aggregate) holds neither the
-    winner nor an equal-F tie.
+    Soundness: a skipped block's stored bound is a valid upper bound on
+    the F it could achieve at some earlier iteration (the exact maximum
+    when it was fully scored; the ``TP = 0`` ceiling where zero-prefix
+    runs were resolved wholesale), F is non-increasing across iterations
+    (TP shrinks, TN is fixed, float rounding is monotone), and skipping
+    demands ``bound < incumbent.f`` *strictly* — so a skipped block (or
+    super-block, via the max aggregate) holds neither the winner nor an
+    equal-F tie.
 
     Traffic on this path is metered with :func:`fused_word_reads` — the
     fused kernel gathers each thread's fixed rows once and each level's
     inner AND-table once per call, which subsumes the MemOpt prefetch
     flags; ``memory.bitsplice`` still matters physically through the
-    matrix word width.
+    matrix word width.  With ``sparse`` the meter switches to the words
+    actually gathered, and the fused model's charge minus the actual
+    traffic lands in ``word_reads_skipped``.
     """
     i0, i1 = bounds.block_slice(lam_start, lam_end)
     w = tumor.n_words + normal.n_words
@@ -316,19 +478,25 @@ def _best_pruned(
         nonlocal best
         cuts = [bounds.block_range(b)[0] for b in run]
         cuts.append(bounds.block_range(run[-1])[1])
+        traffic = KernelCounters() if sparse else None
         best, scored, block_max = _scan_blocks(
             scheme, g, tumor, normal, params, cuts,
             best, inner_cache, counters,
+            sparse=sparse, word_stride=word_stride, traffic=traffic,
         )
         for k, b in enumerate(run):
             bounds.refresh(b, float(block_max[k]), iteration)
         if counters is not None:
             counters.blocks_scanned += len(run)
             counters.combos_scored += scored
-            counters.word_ops += scored * (scheme.hits - 1) * w
-            counters.word_reads += fused_word_reads(
+            model = fused_word_reads(
                 scheme, g, w, cuts[0], cuts[-1], charged_levels
             )
+            if traffic is not None:
+                _fold_sparse_traffic(counters, traffic, model)
+            else:
+                counters.word_ops += scored * (scheme.hits - 1) * w
+                counters.word_reads += model
 
     for s in map(int, bounds.super_visit_order(i0, i1)):
         a, b_hi = bounds.super_block_range(s)
@@ -361,6 +529,28 @@ def _best_pruned(
     return best
 
 
+def _fold_sparse_traffic(
+    counters: "KernelCounters",
+    traffic: "KernelCounters",
+    model_reads: int,
+) -> None:
+    """Fold one sparse scan's actual traffic into the run counters.
+
+    ``word_reads`` gets the words actually gathered; the configured dense
+    accounting's charge minus that lands in ``word_reads_skipped``, so
+    ``word_reads + word_reads_skipped`` reproduces the dense-path charge
+    for the identical scan exactly (the closure identity the tests pin).
+    ``combos_scored`` is intentionally not folded — the caller charges
+    the returned ``scored`` exactly as on the dense path.
+    """
+    counters.word_reads += traffic.word_reads
+    counters.word_ops += traffic.word_ops
+    counters.word_reads_skipped += max(0, model_reads - traffic.word_reads)
+    counters.strides_skipped_sparse += traffic.strides_skipped_sparse
+    counters.prefix_and_hits += traffic.prefix_and_hits
+    counters.zero_prefix_runs_skipped += traffic.zero_prefix_runs_skipped
+
+
 def _metered(
     best: "MultiHitCombination | None",
     scored: int,
@@ -372,6 +562,7 @@ def _metered(
     lam_end: int,
     counters: "KernelCounters | None",
     memory: "MemoryConfig | None",
+    traffic: "KernelCounters | None" = None,
 ) -> "MultiHitCombination | None":
     """Meter the call's work and traffic exactly once, identically for the
     ``d == 0`` and ``d > 0`` paths.
@@ -380,19 +571,23 @@ def _metered(
     is given; otherwise it is the unoptimized kernel traffic (every
     combination reads all ``hits`` rows).  The two agree whenever no
     prefetch applies, so the MemOpt experiments see path-independent
-    counts on equivalent grids.
+    counts on equivalent grids.  A sparse scan's ``traffic`` switches
+    the charge to the actual gathered words, with the model charge minus
+    actual landing in ``word_reads_skipped``.
     """
     if counters is None:
         return best
     w = tumor.n_words + normal.n_words
     counters.combos_scored += scored
-    counters.word_ops += scored * (scheme.hits - 1) * w
     if memory is not None:
-        counters.word_reads += global_word_reads(
-            scheme, g, w, lam_start, lam_end, memory
-        )
+        model = global_word_reads(scheme, g, w, lam_start, lam_end, memory)
     else:
-        counters.word_reads += scored * scheme.hits * w
+        model = scored * scheme.hits * w
+    if traffic is not None:
+        _fold_sparse_traffic(counters, traffic, model)
+    else:
+        counters.word_ops += scored * (scheme.hits - 1) * w
+        counters.word_reads += model
     return best
 
 
@@ -408,11 +603,16 @@ class SingleGpuEngine:
 
     The distributed engine instantiates one of these per GPU partition;
     used standalone it searches the whole grid (the "single V100" baseline
-    configuration of the prior paper).
+    configuration of the prior paper).  ``sparse`` / ``word_stride``
+    select the sparsity-driven scoring path and the fused slice width
+    (``None`` = the kernel default); winners are bit-identical either
+    way.
     """
 
     scheme: Scheme
     memory: MemoryConfig = field(default_factory=MemoryConfig)
+    sparse: bool = False
+    word_stride: "int | None" = None
 
     def best_combo(
         self,
@@ -440,4 +640,6 @@ class SingleGpuEngine:
             memory=self.memory,
             bounds=bounds,
             iteration=iteration,
+            sparse=self.sparse,
+            word_stride=self.word_stride,
         )

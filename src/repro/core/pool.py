@@ -111,6 +111,8 @@ class _ChunkTask:
     # deltas in the result tuple.
     bounds: "dict | None" = None
     iteration: int = 0
+    sparse: bool = False
+    word_stride: "int | None" = None
 
 
 # Per-worker cache: segment name -> (SharedMemory handle, word-array view).
@@ -187,6 +189,8 @@ def _search_chunk(task: _ChunkTask):
             memory=task.memory,
             bounds=local_bounds,
             iteration=task.iteration,
+            sparse=task.sparse,
+            word_stride=task.word_stride,
         )
     deltas = (
         local_bounds.deltas(task.iteration) if local_bounds is not None else None
@@ -314,6 +318,11 @@ class PoolEngine:
         doubles as the steal of a lost lease.  Winners and merged
         counters are bit-identical to the default cut: both feed the
         same partition-ordered reduce.
+    sparse / word_stride:
+        Forwarded to every chunk's :func:`best_in_thread_range`; the
+        sparsity-driven path changes traffic (and its counters are
+        partition-dependent, since prefix runs split at chunk
+        boundaries) but winners and ``combos_scored`` stay identical.
     """
 
     scheme: Scheme
@@ -325,6 +334,8 @@ class PoolEngine:
     retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
     fault_plan: "FaultPlan | None" = None
     lease_blocks: int = 0
+    sparse: bool = False
+    word_stride: "int | None" = None
     report: FaultReport = field(
         default_factory=FaultReport, repr=False, compare=False
     )
@@ -540,6 +551,8 @@ class PoolEngine:
                 memory=self.memory,
                 bounds=local_bounds,
                 iteration=task.iteration,
+                sparse=task.sparse,
+                word_stride=task.word_stride,
             )
         deltas = (
             local_bounds.deltas(task.iteration)
@@ -658,6 +671,8 @@ class PoolEngine:
                     else None
                 ),
                 iteration=iteration,
+                sparse=self.sparse,
+                word_stride=self.word_stride,
             )
             for i, (lo, hi) in enumerate(ranges)
         ]

@@ -23,7 +23,11 @@ from repro.core.combination import MultiHitCombination
 from repro.core.distributed import DistributedEngine
 from repro.core.engine import SingleGpuEngine
 from repro.core.fscore import DEFAULT_ALPHA, FScoreParams
-from repro.core.kernels import KernelCounters
+from repro.core.kernels import (
+    DEFAULT_WORD_STRIDE,
+    KernelCounters,
+    validate_word_stride,
+)
 from repro.core.memopt import MemoryConfig
 from repro.core.sequential import sequential_best_combo
 from repro.faults.plan import FaultPlan
@@ -145,6 +149,19 @@ class MultiHitSolver:
     lease_blocks:
         Leases per arg-max call when ``elastic`` (``0`` auto-sizes to
         four per rank/worker).
+    sparse:
+        Sparsity-driven scoring path (default on): nonzero-stride
+        skipping, shared-prefix AND caching and zero-prefix run
+        skipping in the fused kernels.  Winners, iteration trajectory
+        and ``combos_scored`` are bit-identical either way; traffic
+        counters switch from the dense model charge to the words
+        actually gathered, with the difference in
+        ``counters.word_reads_skipped``.  Ignored by the
+        ``"sequential"`` oracle.
+    word_stride:
+        Fused-scan slice width in packed words (default 64).  Must be a
+        positive multiple of 8 — the deployment policy; the kernels
+        themselves accept any positive stride for testing.
     """
 
     hits: int = 4
@@ -162,6 +179,8 @@ class MultiHitSolver:
     prune_blocks: int = 64
     elastic: bool = False
     lease_blocks: int = 0
+    sparse: bool = True
+    word_stride: int = DEFAULT_WORD_STRIDE
 
     def __post_init__(self) -> None:
         if self.hits < 2:
@@ -184,6 +203,7 @@ class MultiHitSolver:
             raise ValueError(
                 "elastic work stealing needs the pool or distributed backend"
             )
+        validate_word_stride(self.word_stride)
 
     # -- per-iteration arg-max ----------------------------------------
 
@@ -210,7 +230,10 @@ class MultiHitSolver:
                 bounds=bounds, iteration=iteration,
             )
         if self.backend == "single":
-            engine = SingleGpuEngine(scheme=self.scheme, memory=self.memory)
+            engine = SingleGpuEngine(
+                scheme=self.scheme, memory=self.memory,
+                sparse=self.sparse, word_stride=self.word_stride,
+            )
             return engine.best_combo(
                 tumor, normal, params, counters=counters,
                 bounds=bounds, iteration=iteration,
@@ -288,6 +311,8 @@ class MultiHitSolver:
                     if self.elastic
                     else 0
                 ),
+                sparse=self.sparse,
+                word_stride=self.word_stride,
             )
         elif self.backend == "distributed":
             # One engine for the run so its arg-max call counter lines
@@ -302,6 +327,8 @@ class MultiHitSolver:
                 retry_policy=self.retry_policy or RetryPolicy(),
                 elastic=self.elastic,
                 lease_blocks=self.lease_blocks,
+                sparse=self.sparse,
+                word_stride=self.word_stride,
             )
         tel = get_telemetry()
         try:

@@ -77,7 +77,12 @@ def run(
     )
     reads, walls = [], []
     for _, mem in CONFIGS:
-        solver = MultiHitSolver(hits=3, backend="single", memory=mem)
+        # The ablation compares the *model* traffic of the prefetch
+        # configurations; the sparse path meters actual traffic (which
+        # is prefetch-independent), so it is pinned off here.
+        solver = MultiHitSolver(
+            hits=3, backend="single", memory=mem, sparse=False
+        )
         t0 = time.perf_counter()
         result = solver.solve(cohort.tumor.values, cohort.normal.values)
         walls.append(time.perf_counter() - t0)

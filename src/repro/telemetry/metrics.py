@@ -117,6 +117,22 @@ class MetricsRegistry:
             self.inc(f"{prefix}.decode_strides", counters.decode_strides)
         if counters.inner_tables_built:
             self.inc(f"{prefix}.inner_tables_built", counters.inner_tables_built)
+        # Sparse-path diagnostics: emitted only when the sparsity-driven
+        # scan actually ran (any skipped traffic or cache hit).
+        if counters.word_reads_skipped:
+            self.inc(f"{prefix}.word_reads_skipped", counters.word_reads_skipped)
+        if counters.strides_skipped_sparse:
+            self.inc(
+                f"{prefix}.strides_skipped_sparse",
+                counters.strides_skipped_sparse,
+            )
+        if counters.prefix_and_hits:
+            self.inc(f"{prefix}.prefix_and_hits", counters.prefix_and_hits)
+        if counters.zero_prefix_runs_skipped:
+            self.inc(
+                "prune.zero_prefix_runs_skipped",
+                counters.zero_prefix_runs_skipped,
+            )
         if counters.blocks_scanned or counters.blocks_skipped:
             self.inc("prune.combos_pruned", counters.combos_pruned)
             self.inc("prune.blocks_skipped", counters.blocks_skipped)

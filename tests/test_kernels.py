@@ -8,12 +8,15 @@ import pytest
 from repro.bitmatrix.matrix import BitMatrix
 from repro.core.fscore import FScoreParams
 from repro.core.kernels import (
+    DEFAULT_WORD_STRIDE,
     WORD_STRIDE,
     KernelCounters,
     best_of,
     fused_pair_popcount,
+    resolve_word_stride,
     score_combos,
     score_combos_reference,
+    validate_word_stride,
 )
 
 
@@ -137,3 +140,67 @@ class TestBestOf:
         f = np.array([0.5, 0.5, 0.5])
         best = best_of(combos, f, np.zeros(3, int), np.zeros(3, int))
         assert best.genes == (0, 5)
+
+    def test_many_ties_vectorized_lexmin(self):
+        # Regression for the tie-break: thousands of tied rows must
+        # resolve to the lexicographically smallest tuple (and recover
+        # that row's tp/tn), without a Python min() over the tie set.
+        rng = np.random.default_rng(3)
+        combos = np.sort(
+            rng.integers(0, 50, size=(5000, 3), dtype=np.int64), axis=1
+        )
+        combos = combos[(np.diff(combos, axis=1) > 0).all(axis=1)]
+        f = np.full(len(combos), 0.25)
+        f[::7] = 0.75  # a large tied subset at the max
+        tied = combos[f == 0.75]
+        want = min(map(tuple, tied.tolist()))
+        tp = np.arange(len(combos))
+        tn = np.arange(len(combos)) + 1000
+        best = best_of(combos, f, tp, tn)
+        assert best.genes == want
+        row = int(np.flatnonzero((combos == np.array(want)).all(axis=1))[0])
+        assert (best.tp, best.tn) == (row, row + 1000)
+
+    def test_all_rows_tied(self):
+        combos = np.array([[2, 9], [0, 3], [0, 1], [5, 6]])
+        f = np.full(4, 0.5)
+        best = best_of(combos, f, np.arange(4), np.arange(4))
+        assert best.genes == (0, 1)
+        assert best.tp == 2
+
+
+class TestWordStride:
+    def test_resolve_default_and_validation(self):
+        assert resolve_word_stride(None) == DEFAULT_WORD_STRIDE == WORD_STRIDE
+        assert resolve_word_stride(3) == 3
+        for bad in (0, -8):
+            with pytest.raises(ValueError):
+                resolve_word_stride(bad)
+
+    def test_solver_policy_multiple_of_8(self):
+        for ok in (8, 64, 4096):
+            assert validate_word_stride(ok) == ok
+        for bad in (0, -8, 3, 12, 65):
+            with pytest.raises(ValueError):
+                validate_word_stride(bad)
+
+    @pytest.mark.parametrize("stride", [1, 8, 4096])
+    @pytest.mark.parametrize("sparse", [False, True])
+    def test_bit_identity_across_strides(self, stride, sparse):
+        # The stride is a traffic knob, never a results knob: popcounts
+        # are exact at any slice width (1 = word-at-a-time, 4096 >> any
+        # matrix width here = single-shot).
+        rng = np.random.default_rng(11)
+        t = rng.random((20, 300)) < 0.3
+        n = rng.random((20, 300)) < 0.1
+        tumor = BitMatrix.from_dense(t)
+        normal = BitMatrix.from_dense(n)
+        params = FScoreParams(n_tumor=300, n_normal=300)
+        combos = np.array(list(itertools.combinations(range(20), 3))[:200])
+        f, tp, tn = score_combos(
+            tumor, normal, combos, params, word_stride=stride, sparse=sparse
+        )
+        rf, rtp, rtn = score_combos_reference(tumor, normal, combos, params)
+        np.testing.assert_array_equal(tp, rtp)
+        np.testing.assert_array_equal(tn, rtn)
+        np.testing.assert_array_equal(f, rf)

@@ -174,15 +174,29 @@ class TestSolverBackendEquivalence:
         t = rng.random((g, int(rng.integers(3, 25)))) < rng.uniform(0.1, 0.7)
         n = rng.random((g, int(rng.integers(1, 25)))) < rng.uniform(0.0, 0.4)
         ref = MultiHitSolver(hits=hits, backend="single").solve(t, n)
+        # Dense-model reference: its traffic counters are partition-
+        # invariant, unlike the sparse default's (prefix runs split at
+        # chunk boundaries), so the counter-tuple assertion pins it.
+        dense_ref = MultiHitSolver(
+            hits=hits, backend="single", sparse=False
+        ).solve(t, n)
         seq = signature(sequential_solve(t, n, hits))
         assert signature(ref.combinations) == seq
+        assert signature(dense_ref.combinations) == seq
         for n_workers in (1, 2, 4):
             got = MultiHitSolver(
                 hits=hits, backend="pool", n_workers=n_workers
             ).solve(t, n)
             assert signature(got.combinations) == signature(ref.combinations)
             assert got.uncovered == ref.uncovered
-            assert _counter_tuple(got.counters) == _counter_tuple(ref.counters)
+            assert got.counters.combos_scored == ref.counters.combos_scored
+            dense = MultiHitSolver(
+                hits=hits, backend="pool", n_workers=n_workers, sparse=False
+            ).solve(t, n)
+            assert signature(dense.combinations) == signature(ref.combinations)
+            assert _counter_tuple(dense.counters) == _counter_tuple(
+                dense_ref.counters
+            )
 
     def test_rejects_bad_worker_count(self):
         with pytest.raises(ValueError):
