@@ -7,6 +7,7 @@ Subcommands::
     multihit experiment  # regenerate a paper table/figure (fig2..fig10, ...)
     multihit catalog     # list the cancer-type catalog
     multihit schedule    # inspect ED/EA schedules for a configuration
+    multihit trace       # causal-trace analysis (critical path, attribution)
 
 Run ``multihit <subcommand> --help`` for options.
 """
@@ -196,6 +197,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_roof = sub.add_parser("roofline", help="roofline placement of kernel configs")
     p_roof.add_argument("--words", type=int, default=31, help="packed width (tumor+normal)")
+
+    p_trace = sub.add_parser("trace", help="analyze exported causal traces")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_analyze = trace_sub.add_parser(
+        "analyze",
+        help="critical path + per-bucket time attribution of a trace",
+    )
+    p_analyze.add_argument("path", help="trace file (JSONL export or Chrome-trace-adjacent JSON)")
+    p_analyze.add_argument(
+        "--top", type=int, default=10,
+        help="critical-path segments to show (default 10)",
+    )
+    p_analyze.add_argument(
+        "--json", action="store_true",
+        help="emit the full machine-readable report instead of the summary",
+    )
     return parser
 
 
@@ -518,6 +535,27 @@ def _cmd_roofline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.telemetry.critpath import analyze_trace, format_report, load_trace
+
+    try:
+        spans = load_trace(args.path)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: cannot load trace {args.path}: {exc}", file=sys.stderr)
+        return 2
+    if not spans:
+        print(f"error: no spans in {args.path}", file=sys.stderr)
+        return 2
+    report = analyze_trace(spans, top=args.top)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_report(report, top=args.top))
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -528,6 +566,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "schedule": _cmd_schedule,
         "dataset": _cmd_dataset,
         "roofline": _cmd_roofline,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

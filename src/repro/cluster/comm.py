@@ -19,6 +19,7 @@ import time
 from typing import Any, Callable
 
 from repro.telemetry.session import get_telemetry
+from repro.telemetry.spans import NOOP_SPAN
 
 __all__ = ["CommAbortedError", "SimCommWorld", "SimComm"]
 
@@ -128,8 +129,13 @@ class SimComm:
         telemetry = get_telemetry()
         with telemetry.span(
             "comm.send", cat="comm", rank=self.rank, dest=dest, tag=tag
-        ):
-            self.world._box(self.rank, dest, tag).put(obj)
+        ) as span:
+            # Envelope the payload with the sender's span context so the
+            # matching recv can record a causal "message" edge.  The
+            # context is None when telemetry is off; the envelope shape
+            # is identical either way so delivery stays deterministic.
+            ctx = telemetry.context() if span is not NOOP_SPAN else None
+            self.world._box(self.rank, dest, tag).put((obj, ctx))
         telemetry.count("comm.sends")
 
     def recv(self, source: int, tag: int = _DEFAULT_TAG, timeout: "float | None" = None) -> Any:
@@ -153,7 +159,7 @@ class SimComm:
         # timeout exits), so recv spans show where ranks sat idle.
         with telemetry.span(
             "comm.recv", cat="comm", rank=self.rank, source=source, tag=tag
-        ):
+        ) as span:
             while True:
                 if world.aborted:
                     raise CommAbortedError(world.abort_reason or "world aborted")
@@ -164,7 +170,7 @@ class SimComm:
                         f"(tag {tag}) timed out after {timeout}s"
                     )
                 try:
-                    obj = box.get(timeout=min(world.abort_poll_s, remaining))
+                    obj, ctx = box.get(timeout=min(world.abort_poll_s, remaining))
                 except queue.Empty:
                     continue
                 self.heartbeat()
@@ -175,6 +181,8 @@ class SimComm:
                         continue  # the transfer was lost on the wire
                     if spec is not None and spec.kind == "recv_delay":
                         time.sleep(spec.delay_s)
+                # Causal edge: this receive was unblocked by that send.
+                span.link(ctx, kind="message")
                 telemetry.count("comm.recvs")
                 return obj
 

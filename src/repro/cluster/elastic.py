@@ -216,6 +216,7 @@ class ElasticSPMDRunner:
     def _rank_body(
         self, comm, rank, ledger, search, stop, leave, call
     ) -> None:
+        tel = get_telemetry()
         while not stop.is_set():
             comm.heartbeat()
             if leave.is_set():
@@ -227,9 +228,20 @@ class ElasticSPMDRunner:
             if lease is None:
                 if ledger.done or rank not in self._live_holders(ledger, rank):
                     return
-                time.sleep(self.poll_s)
-                if ledger.done:
-                    return
+                # Idle until work reappears (an expiry puts a stolen
+                # lease back in the pool): one lease.wait span per
+                # waiting stretch, not per poll tick.
+                with tel.span("lease.wait", cat="spmd", rank=rank):
+                    while True:
+                        time.sleep(self.poll_s)
+                        if ledger.done or stop.is_set() or leave.is_set():
+                            break
+                        comm.heartbeat()
+                        if (
+                            ledger.n_available
+                            or rank not in self._live_holders(ledger, rank)
+                        ):
+                            break
                 continue
             spec = (
                 self.fault_plan.take("rank", rank, call)
@@ -243,8 +255,15 @@ class ElasticSPMDRunner:
                 # sleeping), so the lease expires and is stolen; the
                 # rank eventually resurfaces and its completion is
                 # dropped as a duplicate.  A straggler finishes late
-                # but inside the TTL.
-                time.sleep(spec.delay_s)
+                # but inside the TTL.  The stall is spanned as comm
+                # time: a real straggler manifests as a rank gone
+                # silent on the wire, and attribution needs the wait
+                # on *somebody's* timeline to explain the lost time.
+                with tel.span(
+                    "comm.stall", cat="comm", rank=rank,
+                    kind=spec.kind, delay_s=spec.delay_s,
+                ):
+                    time.sleep(spec.delay_s)
                 if spec.kind == "straggler":
                     self.report.record(
                         "straggler", "rank", rank, call, "observed",
@@ -384,10 +403,15 @@ def elastic_spmd_best_combo(
             with fold_lock:
                 payload = bounds.slice_payload(lease.lam_start, lease.lam_end)
             lease_bounds = BoundTable.from_payload(payload)
+        stolen = lease.grants > 1
         with get_telemetry().span(
             "lease.search", cat="spmd", rank=rank, lease=lease.lease_id,
             lam_start=lease.lam_start, lam_end=lease.lam_end,
-        ):
+            **({"stolen": True} if stolen else {}),
+        ) as sp:
+            # Cross-rank causal edge: redoing work the previous holder
+            # lost chains the thief's timeline to the victim's.
+            sp.link(lease.victim_ctx, kind="steal")
             winner = best_in_thread_range(
                 scheme, g, tumor, normal, params,
                 lease.lam_start, lease.lam_end,
@@ -413,4 +437,12 @@ def elastic_spmd_best_combo(
     runner.run(ledger, search, call=call)
     if counters is not None:
         ledger.merge_counters(counters)
-    return ledger.merge()
+    with get_telemetry().span(
+        "reduce", cat="spmd", leases=ledger.n_leases, call=call
+    ) as sp:
+        # The merge causally depends on every lease completion; these
+        # edges are what let the critical path thread through the
+        # slowest lease chain instead of dead-ending at the reduce.
+        for ctx in ledger.completion_contexts():
+            sp.link(ctx, kind="complete")
+        return ledger.merge()

@@ -49,6 +49,18 @@ class Lease:
     after the first is a steal (the range moved to a new holder after an
     expiry or forfeiture).  ``previous_holders`` keeps the churn trail
     for fault attribution.
+
+    The ``*_ctx`` fields carry causal span contexts (see
+    :mod:`repro.telemetry.causal`): ``grant_ctx`` is the holder's span
+    at acquire time, ``stolen_from_ctx`` is the *previous* holder's
+    grant context saved when the grant was revoked, and
+    ``complete_ctx`` is the completing span (the merge links
+    ``complete`` edges to these).  ``victim_ctx`` is the pending
+    ``stolen_from_ctx`` *bound at grant time*: the thief's search links
+    its ``steal`` edge to the victim it is redoing work for, and a
+    later revocation of the thief's own grant (a hang outliving its
+    TTL mid-search) cannot clobber it.  All ``None`` when telemetry is
+    disabled — contexts never affect scheduling.
     """
 
     lease_id: int
@@ -62,6 +74,10 @@ class Lease:
     result: "object | None" = None
     counters: "object | None" = None
     completed_by: "int | None" = None
+    grant_ctx: "dict | None" = None
+    stolen_from_ctx: "dict | None" = None
+    victim_ctx: "dict | None" = None
+    complete_ctx: "dict | None" = None
 
     @property
     def span(self) -> int:
@@ -151,6 +167,14 @@ class LeaseLedger:
                 lease.state = "granted"
                 lease.holder = holder
                 lease.grants += 1
+                # The acquiring thread's span context; the pending
+                # victim context (saved when the last grant was
+                # revoked) binds to this grant so the thief's search
+                # links the right ``steal`` edge even if this grant is
+                # itself revoked before the search closes.
+                lease.grant_ctx = tel.context()
+                lease.victim_ctx = lease.stolen_from_ctx
+                lease.stolen_from_ctx = None
                 if now is None:
                     now = time.monotonic()
                 lease.deadline = (
@@ -230,6 +254,8 @@ class LeaseLedger:
                     lease.state = "available"
                     lease.holder = None
                     lease.deadline = float("inf")
+                    lease.stolen_from_ctx = lease.grant_ctx
+                    lease.grant_ctx = None
                     self.n_expired += 1
                     reclaimed.append(lease)
             if reclaimed:
@@ -259,6 +285,8 @@ class LeaseLedger:
                     lease.state = "available"
                     lease.holder = None
                     lease.deadline = float("inf")
+                    lease.stolen_from_ctx = lease.grant_ctx
+                    lease.grant_ctx = None
                     self.n_forfeited += 1
                     dropped.append(lease)
             if dropped:
@@ -317,6 +345,7 @@ class LeaseLedger:
             lease.result = result
             lease.counters = counters
             lease.completed_by = holder
+            lease.complete_ctx = tel.context()
             self._export(tel)
         if tel.enabled:
             tel.count("lease.completed")
@@ -362,6 +391,15 @@ class LeaseLedger:
                 for lease in self.leases
                 if lease.state == "granted" and lease.holder is not None
             }
+
+    def completion_contexts(self) -> "list[dict]":
+        """Completion span contexts in lease-id order (for merge links)."""
+        with self._lock:
+            return [
+                lease.complete_ctx
+                for lease in self.leases
+                if lease.complete_ctx is not None
+            ]
 
     def _export(self, tel) -> None:
         """Gauge snapshot under the ledger lock (cheap; dict stores)."""

@@ -407,7 +407,11 @@ class DistributedEngine:
             )
         if counters is not None:
             ledger.merge_counters(counters)
-        with tel.span("reduce", cat="distributed", candidates=ledger.n_leases):
+        with tel.span(
+            "reduce", cat="distributed", candidates=ledger.n_leases
+        ) as sp:
+            for ctx in ledger.completion_contexts():
+                sp.link(ctx, kind="complete")
             return ledger.merge(stats=reduction_stats)
 
     def _elastic_churn(self, ledger, roster, next_rank, call):
@@ -448,12 +452,19 @@ class DistributedEngine:
         # once: the ledger keeps the first completion's counters and
         # merge_counters folds them in lease-id order.
         lease_counters = KernelCounters() if counters is not None else None
+        stolen = lease.grants > 1
         with tel.timed_span(
             "lease.search", cat="distributed", rank=rank,
             lease=lease.lease_id, lam_start=lo, lam_end=hi, call=call,
+            **({"stolen": True} if stolen else {}),
         ) as span:
+            span.link(lease.victim_ctx, kind="steal")
             if spec is not None and spec.kind == "straggler":
-                time.sleep(spec.delay_s)
+                with tel.span(
+                    "comm.stall", cat="comm", rank=rank,
+                    kind="straggler", delay_s=spec.delay_s,
+                ):
+                    time.sleep(spec.delay_s)
             winner = best_in_thread_range(
                 self.scheme, tumor.n_genes, tumor, normal, params, lo, hi,
                 counters=lease_counters,

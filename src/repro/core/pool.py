@@ -105,6 +105,10 @@ class _ChunkTask:
     memory: "MemoryConfig | None"
     fault: "FaultSpec | None" = None
     trace: bool = False  # worker records spans/metrics and ships them back
+    # Causal context of the dispatching span (repro.telemetry.causal):
+    # the worker session adopts it, so its scan_chunk span re-roots to
+    # the parent's timeline and joins the parent's trace_id.
+    trace_ctx: "dict | None" = None
     # Lazy-greedy pruning: the parent table's slice covering this chunk
     # (BoundTable.slice_payload) and the greedy iteration stamp.  The
     # worker prunes against the slice and ships refreshed bounds back as
@@ -161,6 +165,7 @@ def _search_chunk(task: _ChunkTask):
     exported state back over this result channel for the parent to merge.
     """
     telemetry = Telemetry(enabled=task.trace)
+    telemetry.adopt_context(task.trace_ctx)
     with telemetry.timed_span(
         "scan_chunk", cat="pool", lam_start=task.lam_start, lam_end=task.lam_end
     ) as span:
@@ -499,7 +504,12 @@ class PoolEngine:
                     if self.fault_plan is not None
                     else None
                 )
-                retry_task = replace(task, fault=fault)
+                # Re-root the retried chunk under the retry span so the
+                # critical path threads detection -> retry -> rescan.
+                retry_task = replace(
+                    task, fault=fault,
+                    trace_ctx=tel.context() or task.trace_ctx,
+                )
                 try:
                     out = self._ensure_pool().submit(
                         _search_chunk, retry_task
@@ -645,6 +655,10 @@ class PoolEngine:
 
         t_name = self._publish("tumor", tumor, stats)
         n_name = self._publish("normal", normal, stats)
+        # One dispatch context for the whole batch: the caller's current
+        # span (the solver's iteration / schedule span) — worker sessions
+        # adopt it so scan_chunk spans re-root onto this timeline.
+        dispatch_ctx = tel.context()
         tasks = [
             _ChunkTask(
                 scheme=self.scheme,
@@ -665,6 +679,7 @@ class PoolEngine:
                     else None
                 ),
                 trace=tel.enabled,
+                trace_ctx=dispatch_ctx,
                 bounds=(
                     bounds.slice_payload(lo, hi)
                     if bounds is not None and bounds.aligned(lo, hi)

@@ -34,6 +34,10 @@ class FaultEvent:
     action: str
     attempt: int = 1
     detail: str = ""
+    # The causal trace the fault occurred inside (None when telemetry
+    # is off) — joins a fault entry against the span timeline and the
+    # flight-recorder black box that share the same trace id.
+    trace_id: "str | None" = None
 
 
 @dataclass(frozen=True)
@@ -64,6 +68,8 @@ class FaultReport:
         attempt: int = 1,
         detail: str = "",
     ) -> None:
+        telemetry = get_telemetry()
+        trace_id = telemetry.trace_id if telemetry.enabled else None
         self.events.append(
             FaultEvent(
                 kind=kind,
@@ -73,18 +79,19 @@ class FaultReport:
                 action=action,
                 attempt=attempt,
                 detail=detail,
+                trace_id=trace_id,
             )
         )
         # Live-route every fault/recovery event into the telemetry
         # metrics registry (so degraded runs show up in exported
         # summaries) and onto the flight recorder's ring (so the black
         # box shows the fault sequence leading up to a dump).
-        telemetry = get_telemetry()
         if telemetry.enabled:
             telemetry.metrics.record_fault_event(kind, site, action)
         if telemetry.flight is not None:
             telemetry.flight.record_fault(
-                kind, site, target, call, action, detail=detail
+                kind, site, target, call, action, detail=detail,
+                trace_id=trace_id,
             )
 
     def record_reschedule(

@@ -255,6 +255,11 @@ class _GatewayHTTP(_Server):
             ),
             (
                 "GET",
+                re.compile(r"^/v1/jobs/(?P<job_id>[\w-]+)/trace$"),
+                self._route_trace,
+            ),
+            (
+                "GET",
                 re.compile(r"^/v1/jobs/(?P<job_id>[\w-]+)$"),
                 self._route_status,
             ),
@@ -333,6 +338,51 @@ class _GatewayHTTP(_Server):
         return json_reply(
             200, {"job_id": job.job_id, "state": job.state, "result": job.result}
         )
+
+    def _route_trace(self, match, body, query) -> Response:
+        """Causal analysis of a finished job's trace.
+
+        Serves the critical path + per-bucket time attribution computed
+        from ``traces/<job id>.jsonl`` (written by the runner on every
+        job exit path).  ``?spans=1`` includes the raw span dicts.
+        """
+        job = self.gateway.job(match.group("job_id"))
+        if job is None:
+            return json_reply(404, {"error": "unknown job"})
+        trace_path = (
+            self.gateway.state_dir / "traces" / f"{job.job_id}.jsonl"
+        )
+        if not trace_path.exists():
+            return json_reply(
+                409,
+                {
+                    "error": f"job is {job.state}, trace not written yet",
+                    "trace_id": job.trace_id,
+                },
+            )
+        from repro.telemetry.critpath import analyze_trace, load_trace
+
+        spans = load_trace(trace_path)
+        report = analyze_trace(spans)
+        payload = {
+            "job_id": job.job_id,
+            "state": job.state,
+            "trace_id": job.trace_id,
+            "report": report,
+        }
+        params = parse_qs(query)
+        if params.get("spans", ["0"])[0] in ("1", "true"):
+            payload["spans"] = spans
+        else:
+            # The full segment list can be large; the default response
+            # keeps the headline numbers and top segments only.
+            payload["report"] = dict(report)
+            payload["report"]["critical_path"] = {
+                k: v
+                for k, v in report["critical_path"].items()
+                if k != "segments"
+            }
+        return json_reply(200, payload)
 
     def _route_cancel(self, match, body, query) -> Response:
         job_id = match.group("job_id")

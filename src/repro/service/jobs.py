@@ -93,6 +93,10 @@ class Job:
     result: "dict | None" = None
     error: "str | None" = None
     cancel_requested: bool = False
+    # Causal-trace identity, minted at submission: the runner's per-job
+    # telemetry session adopts it, flight dumps stamp it, and
+    # GET /v1/jobs/<id>/trace joins on it.
+    trace_id: "str | None" = None
 
     @property
     def terminal(self) -> bool:
@@ -115,6 +119,7 @@ class Job:
             "result": self.result,
             "error": self.error,
             "cancel_requested": self.cancel_requested,
+            "trace_id": self.trace_id,
         }
 
     @classmethod
@@ -135,6 +140,7 @@ class Job:
             result=payload.get("result"),
             error=payload.get("error"),
             cancel_requested=bool(payload.get("cancel_requested")),
+            trace_id=payload.get("trace_id"),
         )
 
     def summary(self) -> dict:
@@ -149,6 +155,7 @@ class Job:
             "progress": self.progress,
             "error": self.error,
             "cancel_requested": self.cancel_requested,
+            "trace_id": self.trace_id,
         }
 
 
@@ -184,6 +191,8 @@ class JobStore:
 
     def new_job(self, tenant: str, spec: dict) -> Job:
         """Mint a queued job (persisted immediately)."""
+        from repro.telemetry.causal import new_trace_id
+
         now = time.time()
         job = Job(
             job_id=f"job-{uuid.uuid4().hex[:12]}",
@@ -191,6 +200,7 @@ class JobStore:
             spec=spec,
             created_at=now,
             updated_at=now,
+            trace_id=new_trace_id(),
         )
         with self._lock:
             self._jobs[job.job_id] = job

@@ -178,7 +178,10 @@ class JobRunner:
         tel.count("job.admitted")
         tel.count(f"job.backend.{decision.backend}")
 
-        job_tel = Telemetry(enabled=True)
+        # The per-job session adopts the trace id minted at submission,
+        # so every span of the solve (including pool-worker and rank
+        # spans) joins the gateway request's trace end to end.
+        job_tel = Telemetry(enabled=True, trace_id=job.trace_id)
         recorder = FlightRecorder(out_dir=self.flight_dir, tag=job_id)
         job_tel.attach_flight(recorder)
         self.store.transition(job_id, JobState.RUNNING)
@@ -186,6 +189,7 @@ class JobRunner:
             self._running += 1
             tel.set_gauge("job.running", self._running)
         t_start = time.monotonic()
+        finalized = False
         try:
             with thread_telemetry_session(job_tel):
                 result = self._solve(job, decision, event)
@@ -202,6 +206,12 @@ class JobRunner:
 
             payload = result_to_dict(result)
             payload["cancelled"] = cancelled
+            # Persist metrics and the causal trace *before* the terminal
+            # transition: a tenant that polls for ``done`` and then asks
+            # for the trace must never race a still-pending write.
+            self._merge_job_metrics(job_tel)
+            self._persist_trace(job_id, job_tel)
+            finalized = True
             self.store.transition(
                 job_id,
                 JobState.CANCELLED if cancelled else JobState.DONE,
@@ -213,6 +223,10 @@ class JobRunner:
             # Isolate the blast radius: this job fails with its black
             # box written; the supervisor (and every other job) lives.
             recorder.dump("job-failed", exc=exc, telemetry=job_tel)
+            if not finalized:
+                self._merge_job_metrics(job_tel)
+                self._persist_trace(job_id, job_tel)
+                finalized = True
             self.store.transition(
                 job_id, JobState.FAILED,
                 error=f"{type(exc).__name__}: {exc}",
@@ -223,7 +237,9 @@ class JobRunner:
                 self._running -= 1
                 tel.set_gauge("job.running", self._running)
             tel.observe("job.wall_s", time.monotonic() - t_start)
-            self._merge_job_metrics(job_tel)
+            if not finalized:
+                self._merge_job_metrics(job_tel)
+                self._persist_trace(job_id, job_tel)
 
     # -- execution -----------------------------------------------------
 
@@ -291,6 +307,23 @@ class JobRunner:
             cohort = generate_cohort(CohortConfig(**cohort_spec))
         hits = int(spec.get("solver", {}).get("hits", cohort.config.hits))
         return cohort.tumor.values, cohort.normal.values, hits
+
+    def _persist_trace(self, job_id: str, job_tel: Telemetry) -> None:
+        """Write the job's span timeline to ``traces/<job id>.jsonl``.
+
+        Written on every exit path (done, failed, cancelled, even
+        interrupted) so ``GET /v1/jobs/<id>/trace`` can always serve the
+        causal analysis of whatever actually ran.  Best-effort: a trace
+        that cannot be written never fails the job.
+        """
+        try:
+            from repro.telemetry.export import write_jsonl
+
+            trace_dir = self.state_dir / "traces"
+            trace_dir.mkdir(parents=True, exist_ok=True)
+            write_jsonl(trace_dir / f"{job_id}.jsonl", job_tel)
+        except OSError:  # pragma: no cover - disk-full / permission edge
+            self.telemetry.count("job.trace_write_failed")
 
     # -- accounting ----------------------------------------------------
 

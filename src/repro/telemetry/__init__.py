@@ -16,8 +16,27 @@ loads and a branch per site when disabled.  Enable per run::
     with telemetry_session() as tel:
         result = MultiHitSolver(backend="pool").solve(tumor, normal)
     write_chrome_trace("trace.json", tel)
+
+Enabled sessions additionally carry a causal identity: a ``trace_id``
+minted per session (or adopted from a gateway job), span-to-span links
+stamped across every async boundary (see :mod:`repro.telemetry.causal`),
+and the offline analyzer (:mod:`repro.telemetry.critpath`) that turns
+an exported trace into a critical path + per-bucket time attribution
+(``multihit trace analyze``).
 """
 
+from repro.telemetry.causal import current_context, new_trace_id
+from repro.telemetry.critpath import (
+    BUCKETS,
+    CRITPATH_SCHEMA,
+    analyze_trace,
+    attribute_time,
+    classify_span,
+    critical_path,
+    dominant_loss,
+    format_report,
+    load_trace,
+)
 from repro.telemetry.metrics import HistogramStat, MetricsRegistry
 from repro.telemetry.session import (
     NULL_TELEMETRY,
@@ -56,6 +75,8 @@ from repro.telemetry.regress import (
 )
 
 __all__ = [
+    "BUCKETS",
+    "CRITPATH_SCHEMA",
     "FLIGHT_SCHEMA",
     "FlightRecorder",
     "HistogramStat",
@@ -72,11 +93,20 @@ __all__ = [
     "Stopwatch",
     "Telemetry",
     "Tracer",
+    "analyze_trace",
     "atomic_write_text",
+    "attribute_time",
     "chrome_trace",
+    "classify_span",
     "compare_summaries",
+    "critical_path",
+    "current_context",
+    "dominant_loss",
     "eta_seconds",
+    "format_report",
     "get_telemetry",
+    "load_trace",
+    "new_trace_id",
     "perfmodel_rate",
     "render_prometheus",
     "set_telemetry",

@@ -85,12 +85,21 @@ def chrome_trace(telemetry: Telemetry) -> dict:
 
     Complete (``"X"``) events with microsecond timestamps; one
     ``process_name`` metadata event per distinct pid so merged pool
-    workers show up as named tracks in Perfetto.
+    workers show up as named tracks in Perfetto.  Causal span links
+    (see :mod:`repro.telemetry.causal`) become Perfetto **flow events**:
+    a ``ph: "s"`` at the source span and a binding-point ``ph: "f"``
+    (``bp: "e"``) at the destination, matched by ``id``/``cat`` — the
+    arrows Perfetto draws across tracks.  A link whose source span was
+    never recorded (dropped message, disabled worker) emits nothing, so
+    exported flows are never dangling.
     """
     events: list[dict] = []
     pids: set[int] = set()
     root_pid = telemetry.tracer.pid
-    for span in telemetry.tracer.export():
+    spans = telemetry.tracer.export()
+    by_key = {(s["pid"], s["id"]): s for s in spans}
+    flow_id = 0
+    for span in spans:
         pids.add(span["pid"])
         args = dict(span.get("attrs", {}))
         if "rank" in span:
@@ -107,6 +116,40 @@ def chrome_trace(telemetry: Telemetry) -> dict:
                 "args": args,
             }
         )
+        for link in span.get("links") or ():
+            src = by_key.get((link["pid"], link["id"]))
+            if src is None:
+                continue
+            flow_id += 1
+            kind = link.get("kind", "causal")
+            # Flow start at the source span's end; the binding end at
+            # the destination's start (clamped so the pair stays
+            # ordered even across clock-read jitter).
+            ts_s = src["end_ns"] / 1e3
+            ts_f = max(span["start_ns"] / 1e3, ts_s)
+            events.append(
+                {
+                    "name": kind,
+                    "cat": f"flow.{kind}",
+                    "ph": "s",
+                    "id": flow_id,
+                    "ts": ts_s,
+                    "pid": src["pid"],
+                    "tid": src["tid"],
+                }
+            )
+            events.append(
+                {
+                    "name": kind,
+                    "cat": f"flow.{kind}",
+                    "ph": "f",
+                    "bp": "e",
+                    "id": flow_id,
+                    "ts": ts_f,
+                    "pid": span["pid"],
+                    "tid": span["tid"],
+                }
+            )
     meta = [
         {
             "name": "process_name",
@@ -131,12 +174,20 @@ def validate_chrome_trace(trace: dict) -> int:
 
     Raises :class:`ValueError` on the first violation.  Used by the
     tests and the CI telemetry smoke job on real exported traces.
+
+    Flow events (``ph: "s"``/``"f"``) are validated pairwise: both need
+    ``id`` and ``ts``, a flow end must carry the binding point
+    (``bp: "e"``), its ``id`` must have a matching flow start of the
+    same ``cat``, and a start must not dangle without an end (nor an
+    end without a start).
     """
     if not isinstance(trace, dict) or "traceEvents" not in trace:
         raise ValueError("trace must be an object with a traceEvents list")
     events = trace.get("traceEvents")
     if not isinstance(events, list):
         raise ValueError("traceEvents must be a list")
+    flow_starts: dict = {}
+    flow_ends: dict = {}
     for i, event in enumerate(events):
         if not isinstance(event, dict):
             raise ValueError(f"event {i} is not an object")
@@ -144,13 +195,35 @@ def validate_chrome_trace(trace: dict) -> int:
             if key not in event:
                 raise ValueError(f"event {i} missing required key {key!r}")
         phase = event["ph"]
-        if phase not in ("X", "M", "B", "E", "i", "C"):
+        if phase not in ("X", "M", "B", "E", "i", "C", "s", "f"):
             raise ValueError(f"event {i} has unknown phase {phase!r}")
         if phase == "X":
             if "ts" not in event or "dur" not in event:
                 raise ValueError(f"complete event {i} missing ts/dur")
             if event["ts"] < 0 or event["dur"] < 0:
                 raise ValueError(f"event {i} has negative ts/dur")
+        if phase in ("s", "f"):
+            if "id" not in event or "ts" not in event:
+                raise ValueError(f"flow event {i} missing id/ts")
+            if phase == "f" and event.get("bp") != "e":
+                raise ValueError(
+                    f"flow end {i} missing binding point bp='e'"
+                )
+            bucket = flow_starts if phase == "s" else flow_ends
+            bucket[event["id"]] = (i, event.get("cat"))
+    for flow_id, (i, cat) in flow_ends.items():
+        if flow_id not in flow_starts:
+            raise ValueError(f"flow end {i} (id {flow_id}) has no flow start")
+        if flow_starts[flow_id][1] != cat:
+            raise ValueError(
+                f"flow id {flow_id} category mismatch: "
+                f"{flow_starts[flow_id][1]!r} vs {cat!r}"
+            )
+    for flow_id, (i, _cat) in flow_starts.items():
+        if flow_id not in flow_ends:
+            raise ValueError(
+                f"flow start {i} (id {flow_id}) has no flow end"
+            )
     return len(events)
 
 

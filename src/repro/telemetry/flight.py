@@ -60,6 +60,12 @@ class FlightRecorder:
         sharing one dump directory (the gateway's per-job recorders,
         tagged with the job id) can never clobber each other's
         artifacts.
+
+    The dump filename carries only the tag/sequence/reason; the causal
+    identity lives *inside* the payload as ``trace_id`` (stamped from
+    the session that dumped, when tracing is on).  Joining a black box
+    against its trace is therefore ``payload["trace_id"]`` ==
+    ``span["trace"]`` — the filename never needs re-parsing.
     """
 
     def __init__(
@@ -96,20 +102,21 @@ class FlightRecorder:
 
     def record_fault(
         self, kind: str, site: str, target: int, call: int, action: str,
-        detail: str = "",
+        detail: str = "", trace_id: "str | None" = None,
     ) -> None:
         """Fault feed (routed live from :class:`repro.faults.FaultReport`)."""
-        self._append(
-            {
-                "type": "fault",
-                "kind": kind,
-                "site": site,
-                "target": target,
-                "call": call,
-                "action": action,
-                "detail": detail,
-            }
-        )
+        event = {
+            "type": "fault",
+            "kind": kind,
+            "site": site,
+            "target": target,
+            "call": call,
+            "action": action,
+            "detail": detail,
+        }
+        if trace_id is not None:
+            event["trace_id"] = trace_id
+        self._append(event)
 
     def record_metrics(self, registry) -> None:
         """Retain a point-in-time metrics snapshot on the timeline."""
@@ -159,6 +166,9 @@ class FlightRecorder:
         }
         if self.tag:
             payload["tag"] = self.tag
+        trace_id = getattr(telemetry, "trace_id", None)
+        if trace_id is not None:
+            payload["trace_id"] = trace_id
         if exc is not None:
             payload["exception"] = {
                 "type": type(exc).__name__,
@@ -184,6 +194,7 @@ class FlightRecorder:
                         "action": e.action,
                         "attempt": e.attempt,
                         "detail": e.detail,
+                        "trace_id": e.trace_id,
                     }
                     for e in fault_report.events
                 ],

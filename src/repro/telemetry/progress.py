@@ -23,6 +23,15 @@ Each sample is re-exported as gauges (``progress.fraction``,
 reach the ``/metrics`` endpoint, and optionally rendered as a
 single-line ``\\r``-rewritten console status (what the CLI's
 ``--progress`` shows on stderr).
+
+When the watched session is tracing, each sample also runs the causal
+analyzer (:mod:`repro.telemetry.critpath`) over the spans closed so
+far and exports ``progress.critical_path_fraction`` (critical-path
+seconds over total attributed rank-seconds — 1.0 means fully serial)
+and ``progress.comm_wait_fraction`` (share of rank time blocked on the
+wire), rendered on the status line as ``crit ..% / comm ..%``.  The
+analysis is skipped past ``span_cap`` retained spans so a monster
+trace never turns the sampler into the bottleneck it is watching.
 """
 
 from __future__ import annotations
@@ -92,6 +101,8 @@ class ProgressSnapshot:
     eta_s: "float | None"
     heartbeat_stale_s: "float | None"
     fault_events: int
+    critical_path_fraction: "float | None" = None
+    comm_wait_fraction: "float | None" = None
 
     def status_line(self) -> str:
         """The single-line console rendering."""
@@ -111,6 +122,10 @@ class ProgressSnapshot:
             line += f" | faults {self.fault_events}"
         if self.heartbeat_stale_s is not None:
             line += f" | hb {self.heartbeat_stale_s:.1f}s"
+        if self.critical_path_fraction is not None:
+            line += f" | crit {100.0 * self.critical_path_fraction:.0f}%"
+        if self.comm_wait_fraction is not None:
+            line += f" | comm {100.0 * self.comm_wait_fraction:.0f}%"
         return line
 
 
@@ -141,6 +156,10 @@ class ProgressMonitor:
     model_rate:
         Combinations/second prior for the ETA before measurements exist
         (:func:`perfmodel_rate`).
+    span_cap:
+        Skip the per-sample causal analysis once the session has
+        retained more than this many spans (0 disables the analysis
+        entirely); the gauges keep their last exported values.
     """
 
     def __init__(
@@ -149,6 +168,7 @@ class ProgressMonitor:
         interval_s: float = 0.5,
         stream=None,
         model_rate: "float | None" = None,
+        span_cap: int = 4096,
     ) -> None:
         if interval_s <= 0:
             raise ValueError("interval_s must be > 0")
@@ -156,6 +176,7 @@ class ProgressMonitor:
         self.interval_s = interval_s
         self.stream = stream
         self.model_rate = model_rate
+        self.span_cap = span_cap
         self.samples: list[ProgressSnapshot] = []
         self._stop = threading.Event()
         self._thread: "threading.Thread | None" = None
@@ -209,6 +230,7 @@ class ProgressMonitor:
         stale = [
             v for k, v in gauges.items() if k.startswith("spmd.heartbeat_stale_s")
         ]
+        crit_frac, comm_frac = self._span_fractions(telemetry)
         snapshot = ProgressSnapshot(
             elapsed_s=elapsed,
             iteration=iteration,
@@ -220,6 +242,8 @@ class ProgressMonitor:
             eta_s=eta,
             heartbeat_stale_s=max(stale) if stale else None,
             fault_events=counters.get("faults.events", 0),
+            critical_path_fraction=crit_frac,
+            comm_wait_fraction=comm_frac,
         )
         if telemetry.enabled:
             telemetry.set_gauge("progress.fraction", snapshot.fraction)
@@ -229,8 +253,40 @@ class ProgressMonitor:
                 )
             if snapshot.eta_s is not None:
                 telemetry.set_gauge("progress.eta_s", snapshot.eta_s)
+            if crit_frac is not None:
+                telemetry.set_gauge("progress.critical_path_fraction", crit_frac)
+            if comm_frac is not None:
+                telemetry.set_gauge("progress.comm_wait_fraction", comm_frac)
         self.samples.append(snapshot)
         return snapshot
+
+    def _span_fractions(self, telemetry) -> "tuple[float | None, float | None]":
+        """Causal fractions from the spans closed so far (or ``None``s).
+
+        Runs the critical-path extractor and the time-attribution pass
+        over the live tracer ring.  Partial traces are fine — the
+        analyzer roots at a virtual window root — but nonsense can
+        happen mid-span, so any analysis error degrades to ``None``
+        rather than killing the sampler.
+        """
+        if not telemetry.enabled or self.span_cap <= 0:
+            return None, None
+        spans = telemetry.tracer.export()
+        if not spans or len(spans) > self.span_cap:
+            return None, None
+        from repro.telemetry.critpath import attribute_time, critical_path
+
+        try:
+            attribution = attribute_time(spans)
+            total = attribution["total_s"]
+            if total <= 0:
+                return None, None
+            cp = critical_path(spans, top=1)
+            crit = min(1.0, cp["length_s"] / total)
+            comm = attribution["fractions"].get("comm_wait", 0.0)
+            return crit, comm
+        except (KeyError, ValueError, ZeroDivisionError):
+            return None, None
 
     # -- the sampling thread -------------------------------------------
 

@@ -145,6 +145,29 @@ DEFAULT_CHECKS: dict[str, tuple[RegressionCheck, ...]] = {
             "extra.wall_seconds_elastic", tolerance=0.75, wall_clock=True
         ),
     ),
+    "trace": (
+        # Causal-trace attribution on the straggler+steal scenario: the
+        # winner must be bit-identical with tracing on (exact gate), the
+        # analyzer must keep naming comm-wait as the dominant loss
+        # (exact gate), and the critical path must keep tiling the
+        # window with buckets closing against total rank-seconds.
+        RegressionCheck(
+            "extra.bit_identical", higher_is_worse=False, tolerance=0.0
+        ),
+        RegressionCheck(
+            "extra.comm_wait_dominant", higher_is_worse=False, tolerance=0.0
+        ),
+        RegressionCheck(
+            "extra.coverage", higher_is_worse=False, tolerance=0.05
+        ),
+        RegressionCheck(
+            "extra.closure", higher_is_worse=False, tolerance=0.02
+        ),
+        RegressionCheck("extra.closure", tolerance=0.02),
+        RegressionCheck(
+            "extra.analyze_wall_s", tolerance=0.75, wall_clock=True
+        ),
+    ),
 }
 
 

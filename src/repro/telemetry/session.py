@@ -51,10 +51,22 @@ __all__ = [
 class Telemetry:
     """A tracer/metrics pair with enabled-aware convenience methods."""
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(self, enabled: bool = True, trace_id: "str | None" = None) -> None:
         self.enabled = enabled
         self.tracer = Tracer()
         self.metrics = MetricsRegistry()
+        # One causal-trace identity per enabled session (a solve or a
+        # gateway job); disabled sessions mint nothing — the no-op path
+        # stays allocation-free and context() returns None.
+        if enabled:
+            if trace_id is None:
+                from repro.telemetry.causal import new_trace_id
+
+                trace_id = new_trace_id()
+            self.trace_id: "str | None" = trace_id
+            self.tracer.trace_id = trace_id
+        else:
+            self.trace_id = None
         # Live layer (PR-5), attached per run: a FlightRecorder gets the
         # span-close feed and receives post-mortem dump triggers from
         # the engines.  None (the default) costs one attribute check at
@@ -106,6 +118,36 @@ class Telemetry:
         if self.enabled:
             return self.metrics.clear_gauges(prefix)
         return 0
+
+    # -- causal context ------------------------------------------------
+
+    def context(self) -> "dict | None":
+        """The calling thread's current span context (``None`` when off).
+
+        See :mod:`repro.telemetry.causal` for the context shape and the
+        edge vocabulary recorded against it.
+        """
+        if not self.enabled:
+            return None
+        return self.tracer.context()
+
+    def adopt_context(self, ctx: "dict | None") -> "Telemetry":
+        """Join the trace ``ctx`` belongs to (worker-side re-rooting).
+
+        Pool workers and rank runners that build a fresh session call
+        this with the dispatching context shipped to them: the session
+        takes over the trace id and records a ``dispatch`` link from
+        every stack-root span to the dispatching span.  A ``None``
+        context (disabled parent) is a no-op.
+        """
+        if not self.enabled or not ctx:
+            return self
+        trace = ctx.get("trace")
+        if trace:
+            self.trace_id = trace
+            self.tracer.trace_id = trace
+        self.tracer.remote_parent = {"pid": ctx["pid"], "id": ctx["id"]}
+        return self
 
     # -- cross-process state -------------------------------------------
 

@@ -41,6 +41,9 @@ class _NoopSpan:
     def set(self, **attrs) -> "_NoopSpan":
         return self
 
+    def link(self, ctx, kind: str = "causal") -> "_NoopSpan":
+        return self
+
     @property
     def duration_s(self) -> float:
         return 0.0
@@ -74,6 +77,9 @@ class Stopwatch:
     def set(self, **attrs) -> "Stopwatch":
         return self
 
+    def link(self, ctx, kind: str = "causal") -> "Stopwatch":
+        return self
+
     @property
     def duration_s(self) -> float:
         return (self.end_ns - self.start_ns) / 1e9
@@ -89,6 +95,15 @@ class Span:
     *process* (drawn from a process-wide counter, so a worker that
     builds a fresh short-lived tracer per chunk never reuses an id);
     merged cross-process spans are distinguished by ``(pid, span_id)``.
+
+    ``trace_id`` is stamped from the tracer at ``__enter__`` and ties
+    every span of one solve/job together even after cross-process
+    absorption.  ``links`` holds *causal* edges to spans that happened
+    before this one on another thread, rank, or process — each link is
+    ``{"pid": int, "id": int, "kind": str}`` referencing the causing
+    span by its ``(pid, span_id)`` key.  Links are what lets the
+    critical-path extractor chain across async boundaries where the
+    within-thread ``parent_id`` cannot reach.
     """
 
     name: str
@@ -101,6 +116,8 @@ class Span:
     start_ns: int = 0
     end_ns: int = 0
     attrs: dict = field(default_factory=dict)
+    trace_id: "str | None" = None
+    links: "list | None" = None
     _tracer: "Tracer | None" = field(default=None, repr=False, compare=False)
 
     @property
@@ -111,6 +128,21 @@ class Span:
         self.attrs.update(attrs)
         return self
 
+    def link(self, ctx: "dict | None", kind: str = "causal") -> "Span":
+        """Record a causal edge from the span identified by ``ctx``.
+
+        ``ctx`` is a context dict as produced by ``Tracer.context()``
+        (``{"trace": ..., "pid": ..., "id": ...}``) or ``None``, in
+        which case nothing is recorded — callers can pass contexts
+        captured from disabled sessions straight through.
+        """
+        if not ctx:
+            return self
+        if self.links is None:
+            self.links = []
+        self.links.append({"pid": ctx["pid"], "id": ctx["id"], "kind": kind})
+        return self
+
     def __enter__(self) -> "Span":
         tracer = self._tracer
         stack = tracer._stack()
@@ -118,6 +150,12 @@ class Span:
             self.parent_id = stack[-1].span_id
             if self.rank is None:
                 self.rank = stack[-1].rank
+        elif tracer.remote_parent is not None:
+            # Root span of a worker that inherited a cross-process
+            # parent context: re-root causally via a dispatch link.
+            self.link(tracer.remote_parent, kind="dispatch")
+        if self.trace_id is None:
+            self.trace_id = tracer.trace_id
         self.tid = threading.get_ident()
         stack.append(self)
         self.start_ns = time.perf_counter_ns()
@@ -148,6 +186,10 @@ class Span:
             d["rank"] = self.rank
         if self.attrs:
             d["attrs"] = dict(self.attrs)
+        if self.trace_id is not None:
+            d["trace"] = self.trace_id
+        if self.links:
+            d["links"] = [dict(link) for link in self.links]
         return d
 
     @classmethod
@@ -163,6 +205,8 @@ class Span:
             start_ns=d["start_ns"],
             end_ns=d["end_ns"],
             attrs=dict(d.get("attrs", {})),
+            trace_id=d.get("trace"),
+            links=[dict(link) for link in d["links"]] if d.get("links") else None,
         )
 
 
@@ -181,6 +225,11 @@ class Tracer:
         self._ids = _SPAN_IDS
         self._lock = threading.Lock()
         self._local = threading.local()
+        # Causal-trace identity: every span entered on this tracer is
+        # stamped with trace_id; remote_parent (a context dict) re-roots
+        # stack-root spans of adopted worker tracers via dispatch links.
+        self.trace_id: "str | None" = None
+        self.remote_parent: "dict | None" = None
         # Optional span-close subscriber (the flight recorder's live
         # feed).  One attribute load + branch per close when unset; only
         # enabled sessions record at all, so the no-op path is untouched.
@@ -216,6 +265,22 @@ class Tracer:
     def current_span(self) -> "Span | None":
         stack = self._stack()
         return stack[-1] if stack else None
+
+    def context(self) -> "dict | None":
+        """The calling thread's current span as a propagatable context.
+
+        The dict (``{"trace": str|None, "pid": int, "id": int}``) is
+        JSON/pickle-friendly so it can ride on comm messages, lease
+        records, and pool task tuples.  ``None`` when no span is open.
+        """
+        span = self.current_span()
+        if span is None:
+            return None
+        return {
+            "trace": span.trace_id or self.trace_id,
+            "pid": self.pid,
+            "id": span.span_id,
+        }
 
     def absorb(self, span_dicts: "list[dict]") -> None:
         """Merge spans exported by another process (pool workers)."""

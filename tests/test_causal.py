@@ -1,0 +1,501 @@
+"""Tests for end-to-end causal tracing (repro.telemetry.causal/critpath).
+
+The invariants the causal layer promises:
+
+* contexts are plain dicts minted only by enabled sessions; every
+  ``link``-shaped API is a no-op on ``None`` so call sites never branch
+  on enabled/disabled;
+* SimComm ``recv`` records a ``message`` edge to the sender's span,
+  pool workers re-root under the dispatching span via ``dispatch``
+  edges, stolen-lease searches link the victim via ``steal`` edges,
+  and the reduce links every lease completion via ``complete`` edges;
+* ``(pid, span_id)`` stays unique across absorbed worker spans, and
+  every recorded link resolves to a recorded span (edge integrity);
+* the critical-path extractor tiles the trace window (coverage >= 0.95
+  on real traces) and threads across ranks through causal edges;
+* per-bucket attribution closes against total rank-seconds within 1%;
+* winners are bit-identical with tracing on vs off (the acceptance
+  criterion) — contexts observe scheduling, never influence it.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bitmatrix.matrix import BitMatrix
+from repro.cli import main
+from repro.cluster.elastic import elastic_spmd_best_combo
+from repro.cluster.runtime import SPMDRunner
+from repro.core.engine import SingleGpuEngine
+from repro.core.fscore import FScoreParams
+from repro.core.solver import MultiHitSolver
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.faults.report import FaultReport
+from repro.scheduling.schemes import SCHEME_3X1
+from repro.telemetry import (
+    NOOP_SPAN,
+    Stopwatch,
+    Telemetry,
+    analyze_trace,
+    attribute_time,
+    classify_span,
+    critical_path,
+    dominant_loss,
+    format_report,
+    load_trace,
+    telemetry_session,
+    write_jsonl,
+)
+from repro.telemetry.causal import context_key, current_context, new_trace_id
+from repro.telemetry.spans import Span
+
+
+# ---------------------------------------------------------------------------
+# context propagation API
+
+
+class TestContexts:
+    def test_enabled_context_shape(self):
+        tel = Telemetry()
+        assert tel.context() is None  # no span open
+        with tel.span("work", cat="t") as span:
+            ctx = tel.context()
+        assert ctx == {"trace": tel.trace_id, "pid": os.getpid(), "id": span.span_id}
+        assert context_key(ctx) == (os.getpid(), span.span_id)
+
+    def test_disabled_context_is_none_and_mints_no_trace(self):
+        tel = Telemetry(enabled=False)
+        assert tel.trace_id is None
+        assert tel.context() is None
+        with tel.span("work"):
+            assert tel.context() is None
+        assert context_key(None) is None
+
+    def test_noop_and_stopwatch_link_return_self(self):
+        assert NOOP_SPAN.link({"pid": 1, "id": 2}) is NOOP_SPAN
+        sw = Stopwatch()
+        assert sw.link({"pid": 1, "id": 2}) is sw
+
+    def test_link_none_records_nothing(self):
+        tel = Telemetry()
+        with tel.span("a") as span:
+            span.link(None)
+        assert span.links is None  # lazy list never allocated
+
+    def test_span_dict_roundtrips_trace_and_links(self):
+        tel = Telemetry()
+        with tel.span("a") as span:
+            span.link({"trace": tel.trace_id, "pid": 7, "id": 9}, kind="message")
+        d = span.to_dict()
+        assert d["trace"] == tel.trace_id
+        assert d["links"] == [{"pid": 7, "id": 9, "kind": "message"}]
+        back = Span.from_dict(json.loads(json.dumps(d)))
+        assert back.trace_id == tel.trace_id
+        assert back.links == [{"pid": 7, "id": 9, "kind": "message"}]
+
+    def test_adopt_context_reroots_stack_roots(self):
+        trace = new_trace_id()
+        tel = Telemetry()
+        tel.adopt_context({"trace": trace, "pid": 42, "id": 17})
+        assert tel.trace_id == trace
+        with tel.span("root") as root:
+            with tel.span("child") as child:
+                pass
+        # Only the stack root re-roots; the child keeps its tree parent.
+        assert root.links == [{"pid": 42, "id": 17, "kind": "dispatch"}]
+        assert child.links is None
+        assert child.parent_id == root.span_id
+        assert root.trace_id == trace and child.trace_id == trace
+
+    def test_adopt_none_or_disabled_is_noop(self):
+        tel = Telemetry()
+        before = tel.trace_id
+        tel.adopt_context(None)
+        assert tel.trace_id == before and tel.tracer.remote_parent is None
+        off = Telemetry(enabled=False)
+        off.adopt_context({"trace": "t", "pid": 1, "id": 2})
+        assert off.trace_id is None
+
+    def test_current_context_resolves_installed_session(self):
+        with telemetry_session() as tel:
+            with tel.span("work") as span:
+                ctx = current_context()
+            assert ctx["id"] == span.span_id
+        assert current_context() is None  # NULL session after exit
+
+
+def _edge_integrity(spans):
+    """Every recorded link must resolve to a recorded span."""
+    keys = {(s["pid"], s["id"]) for s in spans}
+    assert len(keys) == len(spans), "duplicate (pid, span_id)"
+    for s in spans:
+        for link in s.get("links") or ():
+            assert (link["pid"], link["id"]) in keys, (s["name"], link)
+
+
+# ---------------------------------------------------------------------------
+# message edges across SimComm
+
+
+class TestMessageEdges:
+    def test_recv_links_to_send(self):
+        def prog(comm):
+            if comm.Get_rank() == 0:
+                comm.send("payload", dest=1, tag=3)
+                return None
+            return comm.recv(source=0, tag=3)
+
+        with telemetry_session() as tel:
+            SPMDRunner(2).run(prog)
+        spans = tel.tracer.export()
+        _edge_integrity(spans)
+        sends = [s for s in spans if s["name"] == "comm.send"]
+        recvs = [s for s in spans if s["name"] == "comm.recv"]
+        assert len(sends) == 1 and len(recvs) == 1
+        (link,) = recvs[0]["links"]
+        assert link["kind"] == "message"
+        # The edge crosses ranks: the recv's cause lives on rank 0.
+        sender = next(
+            s for s in spans if (s["pid"], s["id"]) == (link["pid"], link["id"])
+        )
+        assert sender["rank"] == 0 and recvs[0]["rank"] == 1
+
+    def test_collectives_thread_edges_through_root(self):
+        import operator
+
+        def prog(comm):
+            value = comm.bcast(comm.Get_rank() * 0 + 7, root=0)
+            return comm.reduce(value, operator.add, root=0)
+
+        with telemetry_session() as tel:
+            SPMDRunner(3).run(prog)
+        spans = tel.tracer.export()
+        _edge_integrity(spans)
+        linked = [s for s in spans if s["name"] == "comm.recv" and s.get("links")]
+        # Every completed recv (bcast fan-out + reduce fan-in) is linked.
+        assert len(linked) == 4
+
+    def test_disabled_ships_no_context(self):
+        from repro.cluster.comm import SimCommWorld
+
+        world = SimCommWorld(2)
+        world.comm(0).send("x", dest=1)
+        box = world._box(0, 1, 0)
+        obj, ctx = box.get_nowait()
+        assert obj == "x" and ctx is None
+
+
+# ---------------------------------------------------------------------------
+# dispatch edges across the pool
+
+
+class TestPoolDispatch:
+    def test_worker_spans_reroot_and_share_trace(self, small_matrices):
+        t, n, _params = small_matrices
+        solver = MultiHitSolver(hits=2, backend="pool", n_workers=2)
+        with telemetry_session() as tel:
+            solver.solve(t, n)
+        spans = tel.tracer.export()
+        _edge_integrity(spans)
+        parent_pid = os.getpid()
+        worker_spans = [s for s in spans if s["pid"] != parent_pid]
+        assert worker_spans, "no spans absorbed from pool workers"
+        # Worker spans join the dispatching trace end to end.
+        assert {s.get("trace") for s in worker_spans} == {tel.trace_id}
+        dispatch_links = [
+            link
+            for s in worker_spans
+            for link in s.get("links") or ()
+            if link["kind"] == "dispatch"
+        ]
+        assert dispatch_links, "no dispatch edges from worker roots"
+        assert {link["pid"] for link in dispatch_links} == {parent_pid}
+
+
+# ---------------------------------------------------------------------------
+# critical path + attribution units (synthetic traces)
+
+
+def _mk(name, pid, sid, t0, t1, tid=0, parent=None, links=None, cat="t",
+        rank=None, attrs=None):
+    d = {
+        "name": name, "cat": cat, "id": sid, "pid": pid, "tid": tid,
+        "start_ns": t0, "end_ns": t1,
+    }
+    if parent is not None:
+        d["parent"] = parent
+    if links:
+        d["links"] = links
+    if rank is not None:
+        d["rank"] = rank
+    if attrs:
+        d["attrs"] = attrs
+    return d
+
+
+class TestCriticalPath:
+    def test_empty_trace(self):
+        cp = critical_path([])
+        assert cp["length_s"] == 0.0 and cp["segments"] == []
+
+    def test_single_span_covers_window(self):
+        cp = critical_path([_mk("solve", 1, 1, 0, 1_000_000_000)])
+        assert cp["coverage"] == pytest.approx(1.0)
+        assert cp["length_s"] == pytest.approx(1.0)
+
+    def test_nested_spans_tile_without_overlap(self):
+        spans = [
+            _mk("solve", 1, 1, 0, 100),
+            _mk("iter", 1, 2, 10, 50, parent=1),
+            _mk("iter", 1, 3, 60, 90, parent=1),
+        ]
+        cp = critical_path(spans)
+        assert cp["coverage"] == pytest.approx(1.0)
+        for a, b in zip(cp["segments"], cp["segments"][1:]):
+            assert b["t0_ns"] >= a["t1_ns"]  # no double counting
+
+    def test_path_crosses_lanes_through_message_link(self):
+        # Lane A: recv blocks [0, 80]; lane B: the send that unblocks it
+        # ends at 70.  The path must descend into lane B's work.
+        spans = [
+            _mk("comm.recv", 1, 1, 0, 80, tid=1, cat="comm",
+                links=[{"pid": 1, "id": 2, "kind": "message"}]),
+            _mk("comm.send", 1, 2, 65, 70, tid=2, cat="comm", parent=3),
+            _mk("work", 1, 3, 0, 75, tid=2),
+        ]
+        cp = critical_path(spans)
+        names_on_path = {seg["name"] for seg in cp["segments"]}
+        assert "work" in names_on_path  # threaded into the sender's lane
+        assert cp["coverage"] >= 0.95
+
+    def test_steal_link_reaches_victim(self):
+        spans = [
+            _mk("spmd.rank", 1, 1, 0, 40, tid=1, rank=0),
+            _mk("lease.search", 1, 2, 50, 100, tid=2, rank=1,
+                attrs={"stolen": True},
+                links=[{"pid": 1, "id": 1, "kind": "steal"}]),
+        ]
+        cp = critical_path(spans)
+        ranks_on_path = {seg["rank"] for seg in cp["segments"] if seg["rank"] is not None}
+        assert ranks_on_path == {0, 1}
+
+    def test_deep_chain_no_recursion_limit(self):
+        # 5000 chained message hops: an explicit work stack or bust.
+        spans = []
+        for i in range(5000):
+            links = [{"pid": 1, "id": i, "kind": "message"}] if i else None
+            spans.append(_mk("hop", 1, i + 1, i * 10, i * 10 + 15, tid=i,
+                             links=links))
+        cp = critical_path(spans)
+        assert len(cp["segments"]) >= 5000
+
+
+class TestAttribution:
+    def test_classify_buckets(self):
+        assert classify_span({"name": "comm.recv", "cat": "comm"}) == "comm_wait"
+        assert classify_span({"name": "lease.wait", "cat": "spmd"}) == "lease_wait"
+        assert classify_span({"name": "fault.retry", "cat": "fault"}) == "retry"
+        assert classify_span({"name": "fault.reschedule", "cat": "fault"}) == "steal"
+        assert classify_span(
+            {"name": "lease.search", "cat": "spmd", "attrs": {"stolen": True}}
+        ) == "steal"
+        assert classify_span({"name": "save", "cat": "checkpoint"}) == "checkpoint"
+        assert classify_span({"name": "spmd.rank", "cat": "spmd"}) == "idle"
+        assert classify_span({"name": "scan", "cat": "kernel"}) == "compute"
+
+    def test_exclusive_time_closure(self):
+        spans = [
+            _mk("spmd.rank", 1, 1, 0, 100, tid=1, cat="spmd"),
+            _mk("lease.search", 1, 2, 10, 60, tid=1, parent=1),
+            _mk("comm.recv", 1, 3, 60, 90, tid=1, parent=1, cat="comm"),
+        ]
+        attr = attribute_time(spans)
+        assert attr["total_s"] == pytest.approx(100 / 1e9)
+        assert attr["buckets"]["compute"] == pytest.approx(50 / 1e9)
+        assert attr["buckets"]["comm_wait"] == pytest.approx(30 / 1e9)
+        assert attr["buckets"]["idle"] == pytest.approx(20 / 1e9)
+        assert attr["closure"] == pytest.approx(1.0)
+
+    def test_lanes_split_by_pid_tid(self):
+        spans = [
+            _mk("a", 1, 1, 0, 50, tid=1),
+            _mk("a", 1, 2, 0, 70, tid=2),
+            _mk("a", 2, 3, 0, 30, tid=1),
+        ]
+        attr = attribute_time(spans)
+        assert len(attr["lanes"]) == 3
+        assert attr["total_s"] == pytest.approx(150 / 1e9)
+
+    def test_dominant_loss_skips_compute_and_idle(self):
+        report = {
+            "attribution": {
+                "buckets": {
+                    "compute": 10.0, "idle": 5.0, "comm_wait": 2.0,
+                    "lease_wait": 1.0, "retry": 0.0, "steal": 0.0,
+                    "checkpoint": 0.0,
+                }
+            }
+        }
+        assert dominant_loss(report) == "comm_wait"
+        report["attribution"]["buckets"]["comm_wait"] = 0.0
+        assert dominant_loss(report) == "lease_wait"
+
+    def test_all_compute_has_no_dominant_loss(self):
+        spans = [_mk("scan", 1, 1, 0, 100)]
+        assert analyze_trace(spans)["dominant_loss"] is None
+
+
+class TestTraceIO:
+    def test_load_trace_jsonl_roundtrip(self, tmp_path):
+        tel = Telemetry()
+        with tel.span("solve", cat="solver"):
+            with tel.span("iteration", cat="solver"):
+                pass
+        path = write_jsonl(tmp_path / "trace.jsonl", tel)
+        spans = load_trace(path)
+        assert [s["name"] for s in spans] == ["iteration", "solve"]
+        assert all(s.get("trace") == tel.trace_id for s in spans)
+        assert "type" not in spans[0]
+
+    def test_load_trace_json_list_and_payload(self, tmp_path):
+        spans = [_mk("a", 1, 1, 0, 10)]
+        p1 = tmp_path / "list.json"
+        p1.write_text(json.dumps(spans))
+        assert load_trace(p1) == spans
+        p2 = tmp_path / "payload.json"
+        p2.write_text(json.dumps({"spans": spans}))
+        assert load_trace(p2) == spans
+
+    def test_format_report_smoke(self):
+        spans = [
+            _mk("solve", 1, 1, 0, 1_000_000, rank=0),
+            _mk("comm.recv", 1, 2, 100, 500_000, parent=1, cat="comm"),
+        ]
+        text = format_report(analyze_trace(spans))
+        assert "critical path" in text
+        assert "comm_wait" in text
+        assert "dominant loss bucket: comm_wait" in text
+
+
+# ---------------------------------------------------------------------------
+# the CLI
+
+
+class TestTraceCLI:
+    def _write_trace(self, tmp_path):
+        tel = Telemetry()
+        with tel.span("solve", cat="solver"):
+            with tel.span("comm.recv", cat="comm"):
+                pass
+        return write_jsonl(tmp_path / "trace.jsonl", tel), tel.trace_id
+
+    def test_analyze_text(self, capsys, tmp_path):
+        path, trace_id = self._write_trace(tmp_path)
+        assert main(["trace", "analyze", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert trace_id in out and "critical path" in out
+
+    def test_analyze_json(self, capsys, tmp_path):
+        path, trace_id = self._write_trace(tmp_path)
+        assert main(["trace", "analyze", str(path), "--json", "--top", "3"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == "repro.telemetry.critpath/v1"
+        assert report["trace_id"] == trace_id
+        assert report["attribution"]["closure"] == pytest.approx(1.0, abs=0.01)
+
+    def test_analyze_missing_file(self, capsys, tmp_path):
+        assert main(["trace", "analyze", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_analyze_empty_trace(self, capsys, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["trace", "analyze", str(path)]) == 2
+
+
+# ---------------------------------------------------------------------------
+# acceptance: traced elastic solve with straggler + steal
+
+
+class TestElasticAcceptance:
+    @pytest.fixture
+    def instance(self, rng):
+        t = rng.random((14, 30)) < 0.4
+        n = rng.random((14, 24)) < 0.2
+        return (
+            BitMatrix.from_dense(t),
+            BitMatrix.from_dense(n),
+            FScoreParams(n_tumor=30, n_normal=24),
+        )
+
+    def _solve(self, instance, traced):
+        tumor, normal, params = instance
+        plan = FaultPlan(
+            (
+                FaultSpec(kind="straggler", site="rank", target=0, delay_s=0.4),
+                FaultSpec(kind="crash", site="rank", target=1),
+            )
+        )
+        kwargs = dict(
+            n_ranks=4, n_leases=8, fault_plan=plan, report=FaultReport(),
+            lease_ttl_s=5.0, max_wall_s=120.0,
+        )
+        if not traced:
+            return elastic_spmd_best_combo(
+                SCHEME_3X1, tumor.n_genes, tumor, normal, params, **kwargs
+            ), None
+        with telemetry_session() as tel:
+            got = elastic_spmd_best_combo(
+                SCHEME_3X1, tumor.n_genes, tumor, normal, params, **kwargs
+            )
+        return got, tel
+
+    def test_traced_solve_end_to_end(self, instance):
+        tumor, normal, params = instance
+        ref = SingleGpuEngine(scheme=SCHEME_3X1).best_combo(tumor, normal, params)
+        got_off, _ = self._solve(instance, traced=False)
+        got_on, tel = self._solve(instance, traced=True)
+        # Winners bit-identical with tracing on vs off (and correct).
+        assert got_on == got_off == ref
+
+        spans = tel.tracer.export()
+        _edge_integrity(spans)
+        by_key = {(s["pid"], s["id"]): s for s in spans}
+
+        # The steal edge chains the thief's timeline to the crashed
+        # victim's rank span, across ranks.
+        steals = [
+            (s, link)
+            for s in spans
+            for link in s.get("links") or ()
+            if link["kind"] == "steal"
+        ]
+        assert steals, "crash produced no steal edge"
+        for thief, link in steals:
+            victim = by_key[(link["pid"], link["id"])]
+            assert victim["rank"] != thief["rank"]
+            assert victim["end_ns"] <= thief["end_ns"]  # cause precedes effect
+
+        # The reduce causally depends on every completed lease.
+        reduce_span = next(s for s in spans if s["name"] == "reduce")
+        completes = [
+            link for link in reduce_span["links"] if link["kind"] == "complete"
+        ]
+        assert len(completes) == 8  # one per lease
+        complete_ranks = {by_key[(l["pid"], l["id"])].get("rank") for l in completes}
+        assert len(complete_ranks) >= 2  # chain crosses ranks
+
+        report = analyze_trace(spans)
+        # Critical path covers the window, attribution closes within 1%.
+        assert report["critical_path"]["coverage"] >= 0.95
+        assert report["attribution"]["closure"] == pytest.approx(1.0, abs=0.01)
+        # The injected straggler's stall is the dominant loss bucket.
+        assert report["dominant_loss"] == "comm_wait"
+        assert report["attribution"]["buckets"]["comm_wait"] >= 0.35
+        # ... and it sits on the critical path.
+        stall_segments = [
+            seg for seg in report["critical_path"]["segments"]
+            if seg["name"] == "comm.stall"
+        ]
+        assert stall_segments

@@ -608,3 +608,82 @@ class TestLeaseFlightEvents:
             ]
             assert any(e.get("event") == "steal" for e in notes)
             assert tel.flight.assignments().get("lease")
+
+
+class TestCausalUnderChurn:
+    """Cross-rank span absorption keeps the causal graph sound.
+
+    Ranks churn (crash / hang / leave / join) while their spans are
+    absorbed into one session tracer; the causal layer promises the
+    merged graph stays well-formed: ``(pid, span_id)`` unique, every
+    recorded link resolving to a recorded span, steal edges crossing
+    rank timelines, and the reduce anchored to every lease completion.
+    """
+
+    def test_edges_survive_full_churn_matrix(self, instance):
+        tumor, normal, params = instance
+        ref = SingleGpuEngine(scheme=SCHEME_3X1).best_combo(
+            tumor, normal, params
+        )
+        # Membership delay_s is a completed-lease fraction: the join
+        # lands early (0.2) and the leave late (0.6), so live ranks are
+        # around to steal the crashed rank's forfeited lease — the
+        # lowest available id, regranted within one acquire round.
+        plan = FaultPlan(
+            (
+                FaultSpec(kind="crash", site="rank", target=1),
+                FaultSpec(kind="hang", site="rank", target=2, delay_s=0.8),
+                FaultSpec(kind="join", site="membership", target=2,
+                          delay_s=0.2),
+                FaultSpec(kind="leave", site="membership", target=0,
+                          delay_s=0.6),
+            )
+        )
+        with telemetry_session() as tel:
+            got = elastic_spmd_best_combo(
+                SCHEME_3X1, tumor.n_genes, tumor, normal, params,
+                n_ranks=3, fault_plan=plan, report=FaultReport(),
+                lease_ttl_s=0.3, max_wall_s=60.0,
+            )
+        assert got == ref
+
+        spans = tel.tracer.export()
+        keys = [(s["pid"], s["id"]) for s in spans]
+        assert len(keys) == len(set(keys))  # absorption never collides
+        by_key = dict(zip(keys, spans))
+        for span in spans:
+            for link in span.get("links") or ():
+                assert (link["pid"], link["id"]) in by_key, (
+                    f"dangling {link['kind']} edge from {span['name']}"
+                )
+
+        # Forfeited leases (crash + expired hang) leave steal edges.  A
+        # hung rank may resurface and reclaim its own expired lease (a
+        # self-steal), but the crash forfeiture must have crossed rank
+        # timelines, and every victim context predates its thief.
+        steals = [
+            (span, by_key[(link["pid"], link["id"])])
+            for span in spans
+            for link in span.get("links") or ()
+            if link["kind"] == "steal"
+        ]
+        assert steals
+        assert any(
+            victim.get("rank") == 1 and thief.get("rank") != 1
+            for thief, victim in steals
+        ), "crashed rank's lease was not stolen cross-rank"
+        for thief, victim in steals:
+            assert victim["start_ns"] <= thief["end_ns"]
+
+        # The reduce depends on every lease completion, and the
+        # completions span more than one surviving rank.
+        reduce_span = next(s for s in spans if s["name"] == "reduce")
+        completes = [
+            link for link in reduce_span["links"]
+            if link["kind"] == "complete"
+        ]
+        assert completes
+        complete_ranks = {
+            by_key[(l["pid"], l["id"])].get("rank") for l in completes
+        }
+        assert len(complete_ranks) >= 2

@@ -338,6 +338,43 @@ class TestGatewayEndToEnd:
             status, body, _ = _http("GET", f"{url}/healthz")
             assert status == 200 and body["jobs"] == 1
 
+    def test_trace_endpoint_serves_causal_analysis(
+        self, tmp_path, slow_iterations
+    ):
+        with Gateway(state_dir=tmp_path, max_concurrent=1) as gw:
+            url = gw.url
+            status, _, _ = _http("GET", f"{url}/v1/jobs/job-nope/trace")
+            assert status == 404
+            status, sub, _ = _http("POST", f"{url}/v1/jobs", spec_for(5))
+            assert status == 202
+            jid = sub["job_id"]
+            # Mid-run: the trace file is not written yet, but the
+            # trace id minted at submission is already servable.
+            _wait_started(slow_iterations)
+            status, body, _ = _http("GET", f"{url}/v1/jobs/{jid}/trace")
+            assert status == 409 and body["trace_id"]
+            gw.wait([jid], timeout=120)
+            job = gw.job(jid)
+            status, body, _ = _http("GET", f"{url}/v1/jobs/{jid}/trace")
+            assert status == 200
+            assert body["trace_id"] == job.trace_id
+            report = body["report"]
+            assert report["schema"] == "repro.telemetry.critpath/v1"
+            assert report["trace_id"] == job.trace_id
+            assert report["attribution"]["closure"] == pytest.approx(
+                1.0, abs=0.01
+            )
+            # Default response trims the full segment list.
+            assert "segments" not in report["critical_path"]
+            assert report["critical_path"]["top_segments"]
+            # ?spans=1 ships the raw spans, all on the job's trace.
+            status, body, _ = _http(
+                "GET", f"{url}/v1/jobs/{jid}/trace?spans=1"
+            )
+            assert status == 200 and body["spans"]
+            assert {s.get("trace") for s in body["spans"]} == {job.trace_id}
+            assert "segments" in body["report"]["critical_path"]
+
     def test_over_quota_is_429_with_retry_after(self, tmp_path, slow_iterations):
         with Gateway(state_dir=tmp_path, max_concurrent=1,
                      queue_depth=2, tenant_quota=2) as gw:

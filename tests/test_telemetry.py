@@ -256,6 +256,56 @@ class TestExporters:
                 ]}
             )
 
+    def _session_with_link(self):
+        tel = Telemetry()
+        with tel.span("send", cat="comm"):
+            ctx = tel.context()
+        with tel.span("recv", cat="comm") as recv:
+            recv.link(ctx, kind="message")
+        return tel
+
+    def test_linked_spans_emit_flow_pair(self):
+        trace = chrome_trace(self._session_with_link())
+        validate_chrome_trace(trace)
+        starts = [e for e in trace["traceEvents"] if e["ph"] == "s"]
+        ends = [e for e in trace["traceEvents"] if e["ph"] == "f"]
+        assert len(starts) == 1 and len(ends) == 1
+        start, end = starts[0], ends[0]
+        assert start["id"] == end["id"]
+        assert start["cat"] == end["cat"] == "flow.message"
+        assert end["bp"] == "e"
+        assert end["ts"] >= start["ts"]  # arrow never points backwards
+
+    def test_unresolvable_link_emits_no_flow(self):
+        tel = Telemetry()
+        with tel.span("recv", cat="comm") as recv:
+            # A source that was never recorded (dropped worker trace).
+            recv.link({"trace": tel.trace_id, "pid": 999999, "id": 12345},
+                      kind="message")
+        trace = chrome_trace(tel)
+        validate_chrome_trace(trace)
+        assert not [e for e in trace["traceEvents"] if e["ph"] in ("s", "f")]
+
+    def test_validator_rejects_broken_flows(self):
+        start = {"name": "message", "ph": "s", "pid": 1, "tid": 1,
+                 "ts": 1.0, "id": 7, "cat": "flow.message"}
+        end = {"name": "message", "ph": "f", "bp": "e", "pid": 1, "tid": 1,
+               "ts": 2.0, "id": 7, "cat": "flow.message"}
+        assert validate_chrome_trace({"traceEvents": [start, end]}) == 2
+        with pytest.raises(ValueError, match="no flow end"):
+            validate_chrome_trace({"traceEvents": [start]})
+        with pytest.raises(ValueError, match="no flow start"):
+            validate_chrome_trace({"traceEvents": [end]})
+        with pytest.raises(ValueError, match="binding point"):
+            no_bp = {k: v for k, v in end.items() if k != "bp"}
+            validate_chrome_trace({"traceEvents": [start, no_bp]})
+        with pytest.raises(ValueError, match="category mismatch"):
+            wrong_cat = dict(end, cat="flow.steal")
+            validate_chrome_trace({"traceEvents": [start, wrong_cat]})
+        with pytest.raises(ValueError, match="missing id"):
+            no_id = {k: v for k, v in start.items() if k != "id"}
+            validate_chrome_trace({"traceEvents": [no_id]})
+
     def test_jsonl_has_spans_then_metrics(self, tmp_path):
         tel = self._session_with_spans()
         path = write_jsonl(tmp_path / "events.jsonl", tel)
